@@ -1,0 +1,285 @@
+// doinn_cli — command-line front end for the DOINN lithography stack.
+//
+//   doinn_cli generate  --kind via|dense|metal --tile 128 --seed 1
+//                       [--opc 4] --out mask.pgm [--clip-out clip.lclip]
+//   doinn_cli simulate  --mask mask.pgm [--pixel 16] [--defocus 0]
+//                       --out-prefix out/sim        (writes aerial + contour)
+//   doinn_cli opc       --clip clip.lclip [--pixel 16] [--iterations 12]
+//                       --out mask.pgm
+//   doinn_cli train     --kind via|dense|metal [--count 32] [--tile 128]
+//                       [--epochs 8] --out weights.bin
+//   doinn_cli predict   --weights weights.bin --mask mask.pgm --out contour.pgm
+//   doinn_cli mrc       --mask mask.pgm [--pixel 16] [--min-feature 48]
+//                       [--min-gap 48]   (mask rule check; exit 1 on violations)
+//
+// Masks are 8-bit PGM images; clips use the LCLIP text format
+// (src/layout/clip_io.h). Model checkpoints embed the DoinnConfig so
+// `predict` needs no extra flags.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/doinn.h"
+#include "core/large_tile.h"
+#include "core/trainer.h"
+#include "io/io.h"
+#include "layout/clip_io.h"
+#include "opc/mrc.h"
+#include "opc/opc.h"
+
+using namespace litho;
+
+namespace {
+
+/// Minimal --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw std::runtime_error(std::string("expected --flag, got ") + argv[i]);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    if (it != values_.end()) return it->second;
+    if (fallback.empty()) {
+      throw std::runtime_error("missing required flag --" + key);
+    }
+    return fallback;
+  }
+  int64_t get_int(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::stoll(it->second) : fallback;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::stod(it->second) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+core::DatasetKind parse_kind(const std::string& kind) {
+  if (kind == "via") return core::DatasetKind::kViaSparse;
+  if (kind == "dense") return core::DatasetKind::kViaDense;
+  if (kind == "metal") return core::DatasetKind::kMetal;
+  throw std::runtime_error("unknown kind: " + kind + " (via|dense|metal)");
+}
+
+optics::LithoSimulator make_sim(double pixel_nm, double defocus_nm = 0.0) {
+  optics::OpticalConfig cfg;
+  cfg.pixel_nm = pixel_nm;
+  cfg.defocus_nm = defocus_nm;
+  cfg.kernel_grid = std::max<int64_t>(
+      48, static_cast<int64_t>(cfg.optical_diameter_nm() / pixel_nm) + 8);
+  cfg.kernel_count = 12;
+  return optics::LithoSimulator(cfg, optics::compute_socs_kernels(cfg));
+}
+
+/// Serializes the DoinnConfig alongside the weights so `predict` is
+/// self-contained.
+Tensor encode_config(const core::DoinnConfig& cfg) {
+  return Tensor({10}, {static_cast<float>(cfg.tile),
+                       static_cast<float>(cfg.modes),
+                       static_cast<float>(cfg.gp_channels),
+                       static_cast<float>(cfg.lp1),
+                       static_cast<float>(cfg.lp2),
+                       static_cast<float>(cfg.refine1),
+                       static_cast<float>(cfg.refine2),
+                       cfg.use_ir ? 1.f : 0.f, cfg.use_lp ? 1.f : 0.f,
+                       cfg.use_bypass ? 1.f : 0.f});
+}
+
+core::DoinnConfig decode_config(const Tensor& t) {
+  core::DoinnConfig cfg;
+  cfg.tile = static_cast<int64_t>(t[0]);
+  cfg.modes = static_cast<int64_t>(t[1]);
+  cfg.gp_channels = static_cast<int64_t>(t[2]);
+  cfg.lp1 = static_cast<int64_t>(t[3]);
+  cfg.lp2 = static_cast<int64_t>(t[4]);
+  cfg.refine1 = static_cast<int64_t>(t[5]);
+  cfg.refine2 = static_cast<int64_t>(t[6]);
+  cfg.use_ir = t[7] != 0.f;
+  cfg.use_lp = t[8] != 0.f;
+  cfg.use_bypass = t[9] != 0.f;
+  return cfg;
+}
+
+int cmd_generate(const Args& args) {
+  const auto kind = parse_kind(args.get("kind"));
+  const int64_t tile = args.get_int("tile", 128);
+  const auto sim = make_sim(args.get_double("pixel", 16.0));
+  Tensor mask = core::generate_mask(
+      sim, kind, tile, static_cast<uint32_t>(args.get_int("seed", 1)),
+      args.get_int("opc", 4));
+  io::write_pgm(args.get("out"), mask);
+  std::printf("wrote %s (%lld x %lld px, density %.1f%%)\n",
+              args.get("out").c_str(), static_cast<long long>(tile),
+              static_cast<long long>(tile), 100.f * mask.mean());
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const double pixel = args.get_double("pixel", 16.0);
+  const auto sim = make_sim(pixel, args.get_double("defocus", 0.0));
+  Tensor mask;
+  if (args.get("mask", "-") != "-") {
+    mask = io::read_pgm(args.get("mask"));
+  } else {
+    const layout::Clip clip = layout::read_clip(args.get("clip"));
+    mask = layout::rasterize(clip, pixel);
+  }
+  const Tensor aerial = sim.aerial(mask);
+  const Tensor contour = sim.resist(aerial);
+  const std::string prefix = args.get("out-prefix");
+  io::write_pgm(prefix + "_aerial.pgm", aerial, 0.f, 0.f);
+  io::write_pgm(prefix + "_contour.pgm", contour);
+  std::printf("wrote %s_aerial.pgm and %s_contour.pgm (printed %.0f px)\n",
+              prefix.c_str(), prefix.c_str(), contour.sum());
+  return 0;
+}
+
+int cmd_opc(const Args& args) {
+  const double pixel = args.get_double("pixel", 16.0);
+  const auto sim = make_sim(pixel);
+  const layout::Clip clip = layout::read_clip(args.get("clip"));
+  opc::OpcEngine engine(sim, opc::OpcParams{});
+  const auto iters = engine.run(clip, args.get_int("iterations", 12));
+  std::printf("EPE: %.2f nm -> %.2f nm over %zu iterations\n",
+              iters.front().mean_abs_epe, iters.back().mean_abs_epe,
+              iters.size() - 1);
+  io::write_pgm(args.get("out"), iters.back().mask);
+  std::printf("wrote %s\n", args.get("out").c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const double pixel = args.get_double("pixel", 16.0);
+  const auto sim = make_sim(pixel);
+  core::DatasetSpec spec;
+  spec.kind = parse_kind(args.get("kind"));
+  spec.count = args.get_int("count", 32);
+  spec.tile_px = args.get_int("tile", 128);
+  spec.seed = static_cast<uint32_t>(args.get_int("seed", 1));
+  spec.opc_iterations = args.get_int("opc", 4);
+  std::printf("generating %lld training clips...\n",
+              static_cast<long long>(spec.count));
+  const core::ContourDataset data = core::build_dataset(sim, spec);
+
+  core::DoinnConfig cfg = core::DoinnConfig::small();
+  cfg.tile = spec.tile_px;
+  // Small tiles have fewer retainable modes; clamp to the half-spectrum.
+  cfg.modes = std::min({cfg.modes, cfg.gp_grid(), cfg.gp_spec_w()});
+  std::mt19937 rng(static_cast<uint32_t>(args.get_int("init-seed", 42)));
+  core::Doinn model(cfg, rng);
+  std::printf("DOINN: %lld parameters\n",
+              static_cast<long long>(model.num_parameters()));
+
+  core::TrainConfig tcfg;
+  tcfg.epochs = args.get_int("epochs", 8);
+  tcfg.batch_size = args.get_int("batch", 2);
+  tcfg.on_epoch = [](int64_t e, double loss) {
+    std::printf("  epoch %lld  loss %.4f\n", static_cast<long long>(e), loss);
+    std::fflush(stdout);
+  };
+  core::train_model(model, data, tcfg);
+
+  auto dict = model.state_dict();
+  dict.emplace("__doinn_config__", encode_config(cfg));
+  io::save_tensors(args.get("out"), dict);
+  std::printf("wrote %s\n", args.get("out").c_str());
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  auto dict = io::load_tensors(args.get("weights"));
+  const auto cfg_it = dict.find("__doinn_config__");
+  if (cfg_it == dict.end()) {
+    throw std::runtime_error("weights file lacks __doinn_config__ metadata");
+  }
+  const core::DoinnConfig cfg = decode_config(cfg_it->second);
+  std::mt19937 rng(0);
+  core::Doinn model(cfg, rng);
+  dict.erase("__doinn_config__");
+  model.load_state_dict(dict);
+
+  Tensor mask = io::read_pgm(args.get("mask"));
+  Tensor contour;
+  if (mask.size(0) > cfg.tile || mask.size(1) > cfg.tile) {
+    core::LargeTilePredictor lt(model);
+    contour = lt.predict(mask);
+    contour.apply_([](float v) { return v >= 0.f ? 1.f : 0.f; });
+    std::printf("used the large-tile scheme (%lld px tile model)\n",
+                static_cast<long long>(cfg.tile));
+  } else {
+    contour = core::predict_contour(model, mask);
+  }
+  io::write_pgm(args.get("out"), contour);
+  std::printf("wrote %s (printed %.0f px)\n", args.get("out").c_str(),
+              contour.sum());
+  return 0;
+}
+
+int cmd_mrc(const Args& args) {
+  const Tensor mask = io::read_pgm(args.get("mask"));
+  opc::MrcRules rules;
+  rules.min_feature_nm = args.get_double("min-feature", 48.0);
+  rules.min_gap_nm = args.get_double("min-gap", 48.0);
+  const auto violations =
+      opc::check_mask_rules(mask, args.get_double("pixel", 16.0), rules);
+  if (violations.empty()) {
+    std::printf("MRC clean (min feature %.0f nm, min gap %.0f nm)\n",
+                rules.min_feature_nm, rules.min_gap_nm);
+    return 0;
+  }
+  std::printf("%zu MRC violations:\n", violations.size());
+  const size_t show = std::min<size_t>(violations.size(), 20);
+  for (size_t i = 0; i < show; ++i) {
+    const opc::MrcViolation& v = violations[i];
+    std::printf("  %s %s at (%lld, %lld): %.0f nm\n",
+                v.kind == opc::MrcViolation::Kind::kFeature ? "feature" : "gap",
+                v.horizontal ? "run-x" : "run-y",
+                static_cast<long long>(v.row_px),
+                static_cast<long long>(v.col_px), v.extent_nm);
+  }
+  if (violations.size() > show) {
+    std::printf("  ... and %zu more\n", violations.size() - show);
+  }
+  return 1;
+}
+
+void usage() {
+  std::printf(
+      "usage: doinn_cli <generate|simulate|opc|train|predict|mrc> [--flags]\n"
+      "see the header comment of apps/doinn_cli.cpp for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  try {
+    const std::string cmd = argv[1];
+    const Args args(argc, argv);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "opc") return cmd_opc(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "mrc") return cmd_mrc(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

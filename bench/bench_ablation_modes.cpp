@@ -1,0 +1,69 @@
+// Design-choice ablation: spectral truncation (modes) and Fourier-Unit
+// channel width — the two knobs DESIGN.md calls out as the capacity levers
+// of the GP path (the paper fixes them at 50 modes / 16 channels at full
+// scale). Trains compact DOINNs on a small dense-via task and reports
+// accuracy vs parameter count vs train time.
+//
+// Expected shape: accuracy saturates once the retained modes cover the
+// pupil's support; channels trade parameters for mIOU sub-linearly.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dataset.h"
+#include "core/doinn.h"
+#include "core/trainer.h"
+
+using namespace litho;
+
+int main() {
+  bench::banner("Ablation: GP spectral modes / channel width (dense via, 64px)");
+
+  optics::OpticalConfig ocfg;
+  ocfg.pixel_nm = 16.0;
+  ocfg.kernel_grid = 48;
+  ocfg.kernel_count = 12;
+  optics::LithoSimulator sim(ocfg, optics::compute_socs_kernels(ocfg));
+
+  core::DatasetSpec spec;
+  spec.kind = core::DatasetKind::kViaDense;
+  spec.count = 16;
+  spec.tile_px = 64;
+  spec.seed = 77;
+  spec.opc_iterations = 2;
+  const core::ContourDataset train = core::build_dataset(sim, spec);
+  spec.count = 6;
+  spec.seed = 88;
+  const core::ContourDataset test = core::build_dataset(sim, spec);
+
+  std::printf("%6s %9s %8s %9s %9s %9s\n", "modes", "channels", "params",
+              "mIOU%", "mPA%", "train s");
+  struct Point {
+    int64_t modes, channels;
+  };
+  // 64-px tiles pool to an 8x8 GP grid (half-spectrum width 5).
+  const Point points[] = {{2, 8}, {3, 8}, {5, 8}, {5, 2}, {5, 4}, {5, 16}};
+  for (const Point& pt : points) {
+    core::DoinnConfig cfg;
+    cfg.tile = 64;
+    cfg.modes = pt.modes;
+    cfg.gp_channels = pt.channels;
+    std::mt19937 rng(42);
+    core::Doinn model(cfg, rng);
+    core::TrainConfig tcfg;
+    tcfg.epochs = 6;
+    tcfg.batch_size = 2;
+    const auto t0 = std::chrono::steady_clock::now();
+    core::train_model(model, train, tcfg);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0).count();
+    const auto m = core::evaluate_model(model, test);
+    std::printf("%6lld %9lld %8lld %9.2f %9.2f %9.1f\n",
+                static_cast<long long>(pt.modes),
+                static_cast<long long>(pt.channels),
+                static_cast<long long>(model.num_parameters()),
+                100 * m.miou, 100 * m.mpa, secs);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Regenerates paper Figure 8: lithography modeling performance on subtle
+// perturbations — mIOU of DOINN and UNet across 24 OPC iterations of a
+// metal-layer design.
+//
+// Both models are trained on OPC'ed masks (late iterations), so accuracy is
+// expected to be weaker at early iterations (masks close to the raw design)
+// and to climb as OPC converges — with DOINN above UNet throughout thanks
+// to the Fourier-Unit inductive bias (the paper's Figure 8 shape).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+#include "layout/layout.h"
+#include "opc/opc.h"
+
+using namespace litho;
+
+int main() {
+  bench::banner("Figure 8: mIOU across 24 OPC iterations (metal layer)");
+
+  const core::Benchmark bench = core::iccad2013(core::Resolution::kLow);
+  auto doinn = core::trained_model("DOINN", bench);
+  auto unet = core::trained_model("UNet", bench);
+
+  const auto& sim = core::simulator_for(bench.pixel_nm());
+  // One representative metal clip run through 24 OPC iterations.
+  layout::MetalLayerGenerator::Params p;
+  p.clip_nm =
+      bench.tile_px() * static_cast<int64_t>(sim.config().pixel_nm);
+  layout::MetalLayerGenerator gen(p, layout::DesignRules{64, 64});
+  std::mt19937 rng(2022);
+  const layout::Clip clip = gen.generate(rng);
+
+  opc::OpcEngine engine(sim, opc::OpcParams{});
+  const auto iterations = engine.run(clip, 24);
+
+  std::printf("%5s %12s %12s %12s %14s\n", "iter", "DOINN mIOU", "UNet mIOU",
+              "meanEPE(nm)", "(golden fg px)");
+  for (size_t it = 0; it < iterations.size(); ++it) {
+    const Tensor& mask = iterations[it].mask;
+    const Tensor golden = sim.simulate(mask);
+    const Tensor pd = core::predict_contour(*doinn, mask);
+    const Tensor pu = core::predict_contour(*unet, mask);
+    const double md = core::evaluate_contours(pd, golden).miou;
+    const double mu = core::evaluate_contours(pu, golden).miou;
+    std::printf("%5zu %12.4f %12.4f %12.2f %14.0f\n", it, md, mu,
+                iterations[it].mean_abs_epe, golden.sum());
+    std::fflush(stdout);
+  }
+  return 0;
+}

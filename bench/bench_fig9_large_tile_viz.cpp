@@ -1,0 +1,68 @@
+// Regenerates paper Figure 9: visualization of large-tile simulation.
+// Writes PGM panels under data/fig9/:
+//   (a) input mask               (d) zoom of (a)
+//   (b) default DOINN contour    (e) zoom of (b)  <- expect noise artifacts
+//   (c) DOINN-LT contour         (f) zoom of (c)  <- expect clean contours
+// plus the golden contour for reference.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+#include "core/large_tile.h"
+#include "io/io.h"
+
+using namespace litho;
+
+namespace {
+
+Tensor crop(const Tensor& img, int64_t r0, int64_t c0, int64_t size) {
+  Tensor out({size, size});
+  const int64_t w = img.size(1);
+  for (int64_t r = 0; r < size; ++r) {
+    std::copy(img.data() + (r0 + r) * w + c0,
+              img.data() + (r0 + r) * w + c0 + size, out.data() + r * size);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 9: large-tile simulation visualization");
+  const core::Benchmark bench = core::ispd2019(core::Resolution::kLow);
+  // The GP-reliant variant (LP disabled) exposes the spectral large-tile
+  // artifacts the paper's Figure 9 shows; see bench_table4 for why the full
+  // model at this scale is insensitive.
+  auto doinn = core::trained_doinn_variant(/*use_ir=*/true, /*use_lp=*/false,
+                                           /*use_bypass=*/false, bench);
+  core::LargeTilePredictor lt(*doinn);
+
+  const auto& sim = core::simulator_for(bench.pixel_nm());
+  const int64_t large = 4 * bench.tile_px();
+  Tensor mask = core::generate_mask(sim, core::DatasetKind::kViaSparse, large,
+                                    9001, /*opc_iterations=*/4);
+  Tensor golden = sim.simulate(mask);
+
+  Tensor plain = lt.predict_plain(mask);
+  plain.apply_([](float v) { return v >= 0.f ? 1.f : 0.f; });
+  Tensor stitched = lt.predict(mask);
+  stitched.apply_([](float v) { return v >= 0.f ? 1.f : 0.f; });
+
+  const std::string dir = "data/fig9";
+  io::ensure_dir(dir);
+  io::write_pgm(dir + "/a_mask.pgm", mask);
+  io::write_pgm(dir + "/b_doinn_default.pgm", plain);
+  io::write_pgm(dir + "/c_doinn_lt.pgm", stitched);
+  io::write_pgm(dir + "/golden.pgm", golden);
+  const int64_t z = large / 4, z0 = large / 2 - z / 2;
+  io::write_pgm(dir + "/d_mask_zoom.pgm", crop(mask, z0, z0, z));
+  io::write_pgm(dir + "/e_doinn_default_zoom.pgm", crop(plain, z0, z0, z));
+  io::write_pgm(dir + "/f_doinn_lt_zoom.pgm", crop(stitched, z0, z0, z));
+
+  const auto m_plain = core::evaluate_contours(plain, golden);
+  const auto m_lt = core::evaluate_contours(stitched, golden);
+  std::printf("wrote panels to %s/\n", dir.c_str());
+  std::printf("default DOINN  mIOU %.2f%%   DOINN-LT mIOU %.2f%%\n",
+              100 * m_plain.miou, 100 * m_lt.miou);
+  return 0;
+}

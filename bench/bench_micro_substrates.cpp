@@ -1,0 +1,84 @@
+// Micro-benchmarks of the substrates (google-benchmark): FFT, GEMM,
+// convolution and the golden SOCS simulator. These bound the cost models
+// used to size the experiments (DESIGN.md §6).
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "fft/fft.h"
+#include "litho/simulator.h"
+#include "tensor/tensor.h"
+
+using namespace litho;
+
+namespace {
+
+void BM_Fft2(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::mt19937 rng(1);
+  fft::CTensor x(Tensor::rand({n, n}, rng), Tensor({n, n}));
+  for (auto _ : state) {
+    fft::CTensor y = fft::fft2(x, false);
+    benchmark::DoNotOptimize(y.re.data());
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_Rfft2RoundTrip(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::mt19937 rng(2);
+  Tensor x = Tensor::rand({n, n}, rng);
+  for (auto _ : state) {
+    Tensor y = fft::irfft2(fft::rfft2(x), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::mt19937 rng(3);
+  Tensor a = Tensor::rand({n, n}, rng);
+  Tensor b = Tensor::rand({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+}
+
+void BM_Conv2d(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::mt19937 rng(4);
+  ag::Variable x(Tensor::rand({1, 8, n, n}, rng), false);
+  ag::Variable w(Tensor::rand({8, 8, 3, 3}, rng), false);
+  for (auto _ : state) {
+    ag::Variable y = ag::conv2d(x, w, ag::Variable(), 1, 1);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+
+void BM_SocsAerial(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  optics::OpticalConfig cfg;
+  cfg.pixel_nm = 16.0;
+  cfg.kernel_grid = 48;
+  cfg.kernel_count = 12;
+  static optics::LithoSimulator sim(cfg, optics::compute_socs_kernels(cfg));
+  std::mt19937 rng(5);
+  Tensor mask = Tensor::rand({n, n}, rng);
+  (void)sim.aerial(mask);  // warm spectra cache
+  for (auto _ : state) {
+    Tensor a = sim.aerial(mask);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fft2)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Rfft2RoundTrip)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Conv2d)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SocsAerial)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

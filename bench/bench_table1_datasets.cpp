@@ -1,0 +1,59 @@
+// Regenerates paper Table 1: "Details of the Dataset".
+//
+// Prints the benchmark stand-ins with their train/test split, physical tile
+// size and the golden engine used, plus generation statistics (shape count,
+// density) that characterize each dataset.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+using namespace litho;
+
+int main() {
+  bench::banner("Table 1: Details of the Dataset (stand-in reproduction)");
+  std::printf("%-18s %7s %6s %12s %10s %14s\n", "Dataset", "Train", "Test",
+              "Tile size", "px @ nm", "Litho engine");
+
+  const std::vector<core::Benchmark> rows = {
+      core::iccad2013(core::Resolution::kLow),
+      core::iccad2013(core::Resolution::kHigh),
+      core::ispd2019(core::Resolution::kLow),
+      core::ispd2019(core::Resolution::kHigh),
+      core::n14(),
+  };
+  for (const core::Benchmark& b : rows) {
+    const double side_um = b.tile_px() * b.pixel_nm() / 1000.0;
+    std::printf("%-18s %7lld %6lld %9.1f um2 %4lld @ %-3.0f %14s\n",
+                b.display().c_str(),
+                static_cast<long long>(b.train_count),
+                static_cast<long long>(b.test_count), side_um * side_um,
+                static_cast<long long>(b.tile_px()), b.pixel_nm(),
+                "SOCS (Hopkins)");
+  }
+
+  // Large-tile evaluation set (ISPD-2019-LT): 64 um^2 tiles.
+  const auto& sim = core::simulator_for(16.0);
+  std::printf("%-18s %7s %6d %9.1f um2 %4d @ %-3.0f %14s\n", "ISPD-2019-LT",
+              "-", 4, 8.192 * 8.192, 512, 16.0, "SOCS (Hopkins)");
+
+  std::printf("\nGeneration statistics (first training clip per dataset):\n");
+  for (const core::Benchmark& b :
+       {core::iccad2013(core::Resolution::kLow),
+        core::ispd2019(core::Resolution::kLow), core::n14()}) {
+    const core::ContourDataset ds = core::train_set(b);
+    double mask_density = 0, resist_density = 0;
+    for (int64_t i = 0; i < ds.size(); ++i) {
+      mask_density += ds.masks[static_cast<size_t>(i)].mean();
+      resist_density += ds.resists[static_cast<size_t>(i)].mean();
+    }
+    mask_density /= static_cast<double>(ds.size());
+    resist_density /= static_cast<double>(ds.size());
+    std::printf("  %-16s mask density %5.2f%%  printed density %5.2f%%\n",
+                b.display().c_str(), 100 * mask_density, 100 * resist_density);
+  }
+  std::printf("\nOPC: 4 edge-based iterations per clip; golden contours from "
+              "the SOCS engine (threshold %.3f).\n",
+              sim.threshold());
+  return 0;
+}

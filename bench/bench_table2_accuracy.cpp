@@ -1,0 +1,60 @@
+// Regenerates paper Table 2: "Result Comparison with State-of-the-Art".
+//
+// Trains (or loads cached weights for) UNet, DAMO-DLS and DOINN on each
+// benchmark stand-in and reports mPA / mIOU on the held-out test clips.
+// DAMO-DLS rows marked "-" on high-resolution inputs, as in the paper
+// ("DAMO-DLS only supports 1000x1000 inputs").
+//
+// Expected shape vs the paper: DOINN >= DAMO-DLS >= UNet on every row, with
+// the largest gaps on the metal layer and the dense-via N14 row.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+using namespace litho;
+
+int main() {
+  bench::banner("Table 2: Result Comparison with State-of-the-Art");
+  std::printf("%-18s | %7s %7s | %7s %7s | %7s %7s\n", "Benchmark",
+              "UNet", "", "DAMO", "", "DOINN", "");
+  std::printf("%-18s | %7s %7s | %7s %7s | %7s %7s\n", "",
+              "mPA%", "mIOU%", "mPA%", "mIOU%", "mPA%", "mIOU%");
+  std::printf("--------------------------------------------------------------\n");
+
+  const std::vector<core::Benchmark> rows = {
+      core::ispd2019(core::Resolution::kLow),
+      core::ispd2019(core::Resolution::kHigh),
+      core::iccad2013(core::Resolution::kLow),
+      core::iccad2013(core::Resolution::kHigh),
+      core::n14(),
+  };
+
+  for (const core::Benchmark& bench : rows) {
+    const core::ContourDataset test = core::test_set(bench);
+    std::printf("%-18s |", bench.display().c_str());
+    for (const std::string& name : {"UNet", "DAMO-DLS", "DOINN"}) {
+      if (name == "DAMO-DLS" && !core::damo_supports(bench)) {
+        std::printf(" %7s %7s |", "-", "-");
+        continue;
+      }
+      bool trained = false;
+      auto model = core::trained_model(name, bench, &trained);
+      const core::SegmentationMetrics m = core::evaluate_model(*model, test);
+      std::printf(" %7.2f %7.2f %s", 100 * m.mpa, 100 * m.miou,
+                  name == "DOINN" ? "" : "|");
+      std::fflush(stdout);
+      (void)trained;
+    }
+    std::printf("\n");
+  }
+  std::printf("\nModel sizes: ");
+  for (const std::string& name : {"UNet", "DAMO-DLS", "DOINN"}) {
+    auto m = core::make_model(name, 42);
+    std::printf("%s %lldk params  ", name.c_str(),
+                static_cast<long long>(m->num_parameters() / 1000));
+  }
+  std::printf("\n(paper: DOINN 1.3M vs DAMO-DLS 18M at full scale — the "
+              "20x size ratio is verified in tests at paper dimensions)\n");
+  return 0;
+}

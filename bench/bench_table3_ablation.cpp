@@ -1,0 +1,44 @@
+// Regenerates paper Table 3: the DOINN component ablation on ICCAD-2013 (L).
+//
+//   1. GP only            (Fourier Unit + transposed-conv upsampling)
+//   2. GP + IR            (adds the four single-stride refinement convs)
+//   3. GP + IR + LP       (adds the convolutional local-perception path)
+//   4. GP + IR + LP + ByPass (full DOINN)
+//
+// Expected shape: each row improves mPA / mIOU over the previous one.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+using namespace litho;
+
+int main() {
+  bench::banner("Table 3: Ablation Study (ICCAD-2013 (L))");
+  std::printf("%2s | %-3s %-3s %-3s %-6s | %7s %7s\n", "ID", "GP", "IR", "LP",
+              "ByPass", "mPA%", "mIOU%");
+  std::printf("---------------------------------------------\n");
+
+  const core::Benchmark bench = core::iccad2013(core::Resolution::kLow);
+  const core::ContourDataset test = core::test_set(bench);
+
+  struct Row {
+    bool ir, lp, bypass;
+  };
+  const Row rows[] = {
+      {false, false, false},
+      {true, false, false},
+      {true, true, false},
+      {true, true, true},
+  };
+  int id = 1;
+  for (const Row& r : rows) {
+    auto model = core::trained_doinn_variant(r.ir, r.lp, r.bypass, bench);
+    const core::SegmentationMetrics m = core::evaluate_model(*model, test);
+    std::printf("%2d | %-3s %-3s %-3s %-6s | %7.2f %7.2f\n", id++, "x",
+                r.ir ? "x" : " ", r.lp ? "x" : " ", r.bypass ? "x" : " ",
+                100 * m.mpa, 100 * m.miou);
+    std::fflush(stdout);
+  }
+  return 0;
+}

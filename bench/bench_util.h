@@ -1,0 +1,26 @@
+// Shared helpers for the benchmark binaries (table formatting, timing).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace litho::bench {
+
+/// Prints the standard header naming the paper artifact being regenerated.
+inline void banner(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Wall-clock seconds spent in @p fn.
+template <typename F>
+double seconds(F&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace litho::bench

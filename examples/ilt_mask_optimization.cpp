@@ -1,0 +1,62 @@
+// Inverse lithography with DOINN (the paper's future-work direction).
+//
+// Takes a via design, uses its golden resist image as the TARGET, and
+// gradient-descends a mask through the trained (frozen) DOINN so the
+// predicted contour matches the target. The golden engine scores the
+// optimized mask against the original design mask.
+//
+// Expected outcome: the ILT mask prints the target at least as faithfully
+// as the OPC'ed input, found purely by gradients through the learned model
+// — no rigorous simulation inside the optimization loop.
+#include <cstdio>
+
+#include "core/experiments.h"
+#include "core/ilt.h"
+#include "io/io.h"
+
+using namespace litho;
+
+int main() {
+  const core::Benchmark bench = core::ispd2019(core::Resolution::kLow);
+  auto model_base = core::trained_model("DOINN", bench);
+  auto* doinn = dynamic_cast<core::Doinn*>(model_base.get());
+
+  const auto& sim = core::simulator_for(bench.pixel_nm());
+  // The design (no OPC) and the wafer target we want to print.
+  Tensor design = core::generate_mask(sim, core::DatasetKind::kViaSparse,
+                                      bench.tile_px(), 515,
+                                      /*opc_iterations=*/0);
+  // Target: what a well-corrected mask would print (golden resist of the
+  // OPC'ed version of the same design).
+  Tensor opc_mask = core::generate_mask(sim, core::DatasetKind::kViaSparse,
+                                        bench.tile_px(), 515,
+                                        /*opc_iterations=*/6);
+  Tensor target = sim.simulate(opc_mask);
+
+  std::printf("running %d ILT iterations through the frozen DOINN...\n", 40);
+  core::IltConfig cfg;
+  const core::IltResult result =
+      core::optimize_mask(*doinn, target, design, cfg);
+  std::printf("objective: %.4f -> %.4f\n", result.loss.front(),
+              result.loss.back());
+
+  // Score with the GOLDEN engine (never used during optimization).
+  const Tensor printed_design = sim.simulate(design);
+  const Tensor printed_ilt = sim.simulate(result.binary_mask);
+  const auto m_design = core::evaluate_contours(printed_design, target);
+  const auto m_ilt = core::evaluate_contours(printed_ilt, target);
+  const auto m_opc = core::evaluate_contours(sim.simulate(opc_mask), target);
+  std::printf("golden-engine verification vs target contour:\n");
+  std::printf("  raw design mask   mIOU %.2f%%\n", 100 * m_design.miou);
+  std::printf("  DOINN-ILT mask    mIOU %.2f%%\n", 100 * m_ilt.miou);
+  std::printf("  edge-based OPC    mIOU %.2f%% (reference flow)\n",
+              100 * m_opc.miou);
+
+  io::ensure_dir("data/ilt");
+  io::write_pgm("data/ilt/design.pgm", design);
+  io::write_pgm("data/ilt/ilt_mask.pgm", result.mask);
+  io::write_pgm("data/ilt/target.pgm", target);
+  io::write_pgm("data/ilt/printed_ilt.pgm", printed_ilt);
+  std::printf("wrote data/ilt/*.pgm\n");
+  return 0;
+}

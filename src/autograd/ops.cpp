@@ -1,0 +1,562 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace litho::ag {
+namespace {
+
+void check_same_shape(const Variable& a, const Variable& b, const char* op) {
+  if (!a.value().same_shape(b.value())) {
+    throw std::invalid_argument(std::string(op) + " shape mismatch: " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+
+struct ConvDims {
+  int64_t n, cin, h, w;       // input
+  int64_t cout, kh, kw;       // kernel
+  int64_t oh, ow;             // output
+};
+
+ConvDims conv_dims(const Variable& x, const Variable& w, int64_t stride,
+                   int64_t padding, bool transposed) {
+  if (x.value().dim() != 4 || w.value().dim() != 4) {
+    throw std::invalid_argument("conv expects 4-D activation and weight");
+  }
+  ConvDims d{};
+  d.n = x.value().size(0);
+  d.cin = x.value().size(1);
+  d.h = x.value().size(2);
+  d.w = x.value().size(3);
+  if (!transposed) {
+    d.cout = w.value().size(0);
+    if (w.value().size(1) != d.cin) {
+      throw std::invalid_argument("conv2d weight Cin mismatch");
+    }
+    d.kh = w.value().size(2);
+    d.kw = w.value().size(3);
+    d.oh = conv_out_size(d.h, d.kh, stride, padding);
+    d.ow = conv_out_size(d.w, d.kw, stride, padding);
+  } else {
+    if (w.value().size(0) != d.cin) {
+      throw std::invalid_argument("conv_transpose2d weight Cin mismatch");
+    }
+    d.cout = w.value().size(1);
+    d.kh = w.value().size(2);
+    d.kw = w.value().size(3);
+    d.oh = (d.h - 1) * stride - 2 * padding + d.kh;
+    d.ow = (d.w - 1) * stride - 2 * padding + d.kw;
+  }
+  if (d.oh <= 0 || d.ow <= 0) {
+    throw std::invalid_argument("conv output size is non-positive");
+  }
+  return d;
+}
+
+}  // namespace
+
+int64_t conv_out_size(int64_t in, int64_t k, int64_t stride, int64_t padding) {
+  return (in + 2 * padding - k) / stride + 1;
+}
+
+Variable add(const Variable& a, const Variable& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a.value().add(b.value());
+  return Variable::make_node(std::move(out), {a, b}, [a, b](const Tensor& g) {
+    a.state()->accumulate(g);
+    b.state()->accumulate(g);
+  });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a.value().sub(b.value());
+  return Variable::make_node(std::move(out), {a, b}, [a, b](const Tensor& g) {
+    a.state()->accumulate(g);
+    Tensor neg = g.mul(-1.f);
+    b.state()->accumulate(neg);
+  });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a.value().mul(b.value());
+  return Variable::make_node(std::move(out), {a, b}, [a, b](const Tensor& g) {
+    if (a.requires_grad()) a.state()->accumulate(g.mul(b.value()));
+    if (b.requires_grad()) b.state()->accumulate(g.mul(a.value()));
+  });
+}
+
+Variable scale(const Variable& a, float s) {
+  Tensor out = a.value().mul(s);
+  return Variable::make_node(std::move(out), {a}, [a, s](const Tensor& g) {
+    a.state()->accumulate(g.mul(s));
+  });
+}
+
+Variable relu(const Variable& x) { return leaky_relu(x, 0.f); }
+
+Variable leaky_relu(const Variable& x, float negative_slope) {
+  Tensor out = x.value().clone();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (out[i] < 0.f) out[i] *= negative_slope;
+  }
+  return Variable::make_node(
+      std::move(out), {x}, [x, negative_slope](const Tensor& g) {
+        Tensor gx = g.clone();
+        const Tensor& v = x.value();
+        for (int64_t i = 0; i < gx.numel(); ++i) {
+          if (v[i] < 0.f) gx[i] *= negative_slope;
+        }
+        x.state()->accumulate(gx);
+      });
+}
+
+Variable tanh(const Variable& x) {
+  Tensor out = x.value().map([](float v) { return std::tanh(v); });
+  // Capture the forward output for the backward pass: d tanh = 1 - tanh^2.
+  Tensor saved = out;
+  return Variable::make_node(std::move(out), {x}, [x, saved](const Tensor& g) {
+    Tensor gx = g.clone();
+    for (int64_t i = 0; i < gx.numel(); ++i) gx[i] *= 1.f - saved[i] * saved[i];
+    x.state()->accumulate(gx);
+  });
+}
+
+Variable sigmoid(const Variable& x) {
+  Tensor out = x.value().map([](float v) { return 1.f / (1.f + std::exp(-v)); });
+  Tensor saved = out;
+  return Variable::make_node(std::move(out), {x}, [x, saved](const Tensor& g) {
+    Tensor gx = g.clone();
+    for (int64_t i = 0; i < gx.numel(); ++i) gx[i] *= saved[i] * (1.f - saved[i]);
+    x.state()->accumulate(gx);
+  });
+}
+
+Variable concat_channels(const std::vector<Variable>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat of zero variables");
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  Tensor out = Tensor::concat(values, 1);
+  std::vector<Variable> parents(parts.begin(), parts.end());
+  return Variable::make_node(std::move(out), parents,
+                             [parts](const Tensor& g) {
+                               int64_t start = 0;
+                               for (const Variable& p : parts) {
+                                 const int64_t len = p.value().size(1);
+                                 if (p.requires_grad()) {
+                                   p.state()->accumulate(
+                                       g.narrow(1, start, len));
+                                 }
+                                 start += len;
+                               }
+                             });
+}
+
+Variable narrow_channels(const Variable& x, int64_t start, int64_t len) {
+  Tensor out = x.value().narrow(1, start, len);
+  return Variable::make_node(
+      std::move(out), {x}, [x, start, len](const Tensor& g) {
+        Tensor gx = Tensor::zeros(x.value().shape());
+        const int64_t n = gx.size(0), c = gx.size(1);
+        const int64_t plane = gx.numel() / (n * c);
+        for (int64_t b = 0; b < n; ++b) {
+          for (int64_t ch = 0; ch < len; ++ch) {
+            const float* src = g.data() + (b * len + ch) * plane;
+            float* dst = gx.data() + (b * c + start + ch) * plane;
+            for (int64_t i = 0; i < plane; ++i) dst[i] = src[i];
+          }
+        }
+        x.state()->accumulate(gx);
+      });
+}
+
+Variable sum(const Variable& x) {
+  Tensor out({1}, x.value().sum());
+  return Variable::make_node(std::move(out), {x}, [x](const Tensor& g) {
+    x.state()->accumulate(Tensor::full(x.value().shape(), g[0]));
+  });
+}
+
+Variable mean(const Variable& x) {
+  const float inv_n = 1.f / static_cast<float>(x.value().numel());
+  Tensor out({1}, x.value().mean());
+  return Variable::make_node(std::move(out), {x}, [x, inv_n](const Tensor& g) {
+    x.state()->accumulate(Tensor::full(x.value().shape(), g[0] * inv_n));
+  });
+}
+
+Variable mse_loss(const Variable& pred, const Tensor& target) {
+  if (!pred.value().same_shape(target)) {
+    throw std::invalid_argument("mse_loss shape mismatch");
+  }
+  const int64_t n = pred.value().numel();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = pred.value()[i] - target[i];
+    acc += d * d;
+  }
+  Tensor out({1}, static_cast<float>(acc / static_cast<double>(n)));
+  return Variable::make_node(
+      std::move(out), {pred}, [pred, target, n](const Tensor& g) {
+        Tensor gx(pred.value().shape());
+        const float c = 2.f * g[0] / static_cast<float>(n);
+        for (int64_t i = 0; i < n; ++i) {
+          gx[i] = c * (pred.value()[i] - target[i]);
+        }
+        pred.state()->accumulate(gx);
+      });
+}
+
+void im2col(const float* x, int64_t c, int64_t h, int64_t w, int64_t k,
+            int64_t stride, int64_t padding, float* col) {
+  const int64_t oh = conv_out_size(h, k, stride, padding);
+  const int64_t ow = conv_out_size(w, k, stride, padding);
+  const int64_t l = oh * ow;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t ki = 0; ki < k; ++ki) {
+      for (int64_t kj = 0; kj < k; ++kj) {
+        float* dst = col + ((ch * k + ki) * k + kj) * l;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * stride + ki - padding;
+          if (iy < 0 || iy >= h) {
+            for (int64_t ox = 0; ox < ow; ++ox) dst[oy * ow + ox] = 0.f;
+            continue;
+          }
+          const float* src_row = x + (ch * h + iy) * w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * stride + kj - padding;
+            dst[oy * ow + ox] = (ix >= 0 && ix < w) ? src_row[ix] : 0.f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, int64_t c, int64_t h, int64_t w, int64_t k,
+            int64_t stride, int64_t padding, float* x) {
+  const int64_t oh = conv_out_size(h, k, stride, padding);
+  const int64_t ow = conv_out_size(w, k, stride, padding);
+  const int64_t l = oh * ow;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t ki = 0; ki < k; ++ki) {
+      for (int64_t kj = 0; kj < k; ++kj) {
+        const float* src = col + ((ch * k + ki) * k + kj) * l;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * stride + ki - padding;
+          if (iy < 0 || iy >= h) continue;
+          float* dst_row = x + (ch * h + iy) * w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * stride + kj - padding;
+            if (ix >= 0 && ix < w) dst_row[ix] += src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
+                int64_t stride, int64_t padding) {
+  const ConvDims d = conv_dims(x, w, stride, padding, /*transposed=*/false);
+  const bool has_bias = b.defined();
+  if (has_bias && (b.value().dim() != 1 || b.value().size(0) != d.cout)) {
+    throw std::invalid_argument("conv2d bias shape mismatch");
+  }
+  const int64_t ckk = d.cin * d.kh * d.kw;
+  const int64_t l = d.oh * d.ow;
+  Tensor out({d.n, d.cout, d.oh, d.ow});
+  std::vector<float> col(static_cast<size_t>(ckk * l));
+  for (int64_t n = 0; n < d.n; ++n) {
+    im2col(x.value().data() + n * d.cin * d.h * d.w, d.cin, d.h, d.w, d.kh,
+           stride, padding, col.data());
+    gemm(w.value().data(), col.data(), out.data() + n * d.cout * l, d.cout,
+         ckk, l);
+  }
+  if (has_bias) {
+    for (int64_t n = 0; n < d.n; ++n) {
+      for (int64_t c = 0; c < d.cout; ++c) {
+        float* p = out.data() + (n * d.cout + c) * l;
+        const float bias = b.value()[c];
+        for (int64_t i = 0; i < l; ++i) p[i] += bias;
+      }
+    }
+  }
+
+  std::vector<Variable> parents = {x, w};
+  if (has_bias) parents.push_back(b);
+  return Variable::make_node(
+      std::move(out), std::move(parents),
+      [x, w, b, has_bias, d, stride, padding, ckk, l](const Tensor& g) {
+        Tensor gx, gw;
+        const bool need_x = x.requires_grad();
+        const bool need_w = w.requires_grad();
+        if (need_x) gx = Tensor::zeros(x.value().shape());
+        if (need_w) gw = Tensor::zeros(w.value().shape());
+        std::vector<float> col(static_cast<size_t>(ckk * l));
+        std::vector<float> gcol(static_cast<size_t>(ckk * l));
+        for (int64_t n = 0; n < d.n; ++n) {
+          const float* gout = g.data() + n * d.cout * l;
+          if (need_w) {
+            im2col(x.value().data() + n * d.cin * d.h * d.w, d.cin, d.h, d.w,
+                   d.kh, stride, padding, col.data());
+            // gw (Cout x CKK) += gout (Cout x L) * col^T (L x CKK).
+            gemm_a_bt(gout, col.data(), gcol.data(), d.cout, l, ckk);
+            float* gwp = gw.data();
+            for (int64_t i = 0; i < d.cout * ckk; ++i) gwp[i] += gcol[i];
+          }
+          if (need_x) {
+            // gcol (CKK x L) = w^T (CKK x Cout) * gout (Cout x L).
+            gemm_at_b(w.value().data(), gout, gcol.data(), ckk, d.cout, l);
+            col2im(gcol.data(), d.cin, d.h, d.w, d.kh, stride, padding,
+                   gx.data() + n * d.cin * d.h * d.w);
+          }
+        }
+        if (need_x) x.state()->accumulate(gx);
+        if (need_w) w.state()->accumulate(gw);
+        if (has_bias && b.requires_grad()) {
+          Tensor gb = Tensor::zeros({d.cout});
+          for (int64_t n = 0; n < d.n; ++n) {
+            for (int64_t c = 0; c < d.cout; ++c) {
+              const float* p = g.data() + (n * d.cout + c) * l;
+              double acc = 0.0;
+              for (int64_t i = 0; i < l; ++i) acc += p[i];
+              gb[c] += static_cast<float>(acc);
+            }
+          }
+          b.state()->accumulate(gb);
+        }
+      });
+}
+
+Variable conv_transpose2d(const Variable& x, const Variable& w,
+                          const Variable& b, int64_t stride, int64_t padding) {
+  const ConvDims d = conv_dims(x, w, stride, padding, /*transposed=*/true);
+  const bool has_bias = b.defined();
+  if (has_bias && (b.value().dim() != 1 || b.value().size(0) != d.cout)) {
+    throw std::invalid_argument("conv_transpose2d bias shape mismatch");
+  }
+  // Forward of conv-transpose == input-gradient of a conv whose input is the
+  // output here: columns = W^T(CoutKK x Cin) * x_flat(Cin x hw), scattered by
+  // col2im into the (oh, ow) output plane.
+  const int64_t ckk = d.cout * d.kh * d.kw;
+  const int64_t l = d.h * d.w;  // input spatial size acts as column count
+  Tensor out({d.n, d.cout, d.oh, d.ow});
+  std::vector<float> col(static_cast<size_t>(ckk * l));
+  for (int64_t n = 0; n < d.n; ++n) {
+    // w viewed as (Cin x CoutKK); x sample viewed as (Cin x hw).
+    gemm_at_b(w.value().data(), x.value().data() + n * d.cin * l, col.data(),
+              ckk, d.cin, l);
+    col2im(col.data(), d.cout, d.oh, d.ow, d.kh, stride, padding,
+           out.data() + n * d.cout * d.oh * d.ow);
+  }
+  if (has_bias) {
+    const int64_t plane = d.oh * d.ow;
+    for (int64_t n = 0; n < d.n; ++n) {
+      for (int64_t c = 0; c < d.cout; ++c) {
+        float* p = out.data() + (n * d.cout + c) * plane;
+        const float bias = b.value()[c];
+        for (int64_t i = 0; i < plane; ++i) p[i] += bias;
+      }
+    }
+  }
+
+  std::vector<Variable> parents = {x, w};
+  if (has_bias) parents.push_back(b);
+  return Variable::make_node(
+      std::move(out), std::move(parents),
+      [x, w, b, has_bias, d, stride, padding, ckk, l](const Tensor& g) {
+        const bool need_x = x.requires_grad();
+        const bool need_w = w.requires_grad();
+        Tensor gx, gw;
+        if (need_x) gx = Tensor::zeros(x.value().shape());
+        if (need_w) gw = Tensor::zeros(w.value().shape());
+        std::vector<float> gcol(static_cast<size_t>(ckk * l));
+        std::vector<float> tmp(static_cast<size_t>(
+            std::max(d.cin * ckk, d.cin * l)));
+        for (int64_t n = 0; n < d.n; ++n) {
+          // Backward mirrors conv2d forward: gcol = im2col(gout).
+          im2col(g.data() + n * d.cout * d.oh * d.ow, d.cout, d.oh, d.ow, d.kh,
+                 stride, padding, gcol.data());
+          if (need_x) {
+            // gx (Cin x hw) = w(Cin x CoutKK) * gcol(CoutKK x hw).
+            gemm(w.value().data(), gcol.data(), tmp.data(), d.cin, ckk, l);
+            float* gxp = gx.data() + n * d.cin * l;
+            for (int64_t i = 0; i < d.cin * l; ++i) gxp[i] += tmp[i];
+          }
+          if (need_w) {
+            // gw (Cin x CoutKK) += x_flat(Cin x hw) * gcol^T(hw x CoutKK).
+            gemm_a_bt(x.value().data() + n * d.cin * l, gcol.data(), tmp.data(),
+                      d.cin, l, ckk);
+            float* gwp = gw.data();
+            for (int64_t i = 0; i < d.cin * ckk; ++i) gwp[i] += tmp[i];
+          }
+        }
+        if (need_x) x.state()->accumulate(gx);
+        if (need_w) w.state()->accumulate(gw);
+        if (has_bias && b.requires_grad()) {
+          Tensor gb = Tensor::zeros({d.cout});
+          const int64_t plane = d.oh * d.ow;
+          for (int64_t n = 0; n < d.n; ++n) {
+            for (int64_t c = 0; c < d.cout; ++c) {
+              const float* p = g.data() + (n * d.cout + c) * plane;
+              double acc = 0.0;
+              for (int64_t i = 0; i < plane; ++i) acc += p[i];
+              gb[c] += static_cast<float>(acc);
+            }
+          }
+          b.state()->accumulate(gb);
+        }
+      });
+}
+
+Variable avg_pool2d(const Variable& x, int64_t k) {
+  if (x.value().dim() != 4) throw std::invalid_argument("avg_pool2d 4-D only");
+  const int64_t n = x.value().size(0), c = x.value().size(1);
+  const int64_t h = x.value().size(2), w = x.value().size(3);
+  if (h % k != 0 || w % k != 0) {
+    throw std::invalid_argument("avg_pool2d requires extents divisible by k");
+  }
+  const int64_t oh = h / k, ow = w / k;
+  Tensor out({n, c, oh, ow});
+  const float inv = 1.f / static_cast<float>(k * k);
+  for (int64_t nc = 0; nc < n * c; ++nc) {
+    const float* src = x.value().data() + nc * h * w;
+    float* dst = out.data() + nc * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.f;
+        for (int64_t ky = 0; ky < k; ++ky) {
+          const float* row = src + (oy * k + ky) * w + ox * k;
+          for (int64_t kx = 0; kx < k; ++kx) acc += row[kx];
+        }
+        dst[oy * ow + ox] = acc * inv;
+      }
+    }
+  }
+  return Variable::make_node(
+      std::move(out), {x}, [x, n, c, h, w, k, oh, ow, inv](const Tensor& g) {
+        Tensor gx({n, c, h, w});
+        for (int64_t nc = 0; nc < n * c; ++nc) {
+          const float* src = g.data() + nc * oh * ow;
+          float* dst = gx.data() + nc * h * w;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              const float v = src[oy * ow + ox] * inv;
+              for (int64_t ky = 0; ky < k; ++ky) {
+                float* row = dst + (oy * k + ky) * w + ox * k;
+                for (int64_t kx = 0; kx < k; ++kx) row[kx] += v;
+              }
+            }
+          }
+        }
+        x.state()->accumulate(gx);
+      });
+}
+
+Variable batch_norm2d(const Variable& x, const Variable& gamma,
+                      const Variable& beta, Tensor& running_mean,
+                      Tensor& running_var, bool training, float momentum,
+                      float eps) {
+  if (x.value().dim() != 4) throw std::invalid_argument("batch_norm2d 4-D only");
+  const int64_t n = x.value().size(0), c = x.value().size(1);
+  const int64_t plane = x.value().size(2) * x.value().size(3);
+  const int64_t m = n * plane;  // elements per channel
+
+  Tensor mean_t({c}), var_t({c});
+  if (training) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      double s = 0.0, s2 = 0.0;
+      for (int64_t b = 0; b < n; ++b) {
+        const float* p = x.value().data() + (b * c + ch) * plane;
+        for (int64_t i = 0; i < plane; ++i) {
+          s += p[i];
+          s2 += static_cast<double>(p[i]) * p[i];
+        }
+      }
+      const double mu = s / m;
+      mean_t[ch] = static_cast<float>(mu);
+      var_t[ch] = static_cast<float>(s2 / m - mu * mu);
+    }
+    for (int64_t ch = 0; ch < c; ++ch) {
+      running_mean[ch] =
+          (1.f - momentum) * running_mean[ch] + momentum * mean_t[ch];
+      running_var[ch] =
+          (1.f - momentum) * running_var[ch] + momentum * var_t[ch];
+    }
+  } else {
+    mean_t = running_mean.clone();
+    var_t = running_var.clone();
+  }
+
+  Tensor inv_std({c});
+  for (int64_t ch = 0; ch < c; ++ch) {
+    inv_std[ch] = 1.f / std::sqrt(var_t[ch] + eps);
+  }
+  Tensor xhat(x.value().shape());
+  Tensor out(x.value().shape());
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* p = x.value().data() + (b * c + ch) * plane;
+      float* xh = xhat.data() + (b * c + ch) * plane;
+      float* o = out.data() + (b * c + ch) * plane;
+      const float mu = mean_t[ch], is = inv_std[ch];
+      const float ga = gamma.value()[ch], be = beta.value()[ch];
+      for (int64_t i = 0; i < plane; ++i) {
+        xh[i] = (p[i] - mu) * is;
+        o[i] = ga * xh[i] + be;
+      }
+    }
+  }
+
+  return Variable::make_node(
+      std::move(out), {x, gamma, beta},
+      [x, gamma, beta, xhat, inv_std, training, n, c, plane,
+       m](const Tensor& g) {
+        // Per-channel reductions of the cotangent.
+        Tensor sum_g({c}), sum_gx({c});
+        for (int64_t ch = 0; ch < c; ++ch) {
+          double sg = 0.0, sgx = 0.0;
+          for (int64_t b = 0; b < n; ++b) {
+            const float* gp = g.data() + (b * c + ch) * plane;
+            const float* xh = xhat.data() + (b * c + ch) * plane;
+            for (int64_t i = 0; i < plane; ++i) {
+              sg += gp[i];
+              sgx += static_cast<double>(gp[i]) * xh[i];
+            }
+          }
+          sum_g[ch] = static_cast<float>(sg);
+          sum_gx[ch] = static_cast<float>(sgx);
+        }
+        if (gamma.requires_grad()) gamma.state()->accumulate(sum_gx);
+        if (beta.requires_grad()) beta.state()->accumulate(sum_g);
+        if (x.requires_grad()) {
+          Tensor gx(x.value().shape());
+          const float inv_m = 1.f / static_cast<float>(m);
+          for (int64_t b = 0; b < n; ++b) {
+            for (int64_t ch = 0; ch < c; ++ch) {
+              const float* gp = g.data() + (b * c + ch) * plane;
+              const float* xh = xhat.data() + (b * c + ch) * plane;
+              float* gxp = gx.data() + (b * c + ch) * plane;
+              const float k = gamma.value()[ch] * inv_std[ch];
+              if (training) {
+                const float mg = sum_g[ch] * inv_m;
+                const float mgx = sum_gx[ch] * inv_m;
+                for (int64_t i = 0; i < plane; ++i) {
+                  gxp[i] = k * (gp[i] - mg - xh[i] * mgx);
+                }
+              } else {
+                for (int64_t i = 0; i < plane; ++i) gxp[i] = k * gp[i];
+              }
+            }
+          }
+          x.state()->accumulate(gx);
+        }
+      });
+}
+
+}  // namespace litho::ag

@@ -1,0 +1,84 @@
+// Differentiable operations on Variables.
+//
+// Layout conventions follow PyTorch:
+//   activations            [N, C, H, W]
+//   conv weight            [Cout, Cin, kh, kw]
+//   conv-transpose weight  [Cin, Cout, kh, kw]
+//   batchnorm params       [C]
+//
+// Every op returns a fresh Variable whose backward closure accumulates into
+// its parents. Gradients of each op are covered by numeric gradcheck tests.
+#pragma once
+
+#include "autograd/variable.h"
+
+namespace litho::ag {
+
+// -- Elementwise / structural -------------------------------------------------
+
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);
+Variable scale(const Variable& a, float s);
+
+Variable relu(const Variable& x);
+Variable leaky_relu(const Variable& x, float negative_slope);
+Variable tanh(const Variable& x);
+Variable sigmoid(const Variable& x);
+
+/// Concatenates along the channel dimension (dim 1 of NCHW).
+Variable concat_channels(const std::vector<Variable>& parts);
+
+/// Copy of channels [start, start+len) (dim 1 of NCHW).
+Variable narrow_channels(const Variable& x, int64_t start, int64_t len);
+
+/// Sum of all elements as a scalar (shape [1]) variable.
+Variable sum(const Variable& x);
+
+/// Mean of all elements as a scalar variable.
+Variable mean(const Variable& x);
+
+// -- Losses -------------------------------------------------------------------
+
+/// Mean squared error between prediction and (constant) target.
+Variable mse_loss(const Variable& pred, const Tensor& target);
+
+// -- Convolutional ops ---------------------------------------------------------
+
+/// 2-D convolution; x [N,Cin,H,W], w [Cout,Cin,kh,kw], optional bias [Cout].
+/// Pass an undefined (default-constructed, numel()==0) Variable to skip bias.
+Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
+                int64_t stride, int64_t padding);
+
+/// 2-D transposed convolution; x [N,Cin,h,w], w [Cin,Cout,kh,kw].
+/// Output spatial extent: (h-1)*stride - 2*padding + kh.
+Variable conv_transpose2d(const Variable& x, const Variable& w,
+                          const Variable& b, int64_t stride, int64_t padding);
+
+/// Average pooling with square kernel k and stride k (paper GP pool /8).
+Variable avg_pool2d(const Variable& x, int64_t k);
+
+/// Batch normalization over (N, H, W) per channel.
+/// In training mode batch statistics are used and @p running_mean /
+/// @p running_var (plain tensors owned by the module) are updated with
+/// @p momentum. In eval mode running statistics are used.
+Variable batch_norm2d(const Variable& x, const Variable& gamma,
+                      const Variable& beta, Tensor& running_mean,
+                      Tensor& running_var, bool training, float momentum,
+                      float eps);
+
+// -- im2col helpers (exposed for tests and the optics engine) ------------------
+
+/// Unfolds one sample plane [C,H,W] into columns [C*k*k, L] with the given
+/// stride/padding; L = out_h*out_w.
+void im2col(const float* x, int64_t c, int64_t h, int64_t w, int64_t k,
+            int64_t stride, int64_t padding, float* col);
+
+/// Adjoint of im2col: scatters columns back into (accumulates onto) x.
+void col2im(const float* col, int64_t c, int64_t h, int64_t w, int64_t k,
+            int64_t stride, int64_t padding, float* x);
+
+/// Output spatial extent of a convolution along one axis.
+int64_t conv_out_size(int64_t in, int64_t k, int64_t stride, int64_t padding);
+
+}  // namespace litho::ag

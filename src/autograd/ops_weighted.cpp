@@ -1,0 +1,30 @@
+#include "autograd/ops_weighted.h"
+
+#include <stdexcept>
+
+namespace litho::ag {
+
+Variable weighted_mse_loss(const Variable& pred, const Tensor& target,
+                           const Tensor& weights) {
+  if (!pred.value().same_shape(target) || !pred.value().same_shape(weights)) {
+    throw std::invalid_argument("weighted_mse_loss shape mismatch");
+  }
+  const int64_t n = pred.value().numel();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = pred.value()[i] - target[i];
+    acc += weights[i] * d * d;
+  }
+  Tensor out({1}, static_cast<float>(acc / static_cast<double>(n)));
+  return Variable::make_node(
+      std::move(out), {pred}, [pred, target, weights, n](const Tensor& g) {
+        Tensor gx(pred.value().shape());
+        const float c = 2.f * g[0] / static_cast<float>(n);
+        for (int64_t i = 0; i < n; ++i) {
+          gx[i] = c * weights[i] * (pred.value()[i] - target[i]);
+        }
+        pred.state()->accumulate(gx);
+      });
+}
+
+}  // namespace litho::ag

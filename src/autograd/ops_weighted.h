@@ -1,0 +1,12 @@
+// Weighted MSE loss (see core::TrainConfig::fg_weight).
+#pragma once
+
+#include "autograd/variable.h"
+
+namespace litho::ag {
+
+/// Mean of weights[i] * (pred[i] - target[i])^2. Weights are constants.
+Variable weighted_mse_loss(const Variable& pred, const Tensor& target,
+                           const Tensor& weights);
+
+}  // namespace litho::ag

@@ -1,0 +1,280 @@
+#include "autograd/spectral.h"
+
+#include <stdexcept>
+
+namespace litho::ag {
+namespace {
+
+using litho::fft::CTensor;
+
+struct Dims2 {
+  int64_t batch, h, w;
+};
+
+Dims2 last_two(const Shape& s) {
+  if (s.size() < 2) throw std::invalid_argument("spectral op needs rank >= 2");
+  Dims2 d{1, s[s.size() - 2], s[s.size() - 1]};
+  for (size_t i = 0; i + 2 < s.size(); ++i) d.batch *= s[i];
+  return d;
+}
+
+// Copies the (kh x kw) top-left window of each trailing 2-D slice.
+Tensor narrow2d(const Tensor& x, int64_t kh, int64_t kw) {
+  const Dims2 d = last_two(x.shape());
+  if (kh > d.h || kw > d.w) throw std::invalid_argument("narrow2d window");
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 2] = kh;
+  out_shape[out_shape.size() - 1] = kw;
+  Tensor out(out_shape);
+  for (int64_t b = 0; b < d.batch; ++b) {
+    const float* src = x.data() + b * d.h * d.w;
+    float* dst = out.data() + b * kh * kw;
+    for (int64_t r = 0; r < kh; ++r) {
+      for (int64_t c = 0; c < kw; ++c) dst[r * kw + c] = src[r * d.w + c];
+    }
+  }
+  return out;
+}
+
+// Zero-pads each trailing 2-D slice to (h x w), input at top-left.
+Tensor pad2d(const Tensor& x, int64_t h, int64_t w) {
+  const Dims2 d = last_two(x.shape());
+  if (h < d.h || w < d.w) throw std::invalid_argument("pad2d target");
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 2] = h;
+  out_shape[out_shape.size() - 1] = w;
+  Tensor out(out_shape);  // zero-initialized
+  for (int64_t b = 0; b < d.batch; ++b) {
+    const float* src = x.data() + b * d.h * d.w;
+    float* dst = out.data() + b * h * w;
+    for (int64_t r = 0; r < d.h; ++r) {
+      for (int64_t c = 0; c < d.w; ++c) dst[r * w + c] = src[r * d.w + c];
+    }
+  }
+  return out;
+}
+
+Variable narrow2d_var(const Variable& x, int64_t kh, int64_t kw) {
+  const Dims2 d = last_two(x.shape());
+  Tensor out = narrow2d(x.value(), kh, kw);
+  const int64_t h = d.h, w = d.w;
+  return Variable::make_node(std::move(out), {x},
+                             [x, h, w](const Tensor& g) {
+                               x.state()->accumulate(pad2d(g, h, w));
+                             });
+}
+
+Variable pad2d_var(const Variable& x, int64_t h, int64_t w) {
+  const Dims2 d = last_two(x.shape());
+  Tensor out = pad2d(x.value(), h, w);
+  const int64_t kh = d.h, kw = d.w;
+  return Variable::make_node(std::move(out), {x},
+                             [x, kh, kw](const Tensor& g) {
+                               x.state()->accumulate(narrow2d(g, kh, kw));
+                             });
+}
+
+}  // namespace
+
+CVariable rfft2v(const Variable& x) {
+  const Dims2 d = last_two(x.shape());
+  const int64_t w = d.w;
+  CTensor spec = litho::fft::rfft2(x.value());
+  Variable re = Variable::make_node(
+      spec.re, {x}, [x, w](const Tensor& g) {
+        CTensor cot(g.clone(), Tensor(g.shape()));
+        x.state()->accumulate(litho::fft::rfft2_adjoint(cot, w));
+      });
+  Variable im = Variable::make_node(
+      spec.im, {x}, [x, w](const Tensor& g) {
+        CTensor cot(Tensor(g.shape()), g.clone());
+        x.state()->accumulate(litho::fft::rfft2_adjoint(cot, w));
+      });
+  return {re, im};
+}
+
+Variable irfft2v(const CVariable& x, int64_t w) {
+  CTensor spec(x.re.value(), x.im.value());
+  Tensor out = litho::fft::irfft2(spec, w);
+  Variable vre = x.re, vim = x.im;
+  return Variable::make_node(
+      std::move(out), {vre, vim}, [vre, vim](const Tensor& g) {
+        CTensor cot = litho::fft::irfft2_adjoint(g);
+        if (vre.requires_grad()) vre.state()->accumulate(cot.re);
+        if (vim.requires_grad()) vim.state()->accumulate(cot.im);
+      });
+}
+
+CVariable ctruncate(const CVariable& x, int64_t kh, int64_t kw) {
+  return {narrow2d_var(x.re, kh, kw), narrow2d_var(x.im, kh, kw)};
+}
+
+CVariable cpad(const CVariable& x, int64_t h, int64_t wh) {
+  return {pad2d_var(x.re, h, wh), pad2d_var(x.im, h, wh)};
+}
+
+namespace {
+
+struct LiftDims {
+  int64_t b, i, o, xy;
+};
+
+// Shared backward math for clift (per-mode == false) and cmode_matmul
+// (per-mode == true). Complex product z = w * v gives, with cotangent g:
+//   grad_v = g * conj(w),  grad_w = g * conj(v)   (summed over o / b resp.)
+void complex_contract_backward(const Tensor& g_re, const Tensor& g_im,
+                               const Variable& vre, const Variable& vim,
+                               const Variable& wre, const Variable& wim,
+                               const LiftDims& d, bool per_mode) {
+  const bool need_v = vre.requires_grad() || vim.requires_grad();
+  const bool need_w = wre.requires_grad() || wim.requires_grad();
+  Tensor gvre, gvim, gwre, gwim;
+  if (need_v) {
+    gvre = Tensor::zeros(vre.value().shape());
+    gvim = Tensor::zeros(vim.value().shape());
+  }
+  if (need_w) {
+    gwre = Tensor::zeros(wre.value().shape());
+    gwim = Tensor::zeros(wim.value().shape());
+  }
+  for (int64_t b = 0; b < d.b; ++b) {
+    for (int64_t o = 0; o < d.o; ++o) {
+      const float* gr = g_re.data() + (b * d.o + o) * d.xy;
+      const float* gi = g_im.data() + (b * d.o + o) * d.xy;
+      for (int64_t i = 0; i < d.i; ++i) {
+        const float* vr = vre.value().data() + (b * d.i + i) * d.xy;
+        const float* vi = vim.value().data() + (b * d.i + i) * d.xy;
+        if (per_mode) {
+          const float* wr = wre.value().data() + (i * d.o + o) * d.xy;
+          const float* wi = wim.value().data() + (i * d.o + o) * d.xy;
+          if (need_v) {
+            float* dvr = gvre.data() + (b * d.i + i) * d.xy;
+            float* dvi = gvim.data() + (b * d.i + i) * d.xy;
+            for (int64_t p = 0; p < d.xy; ++p) {
+              dvr[p] += gr[p] * wr[p] + gi[p] * wi[p];
+              dvi[p] += gi[p] * wr[p] - gr[p] * wi[p];
+            }
+          }
+          if (need_w) {
+            float* dwr = gwre.data() + (i * d.o + o) * d.xy;
+            float* dwi = gwim.data() + (i * d.o + o) * d.xy;
+            for (int64_t p = 0; p < d.xy; ++p) {
+              dwr[p] += gr[p] * vr[p] + gi[p] * vi[p];
+              dwi[p] += gi[p] * vr[p] - gr[p] * vi[p];
+            }
+          }
+        } else {
+          const float wr = wre.value()[i * d.o + o];
+          const float wi = wim.value()[i * d.o + o];
+          if (need_v) {
+            float* dvr = gvre.data() + (b * d.i + i) * d.xy;
+            float* dvi = gvim.data() + (b * d.i + i) * d.xy;
+            for (int64_t p = 0; p < d.xy; ++p) {
+              dvr[p] += gr[p] * wr + gi[p] * wi;
+              dvi[p] += gi[p] * wr - gr[p] * wi;
+            }
+          }
+          if (need_w) {
+            double awr = 0.0, awi = 0.0;
+            for (int64_t p = 0; p < d.xy; ++p) {
+              awr += static_cast<double>(gr[p]) * vr[p] +
+                     static_cast<double>(gi[p]) * vi[p];
+              awi += static_cast<double>(gi[p]) * vr[p] -
+                     static_cast<double>(gr[p]) * vi[p];
+            }
+            gwre[i * d.o + o] += static_cast<float>(awr);
+            gwim[i * d.o + o] += static_cast<float>(awi);
+          }
+        }
+      }
+    }
+  }
+  if (need_v) {
+    vre.state()->accumulate(gvre);
+    vim.state()->accumulate(gvim);
+  }
+  if (need_w) {
+    wre.state()->accumulate(gwre);
+    wim.state()->accumulate(gwim);
+  }
+}
+
+CVariable complex_contract(const CVariable& v, const CVariable& w,
+                           bool per_mode) {
+  const Shape& vs = v.re.shape();
+  const Shape& ws = w.re.shape();
+  if (vs.size() != 4) throw std::invalid_argument("complex contract: v rank");
+  LiftDims d{};
+  d.b = vs[0];
+  d.i = vs[1];
+  d.xy = vs[2] * vs[3];
+  if (per_mode) {
+    if (ws.size() != 4 || ws[0] != d.i || ws[2] != vs[2] || ws[3] != vs[3]) {
+      throw std::invalid_argument("cmode_matmul weight shape mismatch");
+    }
+    d.o = ws[1];
+  } else {
+    if (ws.size() != 2 || ws[0] != d.i) {
+      throw std::invalid_argument("clift weight shape mismatch");
+    }
+    d.o = ws[1];
+  }
+
+  Shape out_shape = {d.b, d.o, vs[2], vs[3]};
+  Tensor out_re(out_shape), out_im(out_shape);
+  for (int64_t b = 0; b < d.b; ++b) {
+    for (int64_t o = 0; o < d.o; ++o) {
+      float* zr = out_re.data() + (b * d.o + o) * d.xy;
+      float* zi = out_im.data() + (b * d.o + o) * d.xy;
+      for (int64_t i = 0; i < d.i; ++i) {
+        const float* vr = v.re.value().data() + (b * d.i + i) * d.xy;
+        const float* vi = v.im.value().data() + (b * d.i + i) * d.xy;
+        if (per_mode) {
+          const float* wr = w.re.value().data() + (i * d.o + o) * d.xy;
+          const float* wi = w.im.value().data() + (i * d.o + o) * d.xy;
+          for (int64_t p = 0; p < d.xy; ++p) {
+            zr[p] += vr[p] * wr[p] - vi[p] * wi[p];
+            zi[p] += vr[p] * wi[p] + vi[p] * wr[p];
+          }
+        } else {
+          const float wr = w.re.value()[i * d.o + o];
+          const float wi = w.im.value()[i * d.o + o];
+          for (int64_t p = 0; p < d.xy; ++p) {
+            zr[p] += vr[p] * wr - vi[p] * wi;
+            zi[p] += vr[p] * wi + vi[p] * wr;
+          }
+        }
+      }
+    }
+  }
+
+  const Variable vre = v.re, vim = v.im, wre = w.re, wim = w.im;
+  // Both output components share the four parents; each backward call
+  // contributes its half of the cotangent (g_re from the re node, g_im from
+  // the im node) by zeroing the other component.
+  Variable re = Variable::make_node(
+      std::move(out_re), {vre, vim, wre, wim},
+      [vre, vim, wre, wim, d, per_mode](const Tensor& g) {
+        complex_contract_backward(g, Tensor::zeros(g.shape()), vre, vim, wre,
+                                  wim, d, per_mode);
+      });
+  Variable im = Variable::make_node(
+      std::move(out_im), {vre, vim, wre, wim},
+      [vre, vim, wre, wim, d, per_mode](const Tensor& g) {
+        complex_contract_backward(Tensor::zeros(g.shape()), g, vre, vim, wre,
+                                  wim, d, per_mode);
+      });
+  return {re, im};
+}
+
+}  // namespace
+
+CVariable clift(const CVariable& v, const CVariable& w) {
+  return complex_contract(v, w, /*per_mode=*/false);
+}
+
+CVariable cmode_matmul(const CVariable& v, const CVariable& w) {
+  return complex_contract(v, w, /*per_mode=*/true);
+}
+
+}  // namespace litho::ag

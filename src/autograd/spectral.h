@@ -1,0 +1,37 @@
+// Differentiable spectral operations for the optimized Fourier Unit
+// (paper eq. (11)) and the baseline FNO Fourier layer (eq. (10)).
+//
+// Complex activations and weights are (re, im) Variable pairs (CVariable);
+// gradients flow through real components, with FFT adjoints provided by
+// litho::fft and verified against the adjoint identity in tests.
+#pragma once
+
+#include "autograd/variable.h"
+#include "fft/fft.h"
+
+namespace litho::ag {
+
+/// Real 2-D FFT over the last two dims: [..., H, W] -> complex
+/// [..., H, W/2+1] (torch.fft.rfft2, norm="backward").
+CVariable rfft2v(const Variable& x);
+
+/// Inverse of rfft2v; @p w is the real output width.
+Variable irfft2v(const CVariable& x, int64_t w);
+
+/// Keeps the kh x kw lowest-frequency corner of the half spectrum
+/// (rows [0,kh), cols [0,kw)) — the paper's "first 50x50 coefficients".
+CVariable ctruncate(const CVariable& x, int64_t kh, int64_t kw);
+
+/// Zero-pads the last two dims back to (h, wh) with the input at the
+/// top-left corner; inverse of ctruncate.
+CVariable cpad(const CVariable& x, int64_t h, int64_t wh);
+
+/// Complex channel lift (the paper's LiftChannel): v [B,I,X,Y] complex,
+/// w [I,O] complex, out[b,o,x,y] = sum_i w[i,o] * v[b,i,x,y].
+CVariable clift(const CVariable& v, const CVariable& w);
+
+/// Complex per-mode matmul (the paper's MatMul,
+/// torch.einsum("bixy,ioxy->boxy")): v [B,I,X,Y], w [I,O,X,Y] complex.
+CVariable cmode_matmul(const CVariable& v, const CVariable& w);
+
+}  // namespace litho::ag

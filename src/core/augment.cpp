@@ -1,0 +1,52 @@
+#include "core/augment.h"
+
+#include <stdexcept>
+
+namespace litho::core {
+
+Tensor dihedral(const Tensor& image, int k) {
+  if (image.dim() != 2 || image.size(0) != image.size(1)) {
+    throw std::invalid_argument("dihedral: square 2-D tensor required");
+  }
+  if (k < 0 || k >= 8) throw std::invalid_argument("dihedral: k in [0,8)");
+  const int64_t n = image.size(0);
+  Tensor out({n, n});
+  const bool flip = k >= 4;
+  const int rot = k % 4;
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < n; ++c) {
+      int64_t sr = r, sc = flip ? n - 1 - c : c;
+      // Inverse rotation by rot*90 degrees maps output coords to source.
+      for (int i = 0; i < rot; ++i) {
+        const int64_t t = sr;
+        sr = n - 1 - sc;
+        sc = t;
+      }
+      out[r * n + c] = image[sr * n + sc];
+    }
+  }
+  return out;
+}
+
+int inverse_dihedral(int k) {
+  if (k < 0 || k >= 8) throw std::invalid_argument("inverse_dihedral");
+  if (k < 4) return (4 - k) % 4;  // rotations invert to the opposite rotation
+  return k;                       // reflections are involutions
+}
+
+ContourDataset augment_dataset(const ContourDataset& data,
+                               const std::vector<int>& ks) {
+  ContourDataset out;
+  out.masks.reserve(data.masks.size() * ks.size());
+  out.resists.reserve(data.resists.size() * ks.size());
+  for (int64_t i = 0; i < data.size(); ++i) {
+    for (const int k : ks) {
+      out.masks.push_back(dihedral(data.masks[static_cast<size_t>(i)], k));
+      out.resists.push_back(
+          dihedral(data.resists[static_cast<size_t>(i)], k));
+    }
+  }
+  return out;
+}
+
+}  // namespace litho::core

@@ -1,0 +1,28 @@
+// Dihedral-group data augmentation for contour datasets. Lithography under
+// a symmetric (circular/annular) source is equivariant under the 8
+// symmetries of the square, so flips/rotations of a (mask, resist) pair are
+// valid training samples — an effective multiplier for the small datasets
+// this reproduction trains on.
+#pragma once
+
+#include "core/dataset.h"
+
+namespace litho::core {
+
+/// Applies the k-th dihedral transform (k in [0,8): rotations by k*90 deg
+/// for k<4, then the same composed with a horizontal flip) to a square 2-D
+/// tensor. k == 0 is the identity.
+Tensor dihedral(const Tensor& image, int k);
+
+/// Inverse transform index: dihedral(dihedral(x, k), inverse_dihedral(k))
+/// == x.
+int inverse_dihedral(int k);
+
+/// Returns the dataset expanded by the given dihedral transforms (identity
+/// included iff 0 is in @p ks). Masks and resists receive the same
+/// transform.
+ContourDataset augment_dataset(const ContourDataset& data,
+                               const std::vector<int>& ks = {0, 1, 2, 3, 4, 5,
+                                                             6, 7});
+
+}  // namespace litho::core

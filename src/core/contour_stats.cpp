@@ -1,0 +1,142 @@
+#include "core/contour_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace litho::core {
+namespace {
+
+// Large finite sentinel standing in for "no source pixel"; keeps the
+// Felzenszwalb-Huttenlocher transform free of infinity special cases.
+constexpr double kFar = 1e12;
+
+/// 1-D squared Euclidean distance transform (lower envelope of parabolas):
+/// out[q] = min_p (q - p)^2 + f[p].
+void dt1d(const std::vector<double>& f, std::vector<double>& out) {
+  const int64_t n = static_cast<int64_t>(f.size());
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  std::vector<double> z(static_cast<size_t>(n) + 1);
+  int64_t k = 0;
+  v[0] = 0;
+  z[0] = -kFar;
+  z[1] = kFar;
+  for (int64_t q = 1; q < n; ++q) {
+    double s = 0;
+    while (k >= 0) {
+      const int64_t p = v[static_cast<size_t>(k)];
+      s = ((f[static_cast<size_t>(q)] + static_cast<double>(q) * q) -
+           (f[static_cast<size_t>(p)] + static_cast<double>(p) * p)) /
+          (2.0 * static_cast<double>(q - p));
+      if (s > z[static_cast<size_t>(k)]) break;
+      --k;
+    }
+    ++k;
+    v[static_cast<size_t>(k)] = q;
+    z[static_cast<size_t>(k)] = (k == 0) ? -kFar : s;
+    z[static_cast<size_t>(k) + 1] = kFar;
+  }
+  k = 0;
+  for (int64_t q = 0; q < n; ++q) {
+    while (z[static_cast<size_t>(k) + 1] < static_cast<double>(q)) ++k;
+    const int64_t p = v[static_cast<size_t>(k)];
+    out[static_cast<size_t>(q)] =
+        static_cast<double>(q - p) * (q - p) + f[static_cast<size_t>(p)];
+  }
+}
+
+/// Exact squared Euclidean distance transform of a point set: result[i] is
+/// the squared distance from pixel i to the nearest set pixel (>= kFar when
+/// the set is empty).
+std::vector<double> distance_transform(const Tensor& points) {
+  const int64_t h = points.size(0), w = points.size(1);
+  std::vector<double> d(static_cast<size_t>(h * w));
+  for (int64_t i = 0; i < h * w; ++i) {
+    d[static_cast<size_t>(i)] = points[i] >= 0.5f ? 0.0 : kFar;
+  }
+  std::vector<double> col(static_cast<size_t>(h)), out_col(static_cast<size_t>(h));
+  for (int64_t c = 0; c < w; ++c) {
+    for (int64_t r = 0; r < h; ++r) {
+      col[static_cast<size_t>(r)] = d[static_cast<size_t>(r * w + c)];
+    }
+    dt1d(col, out_col);
+    for (int64_t r = 0; r < h; ++r) {
+      d[static_cast<size_t>(r * w + c)] = out_col[static_cast<size_t>(r)];
+    }
+  }
+  std::vector<double> row(static_cast<size_t>(w)), out_row(static_cast<size_t>(w));
+  for (int64_t r = 0; r < h; ++r) {
+    for (int64_t c = 0; c < w; ++c) {
+      row[static_cast<size_t>(c)] = d[static_cast<size_t>(r * w + c)];
+    }
+    dt1d(row, out_row);
+    for (int64_t c = 0; c < w; ++c) {
+      d[static_cast<size_t>(r * w + c)] = out_row[static_cast<size_t>(c)];
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+Tensor boundary_map(const Tensor& binary) {
+  if (binary.dim() != 2) throw std::invalid_argument("boundary_map: 2-D only");
+  const int64_t h = binary.size(0), w = binary.size(1);
+  Tensor out({h, w});
+  for (int64_t r = 0; r < h; ++r) {
+    for (int64_t c = 0; c < w; ++c) {
+      if (binary[r * w + c] < 0.5f) continue;
+      const bool edge =
+          (r == 0 || binary[(r - 1) * w + c] < 0.5f) ||
+          (r == h - 1 || binary[(r + 1) * w + c] < 0.5f) ||
+          (c == 0 || binary[r * w + c - 1] < 0.5f) ||
+          (c == w - 1 || binary[r * w + c + 1] < 0.5f);
+      if (edge) out[r * w + c] = 1.f;
+    }
+  }
+  return out;
+}
+
+EpeStats contour_epe_stats(const Tensor& prediction, const Tensor& golden,
+                           double violation_threshold_px) {
+  if (!prediction.same_shape(golden) || prediction.dim() != 2) {
+    throw std::invalid_argument("contour_epe_stats shape mismatch");
+  }
+  const Tensor gb = boundary_map(golden);
+  const Tensor pb = boundary_map(prediction);
+
+  EpeStats stats;
+  const int64_t n = gb.numel();
+  int64_t golden_count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (gb[i] >= 0.5f) ++golden_count;
+  }
+  stats.boundary_px = golden_count;
+  if (golden_count == 0) return stats;
+
+  const double diag = std::sqrt(static_cast<double>(
+      golden.size(0) * golden.size(0) + golden.size(1) * golden.size(1)));
+  const std::vector<double> dist = distance_transform(pb);
+
+  std::vector<double> displacements;
+  displacements.reserve(static_cast<size_t>(golden_count));
+  for (int64_t i = 0; i < n; ++i) {
+    if (gb[i] < 0.5f) continue;
+    const double d2 = dist[static_cast<size_t>(i)];
+    displacements.push_back(d2 >= kFar ? diag : std::sqrt(d2));
+  }
+  std::sort(displacements.begin(), displacements.end());
+  double sum = 0;
+  for (const double d : displacements) {
+    sum += d;
+    if (d > violation_threshold_px) ++stats.violations;
+  }
+  stats.mean_px = sum / static_cast<double>(displacements.size());
+  stats.max_px = displacements.back();
+  stats.p95_px =
+      displacements[static_cast<size_t>(0.95 * (displacements.size() - 1))];
+  return stats;
+}
+
+}  // namespace litho::core

@@ -1,0 +1,32 @@
+// Contour-level comparison statistics beyond mIOU/mPA: edge placement
+// error distributions between a predicted and a golden contour, the metric
+// OPC flows act on (paper Section 1's EPE-regression prior art, and the
+// criterion behind "stringent benchmarking" in the paper's future work).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace litho::core {
+
+struct EpeStats {
+  double mean_px = 0.0;    ///< mean boundary displacement (pixels)
+  double max_px = 0.0;     ///< worst-case displacement
+  double p95_px = 0.0;     ///< 95th percentile
+  int64_t boundary_px = 0; ///< number of golden boundary pixels measured
+  /// Count of boundary pixels displaced by more than a threshold
+  /// (the "EPE violation" count of OPC signoff).
+  int64_t violations = 0;
+};
+
+/// Computes boundary-displacement statistics: for every boundary pixel of
+/// the golden contour, the distance to the nearest boundary pixel of the
+/// prediction (in pixels; exact two-pass L2 distance transform).
+/// @p violation_threshold_px counts violations above that displacement.
+EpeStats contour_epe_stats(const Tensor& prediction, const Tensor& golden,
+                           double violation_threshold_px = 2.0);
+
+/// Extracts the boundary map of a binary image (foreground pixels with at
+/// least one 4-neighbor background pixel).
+Tensor boundary_map(const Tensor& binary);
+
+}  // namespace litho::core

@@ -1,0 +1,118 @@
+#include "core/dataset.h"
+
+#include <stdexcept>
+
+#include "io/io.h"
+#include "layout/layout.h"
+
+namespace litho::core {
+namespace {
+
+using layout::Clip;
+using layout::DesignRules;
+
+/// Builds the layout generator parameters matching a dataset kind for a
+/// clip of @p extent_nm.
+Clip generate_clip(DatasetKind kind, int64_t extent_nm, std::mt19937& rng) {
+  const DesignRules rules{64, 64};
+  switch (kind) {
+    case DatasetKind::kViaSparse: {
+      layout::ViaLayerGenerator::Params p;
+      p.clip_nm = extent_nm;
+      p.via_nm = 96;  // prints near-nominally; OPC refines the contour
+      return layout::ViaLayerGenerator(p, rules).generate(rng);
+    }
+    case DatasetKind::kViaDense: {
+      layout::ViaLayerGenerator::Params p;
+      p.clip_nm = extent_nm;
+      p.via_nm = 80;     // sub-nominal contacts: OPC biasing is required
+      p.pitch_nm = 192;  // denser placement grid (N14-like)
+      p.site_probability = 0.45;
+      p.array_probability = 0.2;
+      p.jitter_nm = 8;
+      return layout::ViaLayerGenerator(p, rules).generate(rng);
+    }
+    case DatasetKind::kMetal: {
+      layout::MetalLayerGenerator::Params p;
+      p.clip_nm = extent_nm;
+      return layout::MetalLayerGenerator(p, rules).generate(rng);
+    }
+  }
+  throw std::invalid_argument("unknown dataset kind");
+}
+
+Tensor mask_for_clip(const optics::LithoSimulator& sim, const Clip& clip,
+                     int64_t opc_iterations) {
+  if (opc_iterations <= 0) {
+    return layout::rasterize(clip, sim.config().pixel_nm);
+  }
+  opc::OpcEngine engine(sim, opc::OpcParams{});
+  const auto iters = engine.run(clip, opc_iterations);
+  return iters.back().mask;
+}
+
+}  // namespace
+
+Tensor generate_mask(const optics::LithoSimulator& sim, DatasetKind kind,
+                     int64_t tile_px, uint32_t seed, int64_t opc_iterations) {
+  std::mt19937 rng(seed);
+  const int64_t extent_nm =
+      tile_px * static_cast<int64_t>(sim.config().pixel_nm);
+  const Clip clip = generate_clip(kind, extent_nm, rng);
+  return mask_for_clip(sim, clip, opc_iterations);
+}
+
+ContourDataset build_dataset(const optics::LithoSimulator& sim,
+                             const DatasetSpec& spec) {
+  if (!spec.cache_file.empty() && io::file_exists(spec.cache_file)) {
+    const auto dict = io::load_tensors(spec.cache_file);
+    const Tensor& masks = dict.at("masks");
+    const Tensor& resists = dict.at("resists");
+    if (masks.size(0) == spec.count && masks.size(1) == spec.tile_px) {
+      ContourDataset ds;
+      const int64_t plane = spec.tile_px * spec.tile_px;
+      for (int64_t i = 0; i < spec.count; ++i) {
+        Tensor m({spec.tile_px, spec.tile_px});
+        Tensor z({spec.tile_px, spec.tile_px});
+        std::copy(masks.data() + i * plane, masks.data() + (i + 1) * plane,
+                  m.data());
+        std::copy(resists.data() + i * plane, resists.data() + (i + 1) * plane,
+                  z.data());
+        ds.masks.push_back(std::move(m));
+        ds.resists.push_back(std::move(z));
+      }
+      return ds;
+    }
+    // Spec changed under the same path: fall through and regenerate.
+  }
+
+  ContourDataset ds;
+  const int64_t extent_nm =
+      spec.tile_px * static_cast<int64_t>(sim.config().pixel_nm);
+  std::mt19937 rng(spec.seed);
+  for (int64_t i = 0; i < spec.count; ++i) {
+    const Clip clip = generate_clip(spec.kind, extent_nm, rng);
+    Tensor mask = mask_for_clip(sim, clip, spec.opc_iterations);
+    Tensor resist = sim.simulate(mask);
+    ds.masks.push_back(std::move(mask));
+    ds.resists.push_back(std::move(resist));
+  }
+
+  if (!spec.cache_file.empty()) {
+    const int64_t plane = spec.tile_px * spec.tile_px;
+    Tensor masks({spec.count, spec.tile_px, spec.tile_px});
+    Tensor resists({spec.count, spec.tile_px, spec.tile_px});
+    for (int64_t i = 0; i < spec.count; ++i) {
+      std::copy(ds.masks[static_cast<size_t>(i)].data(),
+                ds.masks[static_cast<size_t>(i)].data() + plane,
+                masks.data() + i * plane);
+      std::copy(ds.resists[static_cast<size_t>(i)].data(),
+                ds.resists[static_cast<size_t>(i)].data() + plane,
+                resists.data() + i * plane);
+    }
+    io::save_tensors(spec.cache_file, {{"masks", masks}, {"resists", resists}});
+  }
+  return ds;
+}
+
+}  // namespace litho::core

@@ -1,0 +1,51 @@
+// Dataset pipeline: layout generation -> (optional) OPC -> rasterization ->
+// golden lithography simulation -> (mask, resist) training pairs.
+//
+// These are the stand-ins for the paper's Table 1 datasets (ICCAD-2013
+// metal, ISPD-2019 via, ISPD-2019-LT 64 um^2 via, N14 dense via); see
+// DESIGN.md §2 for the substitution rationale. Generated datasets are cached
+// on disk keyed by the caller-provided path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "litho/simulator.h"
+#include "opc/opc.h"
+
+namespace litho::core {
+
+enum class DatasetKind {
+  kViaSparse,  ///< ISPD-2019-like via layer
+  kViaDense,   ///< N14-like high-density via layer
+  kMetal,      ///< ICCAD-2013-like metal layer
+};
+
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kViaSparse;
+  int64_t count = 64;       ///< number of clips
+  int64_t tile_px = 128;    ///< raster side in pixels
+  uint32_t seed = 1;        ///< generation seed
+  int64_t opc_iterations = 4;  ///< 0 = raw design masks
+  std::string cache_file;   ///< empty = never cache
+};
+
+/// A set of (mask, golden resist) pairs, each a [tile, tile] raster.
+struct ContourDataset {
+  std::vector<Tensor> masks;
+  std::vector<Tensor> resists;
+
+  int64_t size() const { return static_cast<int64_t>(masks.size()); }
+};
+
+/// Generates (or loads from spec.cache_file) a dataset under the given
+/// golden simulator.
+ContourDataset build_dataset(const optics::LithoSimulator& sim,
+                             const DatasetSpec& spec);
+
+/// Generates a single clip of the given kind (used by the large-tile and
+/// visualization benches, which need masks bigger than the training tile).
+Tensor generate_mask(const optics::LithoSimulator& sim, DatasetKind kind,
+                     int64_t tile_px, uint32_t seed, int64_t opc_iterations);
+
+}  // namespace litho::core

@@ -1,0 +1,210 @@
+#include "core/experiments.h"
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+#include "io/io.h"
+#include "models/damo.h"
+#include "models/fno_baseline.h"
+#include "models/unet.h"
+
+namespace litho::core {
+
+std::string Benchmark::id() const {
+  std::string base = name;
+  for (char& c : base) {
+    if (c == '-') c = '_';
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return base + (resolution == Resolution::kLow ? "_l" : "_h");
+}
+
+std::string Benchmark::display() const {
+  if (name == "N14") return name;
+  return name + (resolution == Resolution::kLow ? " (L)" : " (H)");
+}
+
+int64_t Benchmark::tile_px() const {
+  return resolution == Resolution::kLow ? 128 : 256;
+}
+
+double Benchmark::pixel_nm() const {
+  return resolution == Resolution::kLow ? 16.0 : 8.0;
+}
+
+Benchmark ispd2019(Resolution res) {
+  return {"ISPD-2019", DatasetKind::kViaSparse, res, 32, 8};
+}
+
+Benchmark iccad2013(Resolution res) {
+  return {"ICCAD-2013", DatasetKind::kMetal, res, 32, 8};
+}
+
+Benchmark n14() {
+  return {"N14", DatasetKind::kViaDense, Resolution::kLow, 32, 8};
+}
+
+std::string cache_dir() {
+  const char* env = std::getenv("LITHO_CACHE_DIR");
+  const std::string dir = env != nullptr ? env : "data/cache";
+  io::ensure_dir(dir);
+  return dir;
+}
+
+const optics::LithoSimulator& simulator_for(double pixel_nm) {
+  static std::map<int64_t, std::unique_ptr<optics::LithoSimulator>> sims;
+  const auto key = static_cast<int64_t>(pixel_nm * 1000);
+  auto it = sims.find(key);
+  if (it == sims.end()) {
+    optics::OpticalConfig cfg;
+    cfg.pixel_nm = pixel_nm;
+    // Kernel window must cover the optical diameter (~570 nm).
+    cfg.kernel_grid = std::max<int64_t>(
+        48, static_cast<int64_t>(cfg.optical_diameter_nm() / pixel_nm) + 8);
+    cfg.kernel_count = 12;
+    const std::string path = cache_dir() + "/kernels_px" +
+                             std::to_string(key) + "_g" +
+                             std::to_string(cfg.kernel_grid) + ".bin";
+    it = sims.emplace(key, std::make_unique<optics::LithoSimulator>(
+                               optics::LithoSimulator::with_cache(cfg, path)))
+             .first;
+  }
+  return *it->second;
+}
+
+const optics::LithoSimulator& reference_simulator() {
+  static std::unique_ptr<optics::LithoSimulator> sim = [] {
+    optics::OpticalConfig cfg;
+    cfg.pixel_nm = 2.0;  // the rigorous engine's native fine raster
+    cfg.kernel_grid = 320;
+    cfg.kernel_count = 24;
+    const std::string path = cache_dir() + "/kernels_reference.bin";
+    return std::make_unique<optics::LithoSimulator>(
+        optics::LithoSimulator::with_cache(cfg, path));
+  }();
+  return *sim;
+}
+
+namespace {
+
+ContourDataset dataset_for(const Benchmark& bench, bool train) {
+  DatasetSpec spec;
+  spec.kind = bench.kind;
+  spec.count = train ? bench.train_count : bench.test_count;
+  spec.tile_px = bench.tile_px();
+  spec.seed = train ? 1000 + static_cast<uint32_t>(std::hash<std::string>{}(
+                                 bench.id()) %
+                             1000)
+                    : 9000 + static_cast<uint32_t>(std::hash<std::string>{}(
+                                 bench.id()) %
+                             1000);
+  spec.opc_iterations = 4;
+  spec.cache_file = cache_dir() + "/dataset_" + bench.id() +
+                    (train ? "_train" : "_test") + ".bin";
+  return build_dataset(simulator_for(bench.pixel_nm()), spec);
+}
+
+}  // namespace
+
+ContourDataset train_set(const Benchmark& bench) {
+  return dataset_for(bench, true);
+}
+
+ContourDataset test_set(const Benchmark& bench) {
+  return dataset_for(bench, false);
+}
+
+bool damo_supports(const Benchmark& bench) {
+  // The paper's Table 2 marks DAMO-DLS "-" on (H) rows: it only supports the
+  // 1000x1000 input configuration.
+  return bench.resolution == Resolution::kLow;
+}
+
+std::unique_ptr<nn::ContourModel> make_model(const std::string& model_name,
+                                             uint32_t seed) {
+  std::mt19937 rng(seed);
+  if (model_name == "DOINN") {
+    return std::make_unique<Doinn>(DoinnConfig::small(), rng);
+  }
+  if (model_name == "UNet") {
+    return std::make_unique<models::UNet>(models::UNetConfig{}, rng);
+  }
+  if (model_name == "DAMO-DLS") {
+    return std::make_unique<models::DamoDls>(models::DamoConfig{10}, rng);
+  }
+  if (model_name == "FNO-baseline") {
+    return std::make_unique<models::FnoBaseline>(models::FnoConfig{}, rng);
+  }
+  throw std::invalid_argument("unknown model: " + model_name);
+}
+
+std::unique_ptr<Doinn> make_doinn(bool use_ir, bool use_lp, bool use_bypass,
+                                  uint32_t seed) {
+  DoinnConfig cfg = DoinnConfig::small();
+  cfg.use_ir = use_ir;
+  cfg.use_lp = use_lp;
+  cfg.use_bypass = use_bypass;
+  std::mt19937 rng(seed);
+  return std::make_unique<Doinn>(cfg, rng);
+}
+
+TrainConfig default_train_config() {
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 2;
+  cfg.lr = 2e-3f;
+  cfg.lr_step = 2;
+  cfg.lr_gamma = 0.5f;
+  cfg.weight_decay = 1e-4f;
+  return cfg;
+}
+
+namespace {
+
+std::string weights_path(const std::string& tag, const Benchmark& bench) {
+  std::string t = tag;
+  for (char& c : t) {
+    if (c == '-') c = '_';
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return cache_dir() + "/weights_" + t + "_" + bench.id() + ".bin";
+}
+
+/// Loads weights if cached, otherwise trains on the benchmark's train set
+/// and saves.
+void load_or_train(nn::ContourModel& model, const std::string& tag,
+                   const Benchmark& bench, bool* trained_now) {
+  const std::string path = weights_path(tag, bench);
+  if (io::file_exists(path)) {
+    model.load_state_dict(io::load_tensors(path));
+    if (trained_now != nullptr) *trained_now = false;
+    return;
+  }
+  const ContourDataset data = train_set(bench);
+  train_model(model, data, default_train_config());
+  io::save_tensors(path, model.state_dict());
+  if (trained_now != nullptr) *trained_now = true;
+}
+
+}  // namespace
+
+std::unique_ptr<nn::ContourModel> trained_model(const std::string& model_name,
+                                                const Benchmark& bench,
+                                                bool* trained_now) {
+  auto model = make_model(model_name, /*seed=*/42);
+  load_or_train(*model, model_name, bench, trained_now);
+  return model;
+}
+
+std::unique_ptr<Doinn> trained_doinn_variant(bool use_ir, bool use_lp,
+                                             bool use_bypass,
+                                             const Benchmark& bench) {
+  auto model = make_doinn(use_ir, use_lp, use_bypass, /*seed=*/42);
+  const std::string tag = std::string("doinn_abl_") + (use_ir ? "i" : "x") +
+                          (use_lp ? "l" : "x") + (use_bypass ? "b" : "x");
+  load_or_train(*model, tag, bench, nullptr);
+  return model;
+}
+
+}  // namespace litho::core

@@ -1,0 +1,88 @@
+// Shared experiment harness used by the benchmark binaries and examples:
+// standard benchmark-dataset stand-ins (Table 1), model factories, and a
+// disk cache for SOCS kernels, generated datasets and trained weights so
+// that re-running any bench is fast and benches can run in any order.
+//
+// Scaling note (DESIGN.md §6): tiles keep the paper's PHYSICAL geometry —
+// a training tile is 2048 nm x 2048 nm (~4 um^2, as in Table 1) and the
+// large-tile experiment uses 8192 nm (~64 um^2) tiles — but rasterized at
+// 16 nm/px ("L" rows) or 8 nm/px ("H" rows) instead of 1-2 nm/px, so that
+// 15 model trainings fit a single CPU core.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/doinn.h"
+#include "core/trainer.h"
+#include "nn/contour_model.h"
+
+namespace litho::core {
+
+/// Resolution flavor of a benchmark row.
+enum class Resolution {
+  kLow,   ///< 128 px @ 16 nm/px ("(L)" rows)
+  kHigh,  ///< 256 px @ 8 nm/px  ("(H)" rows)
+};
+
+/// One benchmark stand-in (a Table 1 row).
+struct Benchmark {
+  std::string name;       ///< "ISPD-2019", "ICCAD-2013", "N14"
+  DatasetKind kind;
+  Resolution resolution;
+  int64_t train_count;
+  int64_t test_count;
+
+  std::string id() const;      ///< cache key, e.g. "ispd2019_l"
+  std::string display() const; ///< table label, e.g. "ISPD-2019 (L)"
+  int64_t tile_px() const;
+  double pixel_nm() const;
+};
+
+/// The five Table 2 rows.
+Benchmark ispd2019(Resolution res);
+Benchmark iccad2013(Resolution res);
+Benchmark n14();
+
+/// Cache directory ($LITHO_CACHE_DIR, default "data/cache"); created on
+/// first use.
+std::string cache_dir();
+
+/// Golden simulator for a pixel size, with SOCS kernels cached on disk.
+const optics::LithoSimulator& simulator_for(double pixel_nm);
+
+/// High-fidelity reference simulator (2 nm/px, 24 kernels) representing the
+/// rigorous engine of Figure 6's "Ref" bar.
+const optics::LithoSimulator& reference_simulator();
+
+/// Train/test datasets of a benchmark (generated once, cached).
+ContourDataset train_set(const Benchmark& bench);
+ContourDataset test_set(const Benchmark& bench);
+
+/// Which models a benchmark supports; mirrors the paper's "-" entries
+/// (DAMO-DLS only supports the low-resolution input configuration).
+bool damo_supports(const Benchmark& bench);
+
+/// Model factories with the experiment-default configurations.
+std::unique_ptr<nn::ContourModel> make_model(const std::string& model_name,
+                                             uint32_t seed);
+/// DOINN with ablation switches (Table 3).
+std::unique_ptr<Doinn> make_doinn(bool use_ir, bool use_lp, bool use_bypass,
+                                  uint32_t seed);
+
+/// Default training configuration of the harness.
+TrainConfig default_train_config();
+
+/// Loads cached weights for (model_name, bench) or trains and caches them.
+/// Returns the trained model; @p trained_now reports whether training ran.
+std::unique_ptr<nn::ContourModel> trained_model(const std::string& model_name,
+                                                const Benchmark& bench,
+                                                bool* trained_now = nullptr);
+
+/// Cached-weights variant for ablation DOINNs (Table 3).
+std::unique_ptr<Doinn> trained_doinn_variant(bool use_ir, bool use_lp,
+                                             bool use_bypass,
+                                             const Benchmark& bench);
+
+}  // namespace litho::core

@@ -1,0 +1,40 @@
+#include "core/hotspot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace litho::core {
+
+std::vector<Hotspot> find_hotspots(const Tensor& design_mask,
+                                   const Tensor& printed_contour,
+                                   const HotspotParams& params) {
+  if (!design_mask.same_shape(printed_contour) || design_mask.dim() != 2) {
+    throw std::invalid_argument("find_hotspots shape mismatch");
+  }
+  const int64_t h = design_mask.size(0), w = design_mask.size(1);
+  const int64_t win = params.window_px;
+  std::vector<Hotspot> out;
+  for (int64_t r = 0; r + win <= h; r += win) {
+    for (int64_t c = 0; c + win <= w; c += win) {
+      double design = 0, printed = 0;
+      for (int64_t dr = 0; dr < win; ++dr) {
+        for (int64_t dc = 0; dc < win; ++dc) {
+          design += design_mask[(r + dr) * w + c + dc];
+          printed += printed_contour[(r + dr) * w + c + dc] >= 0.5f ? 1.0 : 0.0;
+        }
+      }
+      if (design < params.min_design_px) continue;
+      const double ratio = printed / design;
+      if (ratio < params.under_ratio || ratio > params.over_ratio) {
+        out.push_back({r, c, ratio});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Hotspot& a, const Hotspot& b) {
+    return std::abs(a.printed_ratio - 1.0) > std::abs(b.printed_ratio - 1.0);
+  });
+  return out;
+}
+
+}  // namespace litho::core

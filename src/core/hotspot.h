@@ -1,0 +1,35 @@
+// Printability hotspot detection: compare a predicted wafer contour against
+// the intended design and flag windows whose printed area deviates — the
+// screening step of the DFM flow the paper motivates (fast learned
+// simulator screens everything, the rigorous engine verifies only flagged
+// sites).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace litho::core {
+
+struct Hotspot {
+  int64_t row_px;        ///< window origin
+  int64_t col_px;
+  double printed_ratio;  ///< printed px / intended px inside the window
+};
+
+struct HotspotParams {
+  int64_t window_px = 12;     ///< scan window side
+  double min_design_px = 9;   ///< skip windows with less design area
+  double under_ratio = 0.5;   ///< flag if printed/design below this
+  double over_ratio = 2.0;    ///< ... or above this
+};
+
+/// Scans non-overlapping windows of the design raster and compares against
+/// the (binary) printed contour. Returns flagged windows sorted by
+/// severity (distance of printed_ratio from 1).
+std::vector<Hotspot> find_hotspots(const Tensor& design_mask,
+                                   const Tensor& printed_contour,
+                                   const HotspotParams& params);
+
+}  // namespace litho::core

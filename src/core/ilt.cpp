@@ -1,0 +1,54 @@
+#include "core/ilt.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/ops_weighted.h"
+#include "core/trainer.h"
+#include "nn/optim.h"
+
+namespace litho::core {
+
+IltResult optimize_mask(Doinn& model, const Tensor& target_resist,
+                        const Tensor& initial_mask, const IltConfig& cfg) {
+  if (!target_resist.same_shape(initial_mask)) {
+    throw std::invalid_argument("ILT: target/initial shape mismatch");
+  }
+  model.set_training(false);
+  const int64_t h = initial_mask.size(0), w = initial_mask.size(1);
+
+  // Latent init: inverse sigmoid of the (clamped) initial mask.
+  Tensor latent0({1, 1, h, w});
+  for (int64_t i = 0; i < latent0.numel(); ++i) {
+    const float m = std::clamp(initial_mask[i], 0.05f, 0.95f);
+    latent0[i] = std::log(m / (1.f - m)) / cfg.steepness;
+  }
+  ag::Variable latent(latent0, /*requires_grad=*/true);
+  nn::Adam opt({latent}, cfg.lr);
+
+  Tensor target = to_target(target_resist).reshape({1, 1, h, w});
+  Tensor weights({1, 1, h, w});
+  for (int64_t i = 0; i < weights.numel(); ++i) {
+    weights[i] = target[i] > 0.f ? cfg.fg_weight : 1.f;
+  }
+
+  IltResult result;
+  for (int64_t it = 0; it < cfg.iterations; ++it) {
+    opt.zero_grad();
+    model.zero_grad();  // weight grads accumulate as a side effect; discard
+    ag::Variable mask = ag::sigmoid(ag::scale(latent, cfg.steepness));
+    ag::Variable pred = model.forward(mask);
+    ag::Variable loss = ag::weighted_mse_loss(pred, target, weights);
+    result.loss.push_back(loss.value()[0]);
+    loss.backward();
+    opt.step();
+  }
+
+  ag::Variable final_mask = ag::sigmoid(ag::scale(latent, cfg.steepness));
+  result.mask = final_mask.value().clone().reshape({h, w});
+  result.binary_mask = result.mask.clone();
+  result.binary_mask.apply_([](float v) { return v >= 0.5f ? 1.f : 0.f; });
+  return result;
+}
+
+}  // namespace litho::core

@@ -1,0 +1,37 @@
+// Inverse lithography (ILT) through the differentiable DOINN — the paper's
+// stated future-work direction ("incorporating inverse lithography
+// technologies with DOINN for direct mask optimization").
+//
+// Because the whole DOINN stack is built on the autograd tape, gradients
+// flow to the INPUT mask as well as to the weights. ILT exploits this: a
+// latent image is pushed through a sigmoid to a continuous mask, the
+// trained DOINN predicts its resist image, and the mismatch to the target
+// contour is minimized by gradient descent on the latent.
+#pragma once
+
+#include <vector>
+
+#include "core/doinn.h"
+
+namespace litho::core {
+
+struct IltConfig {
+  int64_t iterations = 40;
+  float lr = 0.2f;         ///< Adam step size on the latent image
+  float steepness = 4.f;   ///< sigmoid steepness of the mask parameterization
+  float fg_weight = 8.f;   ///< foreground weight in the contour loss
+};
+
+struct IltResult {
+  Tensor mask;               ///< optimized continuous mask in [0, 1]
+  Tensor binary_mask;        ///< mask thresholded at 0.5
+  std::vector<double> loss;  ///< per-iteration objective
+};
+
+/// Optimizes a mask such that @p model predicts @p target_resist, starting
+/// from @p initial_mask (typically the design itself). The model's weights
+/// are frozen; only the mask latent is updated.
+IltResult optimize_mask(Doinn& model, const Tensor& target_resist,
+                        const Tensor& initial_mask, const IltConfig& cfg);
+
+}  // namespace litho::core

@@ -1,0 +1,73 @@
+#include "core/large_tile.h"
+
+#include <stdexcept>
+
+namespace litho::core {
+
+LargeTilePredictor::LargeTilePredictor(Doinn& model) : model_(model) {}
+
+ag::Variable LargeTilePredictor::stitched_gp(const Tensor& mask) const {
+  const DoinnConfig& cfg = model_.config();
+  const int64_t tile = cfg.tile;
+  const int64_t half = tile / 2;
+  const int64_t hl = mask.size(0), wl = mask.size(1);
+  if (hl < tile || wl < tile || hl % half != 0 || wl % half != 0) {
+    throw std::invalid_argument(
+        "large tile must be >= training tile and a multiple of tile/2");
+  }
+  const int64_t pool = cfg.pool;
+  const int64_t fh = hl / pool, fw = wl / pool;   // large feature grid
+  const int64_t ft = tile / pool;                 // per-clip feature size
+  const int64_t fhalf = ft / 2, fquart = ft / 4;
+
+  Tensor stitched({1, cfg.gp_channels, fh, fw});
+  const int64_t rows = (hl - tile) / half + 1;
+  const int64_t cols = (wl - tile) / half + 1;
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      // Extract the half-overlapped clip.
+      Tensor clip({1, 1, tile, tile});
+      const int64_t y0 = i * half, x0 = j * half;
+      for (int64_t r = 0; r < tile; ++r) {
+        const float* src = mask.data() + (y0 + r) * wl + x0;
+        float* dst = clip.data() + r * tile;
+        std::copy(src, src + tile, dst);
+      }
+      ag::Variable gp = model_.gp_features(ag::Variable(clip, false));
+
+      // Core region of this clip in feature space: the central half, except
+      // clips on the boundary also own their outer margin.
+      const int64_t ca0 = (i == 0) ? 0 : fquart;
+      const int64_t ca1 = (i == rows - 1) ? ft : fquart + fhalf;
+      const int64_t cb0 = (j == 0) ? 0 : fquart;
+      const int64_t cb1 = (j == cols - 1) ? ft : fquart + fhalf;
+      const Tensor& f = gp.value();
+      for (int64_t c = 0; c < cfg.gp_channels; ++c) {
+        for (int64_t r = ca0; r < ca1; ++r) {
+          const float* src = f.data() + (c * ft + r) * ft;
+          float* dst =
+              stitched.data() + (c * fh + i * fhalf + r) * fw + j * fhalf;
+          for (int64_t cc = cb0; cc < cb1; ++cc) dst[cc] = src[cc];
+        }
+      }
+    }
+  }
+  return ag::Variable(stitched, false);
+}
+
+Tensor LargeTilePredictor::predict(const Tensor& mask) const {
+  model_.set_training(false);
+  ag::Variable gp = stitched_gp(mask);
+  Tensor x = mask.clone().reshape({1, 1, mask.size(0), mask.size(1)});
+  ag::Variable out = model_.forward_from_gp(gp, ag::Variable(x, false));
+  return out.value().clone().reshape({mask.size(0), mask.size(1)});
+}
+
+Tensor LargeTilePredictor::predict_plain(const Tensor& mask) const {
+  model_.set_training(false);
+  Tensor x = mask.clone().reshape({1, 1, mask.size(0), mask.size(1)});
+  ag::Variable out = model_.forward(ag::Variable(x, false));
+  return out.value().clone().reshape({mask.size(0), mask.size(1)});
+}
+
+}  // namespace litho::core

@@ -1,0 +1,36 @@
+// Large-tile simulation scheme (paper Section 3.2, eqs. (12)-(14)).
+//
+// A DOINN trained on H x W tiles degrades on s-times-larger inputs because
+// the Fourier Unit weights were trained for the k lowest modes of the small
+// tile. The scheme cuts the large mask into training-size clips with HALF
+// overlap, runs the GP path per clip, stitches the CORE region of each
+// clip's feature map back into a large feature grid, and runs the (fully
+// convolutional) LP + IR paths on the full tile.
+#pragma once
+
+#include "core/doinn.h"
+
+namespace litho::core {
+
+/// Runs DOINN inference on masks larger than the training tile.
+class LargeTilePredictor {
+ public:
+  explicit LargeTilePredictor(Doinn& model);
+
+  /// Large-tile prediction with the stitching scheme ("DOINN-LT").
+  /// @p mask is a 2-D raster whose side is a multiple of tile/2 and at
+  /// least tile. Returns the tanh output map (same size).
+  Tensor predict(const Tensor& mask) const;
+
+  /// Plain prediction: feeds the whole tile through the default pipeline
+  /// ("DOINN" row of Table 4, the degraded baseline).
+  Tensor predict_plain(const Tensor& mask) const;
+
+  /// Stitched GP features for a large mask: [1, C, H/8, W/8].
+  ag::Variable stitched_gp(const Tensor& mask) const;
+
+ private:
+  Doinn& model_;
+};
+
+}  // namespace litho::core

@@ -1,0 +1,50 @@
+#include "core/metrics.h"
+
+#include <stdexcept>
+
+namespace litho::core {
+
+SegmentationMetrics evaluate_contours(const Tensor& prediction,
+                                      const Tensor& ground_truth) {
+  if (!prediction.same_shape(ground_truth)) {
+    throw std::invalid_argument("metric shape mismatch: " +
+                                shape_to_string(prediction.shape()) + " vs " +
+                                shape_to_string(ground_truth.shape()));
+  }
+  int64_t inter_fg = 0, union_fg = 0, gt_fg = 0, correct_fg = 0;
+  int64_t inter_bg = 0, union_bg = 0, gt_bg = 0, correct_bg = 0;
+  const int64_t n = prediction.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const bool p = prediction[i] >= 0.5f;
+    const bool g = ground_truth[i] >= 0.5f;
+    if (p && g) ++inter_fg;
+    if (p || g) ++union_fg;
+    if (g) ++gt_fg;
+    if (p && g) ++correct_fg;
+    if (!p && !g) ++inter_bg;
+    if (!p || !g) ++union_bg;
+    if (!g) ++gt_bg;
+    if (!p && !g) ++correct_bg;
+  }
+  auto ratio = [](int64_t a, int64_t b) {
+    return b == 0 ? 1.0 : static_cast<double>(a) / static_cast<double>(b);
+  };
+  SegmentationMetrics m;
+  m.miou = 0.5 * (ratio(inter_fg, union_fg) + ratio(inter_bg, union_bg));
+  m.mpa = 0.5 * (ratio(correct_fg, gt_fg) + ratio(correct_bg, gt_bg));
+  return m;
+}
+
+SegmentationMetrics average(const std::vector<SegmentationMetrics>& all) {
+  SegmentationMetrics m;
+  if (all.empty()) return m;
+  for (const SegmentationMetrics& x : all) {
+    m.miou += x.miou;
+    m.mpa += x.mpa;
+  }
+  m.miou /= static_cast<double>(all.size());
+  m.mpa /= static_cast<double>(all.size());
+  return m;
+}
+
+}  // namespace litho::core

@@ -1,0 +1,23 @@
+// Evaluation metrics of paper Section 2.2: mean Intersection-over-Union and
+// mean Pixel Accuracy over the two classes {contour, background}.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace litho::core {
+
+struct SegmentationMetrics {
+  double miou = 0.0;  ///< mean IOU over foreground and background
+  double mpa = 0.0;   ///< mean pixel accuracy over foreground and background
+};
+
+/// Computes mIOU / mPA between a binary prediction and binary ground truth
+/// (values >= 0.5 count as foreground). Shapes must match. Empty classes
+/// (no pixels in both P and G) score 1.0 by convention.
+SegmentationMetrics evaluate_contours(const Tensor& prediction,
+                                      const Tensor& ground_truth);
+
+/// Averages metrics over a set of samples.
+SegmentationMetrics average(const std::vector<SegmentationMetrics>& all);
+
+}  // namespace litho::core

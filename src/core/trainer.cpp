@@ -1,0 +1,93 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "autograd/ops.h"
+#include "autograd/ops_weighted.h"
+#include "core/augment.h"
+#include "nn/optim.h"
+
+namespace litho::core {
+
+Tensor to_target(const Tensor& resist) {
+  Tensor t = resist.clone();
+  t.apply_([](float v) { return v >= 0.5f ? 1.f : -1.f; });
+  return t;
+}
+
+double train_model(nn::ContourModel& model, const ContourDataset& data_in,
+                   const TrainConfig& cfg) {
+  if (data_in.size() == 0) throw std::invalid_argument("empty training set");
+  const ContourDataset data =
+      cfg.augment ? augment_dataset(data_in) : data_in;
+  model.set_training(true);
+  nn::Adam opt(model.parameters(), cfg.lr, 0.9f, 0.999f, 1e-8f,
+               cfg.weight_decay);
+  nn::StepLR sched(opt, cfg.lr_step, cfg.lr_gamma);
+
+  const int64_t h = data.masks[0].size(0);
+  const int64_t w = data.masks[0].size(1);
+  std::vector<int64_t> order(static_cast<size_t>(data.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937 rng(cfg.shuffle_seed);
+
+  double epoch_loss = 0.0;
+  for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < data.size(); start += cfg.batch_size) {
+      const int64_t b = std::min(cfg.batch_size, data.size() - start);
+      Tensor x({b, 1, h, w});
+      Tensor y({b, 1, h, w});
+      Tensor wt({b, 1, h, w});
+      for (int64_t i = 0; i < b; ++i) {
+        const auto idx = static_cast<size_t>(order[static_cast<size_t>(start + i)]);
+        std::copy(data.masks[idx].data(), data.masks[idx].data() + h * w,
+                  x.data() + i * h * w);
+        Tensor t = to_target(data.resists[idx]);
+        std::copy(t.data(), t.data() + h * w, y.data() + i * h * w);
+      }
+      for (int64_t i = 0; i < wt.numel(); ++i) {
+        wt[i] = y[i] > 0.f ? cfg.fg_weight : 1.f;
+      }
+      opt.zero_grad();
+      ag::Variable pred = model.forward(ag::Variable(std::move(x), false));
+      ag::Variable loss = ag::weighted_mse_loss(pred, y, wt);
+      epoch_loss += loss.value()[0];
+      ++batches;
+      loss.backward();
+      opt.step();
+    }
+    epoch_loss /= static_cast<double>(std::max<int64_t>(1, batches));
+    sched.step();
+    if (cfg.on_epoch) cfg.on_epoch(epoch, epoch_loss);
+  }
+  return epoch_loss;
+}
+
+Tensor predict_contour(nn::ContourModel& model, const Tensor& mask) {
+  model.set_training(false);
+  const int64_t h = mask.size(0), w = mask.size(1);
+  Tensor x = mask.clone().reshape({1, 1, h, w});
+  ag::Variable out = model.forward(ag::Variable(std::move(x), false));
+  Tensor pred = out.value().clone().reshape({h, w});
+  pred.apply_([](float v) { return v >= 0.f ? 1.f : 0.f; });
+  return pred;
+}
+
+SegmentationMetrics evaluate_model(nn::ContourModel& model,
+                                   const ContourDataset& data) {
+  std::vector<SegmentationMetrics> all;
+  all.reserve(static_cast<size_t>(data.size()));
+  for (int64_t i = 0; i < data.size(); ++i) {
+    const Tensor pred =
+        predict_contour(model, data.masks[static_cast<size_t>(i)]);
+    all.push_back(
+        evaluate_contours(pred, data.resists[static_cast<size_t>(i)]));
+  }
+  return average(all);
+}
+
+}  // namespace litho::core

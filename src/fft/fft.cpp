@@ -1,0 +1,322 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace litho::fft {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool is_pow2(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+size_t next_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Iterative radix-2 Cooley-Tukey. Unnormalized.
+void fft_pow2(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * kPi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein's chirp-z transform for arbitrary n. Unnormalized.
+void fft_bluestein(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  // Chirp: c_k = exp(sign * i * pi * k^2 / n).
+  std::vector<std::complex<double>> chirp(n);
+  for (size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const double e = kPi * static_cast<double>((k * k) % (2 * n)) /
+                     static_cast<double>(n);
+    chirp[k] = std::complex<double>(std::cos(e), sign * std::sin(e));
+  }
+  const size_t m = next_pow2(2 * n - 1);
+  std::vector<std::complex<double>> fa(m, {0, 0}), fb(m, {0, 0});
+  for (size_t k = 0; k < n; ++k) fa[k] = a[k] * chirp[k];
+  for (size_t k = 0; k < n; ++k) {
+    fb[k] = std::conj(chirp[k]);
+    if (k != 0) fb[m - k] = std::conj(chirp[k]);
+  }
+  fft_pow2(fa, false);
+  fft_pow2(fb, false);
+  for (size_t k = 0; k < m; ++k) fa[k] *= fb[k];
+  fft_pow2(fa, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t k = 0; k < n; ++k) a[k] = fa[k] * inv_m * chirp[k];
+}
+
+struct Dims2 {
+  int64_t batch;
+  int64_t h;
+  int64_t w;
+};
+
+Dims2 last_two_dims(const Shape& shape) {
+  if (shape.size() < 2) {
+    throw std::invalid_argument("2-D FFT requires rank >= 2, got shape " +
+                                shape_to_string(shape));
+  }
+  Dims2 d{1, shape[shape.size() - 2], shape[shape.size() - 1]};
+  for (size_t i = 0; i + 2 < shape.size(); ++i) d.batch *= shape[i];
+  return d;
+}
+
+// 2-D FFT of a single H x W complex slice held in `buf` (row-major).
+void fft2_slice(std::vector<std::complex<double>>& buf, int64_t h, int64_t w,
+                bool inverse) {
+  std::vector<std::complex<double>> line;
+  line.reserve(static_cast<size_t>(std::max(h, w)));
+  // Rows.
+  line.resize(static_cast<size_t>(w));
+  for (int64_t r = 0; r < h; ++r) {
+    std::copy(buf.begin() + r * w, buf.begin() + (r + 1) * w, line.begin());
+    fft1d_unnormalized(line, inverse);
+    std::copy(line.begin(), line.end(), buf.begin() + r * w);
+  }
+  // Columns.
+  line.resize(static_cast<size_t>(h));
+  for (int64_t c = 0; c < w; ++c) {
+    for (int64_t r = 0; r < h; ++r) line[static_cast<size_t>(r)] = buf[r * w + c];
+    fft1d_unnormalized(line, inverse);
+    for (int64_t r = 0; r < h; ++r) buf[r * w + c] = line[static_cast<size_t>(r)];
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(h * w);
+    for (auto& v : buf) v *= scale;
+  }
+}
+
+}  // namespace
+
+CTensor::CTensor(Tensor real, Tensor imag)
+    : re(std::move(real)), im(std::move(imag)) {
+  if (!re.same_shape(im)) {
+    throw std::invalid_argument("CTensor re/im shape mismatch: " +
+                                shape_to_string(re.shape()) + " vs " +
+                                shape_to_string(im.shape()));
+  }
+}
+
+CTensor::CTensor(Shape shape) : re(shape), im(std::move(shape)) {}
+
+void fft1d_unnormalized(std::vector<std::complex<double>>& a, bool inverse) {
+  if (a.size() <= 1) return;
+  if (is_pow2(a.size())) {
+    fft_pow2(a, inverse);
+  } else {
+    fft_bluestein(a, inverse);
+  }
+}
+
+CTensor fft2(const CTensor& x, bool inverse) {
+  const Dims2 d = last_two_dims(x.shape());
+  CTensor out(x.shape());
+  std::vector<std::complex<double>> buf(static_cast<size_t>(d.h * d.w));
+  const float* re = x.re.data();
+  const float* im = x.im.data();
+  float* ore = out.re.data();
+  float* oim = out.im.data();
+  const int64_t plane = d.h * d.w;
+  for (int64_t b = 0; b < d.batch; ++b) {
+    const int64_t off = b * plane;
+    for (int64_t i = 0; i < plane; ++i) {
+      buf[static_cast<size_t>(i)] = {re[off + i], im[off + i]};
+    }
+    fft2_slice(buf, d.h, d.w, inverse);
+    for (int64_t i = 0; i < plane; ++i) {
+      ore[off + i] = static_cast<float>(buf[static_cast<size_t>(i)].real());
+      oim[off + i] = static_cast<float>(buf[static_cast<size_t>(i)].imag());
+    }
+  }
+  return out;
+}
+
+CTensor rfft2(const Tensor& x) {
+  const Dims2 d = last_two_dims(x.shape());
+  const int64_t wh = d.w / 2 + 1;
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 1] = wh;
+  CTensor out(out_shape);
+
+  std::vector<std::complex<double>> buf(static_cast<size_t>(d.h * d.w));
+  const float* src = x.data();
+  float* ore = out.re.data();
+  float* oim = out.im.data();
+  const int64_t plane = d.h * d.w;
+  const int64_t out_plane = d.h * wh;
+  for (int64_t b = 0; b < d.batch; ++b) {
+    for (int64_t i = 0; i < plane; ++i) {
+      buf[static_cast<size_t>(i)] = {src[b * plane + i], 0.0};
+    }
+    fft2_slice(buf, d.h, d.w, false);
+    for (int64_t r = 0; r < d.h; ++r) {
+      for (int64_t c = 0; c < wh; ++c) {
+        const auto v = buf[static_cast<size_t>(r * d.w + c)];
+        ore[b * out_plane + r * wh + c] = static_cast<float>(v.real());
+        oim[b * out_plane + r * wh + c] = static_cast<float>(v.imag());
+      }
+    }
+  }
+  return out;
+}
+
+Tensor irfft2(const CTensor& x, int64_t w) {
+  const Dims2 d = last_two_dims(x.shape());
+  if (d.w != w / 2 + 1) {
+    throw std::invalid_argument("irfft2: half-spectrum width " +
+                                std::to_string(d.w) +
+                                " inconsistent with output width " +
+                                std::to_string(w));
+  }
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 1] = w;
+  Tensor out(out_shape);
+
+  std::vector<std::complex<double>> buf(static_cast<size_t>(d.h * w));
+  const float* re = x.re.data();
+  const float* im = x.im.data();
+  float* dst = out.data();
+  const int64_t in_plane = d.h * d.w;
+  const int64_t out_plane = d.h * w;
+  for (int64_t b = 0; b < d.batch; ++b) {
+    // Hermitian extension along the last dim: full[r][c] = conj(half[(H-r)%H][w-c]).
+    for (int64_t r = 0; r < d.h; ++r) {
+      for (int64_t c = 0; c < d.w; ++c) {
+        const int64_t idx = b * in_plane + r * d.w + c;
+        buf[static_cast<size_t>(r * w + c)] = {re[idx], im[idx]};
+      }
+      for (int64_t c = d.w; c < w; ++c) {
+        const int64_t rr = (d.h - r) % d.h;
+        const int64_t idx = b * in_plane + rr * d.w + (w - c);
+        buf[static_cast<size_t>(r * w + c)] = {re[idx], -im[idx]};
+      }
+    }
+    fft2_slice(buf, d.h, w, true);
+    for (int64_t i = 0; i < out_plane; ++i) {
+      dst[b * out_plane + i] =
+          static_cast<float>(buf[static_cast<size_t>(i)].real());
+    }
+  }
+  return out;
+}
+
+Tensor rfft2_adjoint(const CTensor& grad, int64_t w) {
+  // rfft2 = Select_half o FFT2 o RealEmbed, so the real adjoint is
+  // Re o (H*W * IFFT2) o ZeroPad_full.
+  const Dims2 d = last_two_dims(grad.shape());
+  if (d.w != w / 2 + 1) throw std::invalid_argument("rfft2_adjoint width");
+  Shape full_shape = grad.shape();
+  full_shape[full_shape.size() - 1] = w;
+  CTensor full(full_shape);
+  const int64_t in_plane = d.h * d.w;
+  const int64_t full_plane = d.h * w;
+  for (int64_t b = 0; b < d.batch; ++b) {
+    for (int64_t r = 0; r < d.h; ++r) {
+      for (int64_t c = 0; c < d.w; ++c) {
+        full.re[b * full_plane + r * w + c] = grad.re[b * in_plane + r * d.w + c];
+        full.im[b * full_plane + r * w + c] = grad.im[b * in_plane + r * d.w + c];
+      }
+    }
+  }
+  CTensor inv = fft2(full, /*inverse=*/true);
+  Tensor out = inv.re;
+  out.mul_(static_cast<float>(d.h * w));
+  return out;
+}
+
+CTensor irfft2_adjoint(const Tensor& grad) {
+  // irfft2 = Re o IFFT2 o HermitianExtend, so the real adjoint is
+  // Fold o ((1/(H*W)) * FFT2) o ComplexEmbed where Fold adds the conjugated
+  // mirror contribution of the extended columns back onto the half grid.
+  const Dims2 d = last_two_dims(grad.shape());
+  const int64_t w = d.w;
+  const int64_t wh = w / 2 + 1;
+  CTensor embedded(grad.clone(), Tensor(grad.shape()));
+  CTensor spec = fft2(embedded, /*inverse=*/false);
+  const float scale = 1.f / static_cast<float>(d.h * w);
+
+  Shape out_shape = grad.shape();
+  out_shape[out_shape.size() - 1] = wh;
+  CTensor out(out_shape);
+  const int64_t full_plane = d.h * w;
+  const int64_t out_plane = d.h * wh;
+  for (int64_t b = 0; b < d.batch; ++b) {
+    for (int64_t r = 0; r < d.h; ++r) {
+      for (int64_t c = 0; c < wh; ++c) {
+        const int64_t src = b * full_plane + r * w + c;
+        const int64_t dst = b * out_plane + r * wh + c;
+        out.re[dst] = spec.re[src] * scale;
+        out.im[dst] = spec.im[src] * scale;
+      }
+      // Columns 1 .. ceil(w/2)-1 are duplicated (conjugated) by the
+      // Hermitian extension; fold their cotangent back.
+      for (int64_t c = 1; c < (w + 1) / 2; ++c) {
+        const int64_t rr = (d.h - r) % d.h;
+        const int64_t src = b * full_plane + rr * w + (w - c);
+        const int64_t dst = b * out_plane + r * wh + c;
+        out.re[dst] += spec.re[src] * scale;
+        out.im[dst] -= spec.im[src] * scale;
+      }
+    }
+  }
+  return out;
+}
+
+CTensor cmul(const CTensor& a, const CTensor& b) {
+  if (!a.re.same_shape(b.re)) throw std::invalid_argument("cmul shape mismatch");
+  CTensor out(a.shape());
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    out.re[i] = a.re[i] * b.re[i] - a.im[i] * b.im[i];
+    out.im[i] = a.re[i] * b.im[i] + a.im[i] * b.re[i];
+  }
+  return out;
+}
+
+CTensor cmul_conj(const CTensor& a, const CTensor& b) {
+  if (!a.re.same_shape(b.re)) {
+    throw std::invalid_argument("cmul_conj shape mismatch");
+  }
+  CTensor out(a.shape());
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    out.re[i] = a.re[i] * b.re[i] + a.im[i] * b.im[i];
+    out.im[i] = a.im[i] * b.re[i] - a.re[i] * b.im[i];
+  }
+  return out;
+}
+
+Tensor cabs2(const CTensor& x) {
+  Tensor out(x.shape());
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = x.re[i] * x.re[i] + x.im[i] * x.im[i];
+  }
+  return out;
+}
+
+}  // namespace litho::fft

@@ -1,0 +1,74 @@
+// Fast Fourier transforms for the DOINN Fourier Unit and the Hopkins/SOCS
+// optical model.
+//
+// Conventions match torch.fft with norm="backward": forward transforms are
+// unnormalized, inverse transforms carry the 1/N factor. All 2-D transforms
+// operate on the last two dimensions and are batched over the leading ones.
+//
+// Complex tensors are represented as a (re, im) pair of equally-shaped real
+// tensors — the autograd layer differentiates through real components only,
+// so this representation keeps every gradient an ordinary real tensor.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace litho::fft {
+
+/// Complex tensor as two equally-shaped real tensors.
+struct CTensor {
+  Tensor re;
+  Tensor im;
+
+  CTensor() = default;
+  CTensor(Tensor real, Tensor imag);
+  /// Zero complex tensor of the given shape.
+  explicit CTensor(Shape shape);
+
+  const Shape& shape() const { return re.shape(); }
+  int64_t numel() const { return re.numel(); }
+  CTensor clone() const { return {re.clone(), im.clone()}; }
+};
+
+/// In-place 1-D FFT of arbitrary length (radix-2 for powers of two,
+/// Bluestein otherwise). Unnormalized; @p inverse conjugates twiddles but
+/// does NOT apply 1/n.
+void fft1d_unnormalized(std::vector<std::complex<double>>& a, bool inverse);
+
+/// Full 2-D complex FFT over the last two dims. Inverse applies 1/(H*W).
+CTensor fft2(const CTensor& x, bool inverse);
+
+/// 2-D FFT of a real tensor [..., H, W] -> half spectrum [..., H, W/2+1].
+CTensor rfft2(const Tensor& x);
+
+/// Inverse of rfft2: [..., H, W/2+1] half spectrum -> real [..., H, w].
+/// Hermitian symmetry along the last dim is assumed (torch.fft.irfft2
+/// semantics); @p w is the desired last-dim extent (its floor(w/2)+1 must
+/// match the input's last extent).
+Tensor irfft2(const CTensor& x, int64_t w);
+
+/// Real-linear adjoint of rfft2 (w.r.t. the real inner product
+/// <x,y> = sum x.re*y.re + x.im*y.im): maps a half-spectrum cotangent back
+/// to the real-image domain. Used by autograd; verified against the adjoint
+/// identity in tests.
+Tensor rfft2_adjoint(const CTensor& grad, int64_t w);
+
+/// Real-linear adjoint of irfft2: maps a real-image cotangent to the
+/// half-spectrum domain.
+CTensor irfft2_adjoint(const Tensor& grad);
+
+// -- Complex helpers ---------------------------------------------------------
+
+/// Elementwise complex product a*b.
+CTensor cmul(const CTensor& a, const CTensor& b);
+
+/// Elementwise a * conj(b).
+CTensor cmul_conj(const CTensor& a, const CTensor& b);
+
+/// Squared magnitude |x|^2 as a real tensor.
+Tensor cabs2(const CTensor& x);
+
+}  // namespace litho::fft

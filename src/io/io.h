@@ -1,0 +1,47 @@
+// Serialization and image export.
+//
+//  - write_pgm / write_ppm: portable graymap/pixmap dumps used to regenerate
+//    the paper's figure panels (masks, contours, feature maps).
+//  - save_tensors / load_tensors: simple binary container for named tensors,
+//    used for model checkpoints and the experiment cache.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace litho::io {
+
+/// Writes a 2-D tensor as an 8-bit PGM image. Values are linearly mapped
+/// from [lo, hi] to [0, 255] (clamped). If lo == hi the tensor min/max are
+/// used instead.
+void write_pgm(const std::string& path, const Tensor& image, float lo = 0.f,
+               float hi = 1.f);
+
+/// Reads an 8-bit binary (P5) PGM image into a 2-D tensor scaled to [0, 1].
+/// Throws std::runtime_error on malformed input.
+Tensor read_pgm(const std::string& path);
+
+/// Writes three equally-shaped 2-D tensors as the R/G/B planes of a PPM
+/// image; each plane is mapped from [0, 1] to [0, 255] (clamped).
+void write_ppm(const std::string& path, const Tensor& r, const Tensor& g,
+               const Tensor& b);
+
+/// Saves named tensors to a single binary file. Format:
+///   magic "LTSR" | u32 version | u32 count |
+///   per tensor: u32 name_len | name | u32 rank | i64 extents... | f32 data...
+void save_tensors(const std::string& path,
+                  const std::map<std::string, Tensor>& tensors);
+
+/// Loads a container written by save_tensors. Throws std::runtime_error on
+/// malformed input.
+std::map<std::string, Tensor> load_tensors(const std::string& path);
+
+/// True if @p path exists and is a regular file.
+bool file_exists(const std::string& path);
+
+/// Creates @p dir (and parents) if missing.
+void ensure_dir(const std::string& dir);
+
+}  // namespace litho::io

@@ -1,0 +1,56 @@
+#include "layout/clip_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace litho::layout {
+
+void write_clip(const std::string& path, const Clip& clip) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  os << "LCLIP 1\n";
+  os << "extent " << clip.extent_nm << "\n";
+  for (const Rect& r : clip.shapes) {
+    os << "rect " << r.x0 << " " << r.y0 << " " << r.x1 << " " << r.y1 << "\n";
+  }
+  if (!os) throw std::runtime_error("write to " + path + " failed");
+}
+
+Clip read_clip(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path + " for reading");
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (magic != "LCLIP" || version != 1) {
+    throw std::runtime_error(path + ": not an LCLIP v1 file");
+  }
+  Clip clip;
+  std::string token;
+  while (is >> token) {
+    if (token == "extent") {
+      if (!(is >> clip.extent_nm)) {
+        throw std::runtime_error(path + ": malformed extent");
+      }
+    } else if (token == "rect") {
+      Rect r;
+      if (!(is >> r.x0 >> r.y0 >> r.x1 >> r.y1)) {
+        throw std::runtime_error(path + ": malformed rect");
+      }
+      if (r.empty()) throw std::runtime_error(path + ": empty rect");
+      clip.shapes.push_back(r);
+    } else if (!token.empty() && token[0] == '#') {
+      std::string comment;
+      std::getline(is, comment);
+    } else {
+      throw std::runtime_error(path + ": unknown token '" + token + "'");
+    }
+  }
+  if (clip.extent_nm <= 0) {
+    throw std::runtime_error(path + ": missing or non-positive extent");
+  }
+  return clip;
+}
+
+}  // namespace litho::layout

@@ -1,0 +1,22 @@
+// Plain-text clip interchange format, so users can feed their own layouts
+// (e.g. exported from a GDS flow) into the simulator and models.
+//
+// Format ("LCLIP v1"):
+//   LCLIP 1
+//   extent <extent_nm>
+//   rect <x0> <y0> <x1> <y1>       # one line per shape, nm coordinates
+#pragma once
+
+#include <string>
+
+#include "layout/layout.h"
+
+namespace litho::layout {
+
+/// Writes a clip to the LCLIP text format.
+void write_clip(const std::string& path, const Clip& clip);
+
+/// Reads an LCLIP file; throws std::runtime_error on malformed input.
+Clip read_clip(const std::string& path);
+
+}  // namespace litho::layout

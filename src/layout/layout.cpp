@@ -1,0 +1,191 @@
+#include "layout/layout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace litho::layout {
+
+int64_t Rect::spacing_to(const Rect& o) const {
+  const int64_t dx = std::max<int64_t>({0, o.x0 - x1, x0 - o.x1});
+  const int64_t dy = std::max<int64_t>({0, o.y0 - y1, y0 - o.y1});
+  if (dx == 0) return dy;
+  if (dy == 0) return dx;
+  // Diagonal neighbors: Euclidean corner-to-corner distance (floored).
+  return static_cast<int64_t>(
+      std::floor(std::sqrt(static_cast<double>(dx * dx + dy * dy))));
+}
+
+bool drc_clean(const Clip& clip, const DesignRules& rules) {
+  for (const Rect& r : clip.shapes) {
+    if (r.empty()) return false;
+    if (r.x0 < 0 || r.y0 < 0 || r.x1 > clip.extent_nm || r.y1 > clip.extent_nm) {
+      return false;
+    }
+    if (r.width() < rules.min_width_nm || r.height() < rules.min_width_nm) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < clip.shapes.size(); ++i) {
+    for (size_t j = i + 1; j < clip.shapes.size(); ++j) {
+      const Rect& a = clip.shapes[i];
+      const Rect& b = clip.shapes[j];
+      if (a.intersects(b)) continue;  // same-layer shapes merge
+      const int64_t s = a.spacing_to(b);
+      if (s > 0 && s < rules.min_space_nm) return false;
+    }
+  }
+  return true;
+}
+
+Tensor rasterize(const Clip& clip, double pixel_nm) {
+  const auto n = static_cast<int64_t>(
+      std::llround(static_cast<double>(clip.extent_nm) / pixel_nm));
+  if (n <= 0 || std::abs(n * pixel_nm - static_cast<double>(clip.extent_nm)) >
+                    1e-6) {
+    throw std::invalid_argument("clip extent must be a multiple of pixel size");
+  }
+  Tensor grid({n, n});
+  const double inv_area = 1.0 / (pixel_nm * pixel_nm);
+  for (const Rect& r : clip.shapes) {
+    const int64_t c0 = std::max<int64_t>(
+        0, static_cast<int64_t>(std::floor(r.x0 / pixel_nm)));
+    const int64_t c1 = std::min<int64_t>(
+        n - 1, static_cast<int64_t>(std::ceil(r.x1 / pixel_nm)) - 1);
+    const int64_t r0 = std::max<int64_t>(
+        0, static_cast<int64_t>(std::floor(r.y0 / pixel_nm)));
+    const int64_t r1 = std::min<int64_t>(
+        n - 1, static_cast<int64_t>(std::ceil(r.y1 / pixel_nm)) - 1);
+    for (int64_t row = r0; row <= r1; ++row) {
+      const double oy = std::min<double>(static_cast<double>(r.y1),
+                                         (row + 1) * pixel_nm) -
+                        std::max<double>(static_cast<double>(r.y0),
+                                         row * pixel_nm);
+      if (oy <= 0) continue;
+      for (int64_t col = c0; col <= c1; ++col) {
+        const double ox = std::min<double>(static_cast<double>(r.x1),
+                                           (col + 1) * pixel_nm) -
+                          std::max<double>(static_cast<double>(r.x0),
+                                           col * pixel_nm);
+        if (ox <= 0) continue;
+        grid[row * n + col] += static_cast<float>(ox * oy * inv_area);
+      }
+    }
+  }
+  grid.apply_([](float v) { return std::min(v, 1.f); });
+  return grid;
+}
+
+double density(const Clip& clip) {
+  double area = 0;
+  for (const Rect& r : clip.shapes) area += static_cast<double>(r.area());
+  const double clip_area =
+      static_cast<double>(clip.extent_nm) * static_cast<double>(clip.extent_nm);
+  return area / clip_area;
+}
+
+ViaLayerGenerator::ViaLayerGenerator(Params params, DesignRules rules)
+    : params_(params), rules_(rules) {
+  const int64_t worst_gap =
+      params_.pitch_nm - params_.via_nm - 2 * params_.jitter_nm;
+  if (worst_gap < rules_.min_space_nm) {
+    throw std::invalid_argument(
+        "via generator params violate min spacing in the worst case");
+  }
+  if (params_.via_nm < rules_.min_width_nm) {
+    throw std::invalid_argument("via size below min width");
+  }
+}
+
+Clip ViaLayerGenerator::generate(std::mt19937& rng) const {
+  Clip clip;
+  clip.extent_nm = params_.clip_nm;
+  const int64_t pitch = params_.pitch_nm;
+  const int64_t margin = pitch / 2;
+  const int64_t sites = (params_.clip_nm - 2 * margin) / pitch + 1;
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::uniform_int_distribution<int64_t> jitter(-params_.jitter_nm,
+                                                params_.jitter_nm);
+
+  // Dense array regions (site-index rectangles) get probability 1.
+  std::vector<Rect> arrays;
+  const int64_t n_arrays =
+      u01(rng) < params_.array_probability * 4 ? 1 + (rng() % 2) : 0;
+  for (int64_t a = 0; a < n_arrays; ++a) {
+    std::uniform_int_distribution<int64_t> pos(0, std::max<int64_t>(0, sites - 3));
+    std::uniform_int_distribution<int64_t> len(2, std::max<int64_t>(2, sites / 3));
+    const int64_t sx = pos(rng), sy = pos(rng);
+    arrays.push_back({sx, sy, std::min(sites, sx + len(rng)),
+                      std::min(sites, sy + len(rng))});
+  }
+
+  for (int64_t sy = 0; sy < sites; ++sy) {
+    for (int64_t sx = 0; sx < sites; ++sx) {
+      bool in_array = false;
+      for (const Rect& a : arrays) {
+        if (sx >= a.x0 && sx < a.x1 && sy >= a.y0 && sy < a.y1) {
+          in_array = true;
+          break;
+        }
+      }
+      if (!in_array && u01(rng) >= params_.site_probability) continue;
+      const int64_t cx = margin + sx * pitch + (in_array ? 0 : jitter(rng));
+      const int64_t cy = margin + sy * pitch + (in_array ? 0 : jitter(rng));
+      const int64_t half = params_.via_nm / 2;
+      Rect v{cx - half, cy - half, cx - half + params_.via_nm,
+             cy - half + params_.via_nm};
+      if (v.x0 < 0 || v.y0 < 0 || v.x1 > clip.extent_nm ||
+          v.y1 > clip.extent_nm) {
+        continue;
+      }
+      clip.shapes.push_back(v);
+    }
+  }
+  return clip;
+}
+
+MetalLayerGenerator::MetalLayerGenerator(Params params, DesignRules rules)
+    : params_(params), rules_(rules) {
+  if (params_.track_pitch_nm - params_.wire_nm < rules_.min_space_nm) {
+    throw std::invalid_argument("metal track pitch violates min spacing");
+  }
+  if (params_.wire_nm < rules_.min_width_nm) {
+    throw std::invalid_argument("wire width below min width");
+  }
+}
+
+Clip MetalLayerGenerator::generate(std::mt19937& rng) const {
+  Clip clip;
+  clip.extent_nm = params_.clip_nm;
+  const int64_t pitch = params_.track_pitch_nm;
+  const int64_t tracks = params_.clip_nm / pitch;
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::uniform_int_distribution<int64_t> gap_extra(0, 3 * rules_.min_space_nm);
+  std::uniform_int_distribution<int64_t> seg_extra(0, params_.clip_nm / 2);
+
+  for (int64_t t = 0; t < tracks; ++t) {
+    const bool wide = u01(rng) < params_.wide_probability;
+    const int64_t w = wide ? 2 * params_.wire_nm : params_.wire_nm;
+    const int64_t y0 = t * pitch + (pitch - params_.wire_nm) / 2;
+    if (y0 + w > clip.extent_nm) continue;
+    if (u01(rng) >= params_.segment_probability) continue;
+
+    int64_t x = 0;
+    while (x < clip.extent_nm) {
+      const int64_t gap = rules_.min_space_nm + gap_extra(rng);
+      const int64_t len = params_.min_segment_nm + seg_extra(rng);
+      const int64_t x0 = x + gap;
+      const int64_t x1 = std::min(x0 + len, clip.extent_nm);
+      if (x1 - x0 >= params_.min_segment_nm) {
+        clip.shapes.push_back({x0, y0, x1, y0 + w});
+      }
+      x = x1 + rules_.min_space_nm;
+      // Sparse tracks: sometimes stop after one segment.
+      if (u01(rng) < 0.4) break;
+    }
+    if (wide) ++t;  // a wide wire consumes the next track's space
+  }
+  return clip;
+}
+
+}  // namespace litho::layout

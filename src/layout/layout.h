@@ -1,0 +1,111 @@
+// Layout substrate: Manhattan geometry, design-rule-driven clip generators
+// and an area-coverage rasterizer.
+//
+// These generators are the stand-ins for the paper's benchmark layouts
+// (DESIGN.md §2): the paper itself synthesizes its ISPD-2019 training set
+// with "an open source layout generator following the same design rules" —
+// we do the same, with via-layer (ISPD-2019 / N14) and metal-layer
+// (ICCAD-2013) flavors.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace litho::layout {
+
+/// Axis-aligned rectangle in nm, half-open [x0, x1) x [y0, y1).
+struct Rect {
+  int64_t x0 = 0;
+  int64_t y0 = 0;
+  int64_t x1 = 0;
+  int64_t y1 = 0;
+
+  int64_t width() const { return x1 - x0; }
+  int64_t height() const { return y1 - y0; }
+  int64_t area() const { return width() * height(); }
+  bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+  bool intersects(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+  /// Euclidean-free Manhattan gap: 0 if the rects touch or overlap.
+  int64_t spacing_to(const Rect& o) const;
+};
+
+/// A layout tile: square region of side `extent_nm` holding mask shapes.
+struct Clip {
+  int64_t extent_nm = 0;
+  std::vector<Rect> shapes;
+};
+
+/// Minimal design-rule set shared by the generators.
+struct DesignRules {
+  int64_t min_width_nm = 64;
+  int64_t min_space_nm = 64;
+};
+
+/// True if all shapes lie inside the clip and every disjoint pair respects
+/// min_space (touching/overlapping shapes merge on a single layer and are
+/// allowed).
+bool drc_clean(const Clip& clip, const DesignRules& rules);
+
+/// Rasterizes a clip to an (extent/pixel) square tensor with exact
+/// area-coverage antialiasing; overlapping shapes saturate at 1.
+Tensor rasterize(const Clip& clip, double pixel_nm);
+
+/// Fraction of clip area covered by shapes (ignoring overlap).
+double density(const Clip& clip);
+
+/// Via-layer generator: square contacts placed on a regular pitch grid with
+/// per-site probability plus occasional dense arrays. Mimics the ISPD-2019
+/// and N14 via layers of Table 1.
+class ViaLayerGenerator {
+ public:
+  struct Params {
+    int64_t clip_nm = 2048;      ///< tile side (4 um^2 -> 2048 with 2 um)
+    int64_t via_nm = 72;         ///< via side
+    int64_t pitch_nm = 256;      ///< placement grid pitch
+    double site_probability = 0.25;
+    double array_probability = 0.08;  ///< chance a region becomes a full array
+    int64_t jitter_nm = 16;      ///< random off-grid jitter (kept DRC-clean)
+  };
+
+  ViaLayerGenerator(Params params, DesignRules rules);
+
+  Clip generate(std::mt19937& rng) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  DesignRules rules_;
+};
+
+/// Metal-layer generator: track-based random wire segments with occasional
+/// wide wires, mimicking the ICCAD-2013 M1 tiles of Table 1.
+class MetalLayerGenerator {
+ public:
+  struct Params {
+    int64_t clip_nm = 2048;
+    int64_t track_pitch_nm = 160;  ///< wire width + space
+    int64_t wire_nm = 80;          ///< default wire width
+    double wide_probability = 0.15;   ///< track uses a 2x-wide wire
+    double segment_probability = 0.7; ///< track carries at least one segment
+    int64_t min_segment_nm = 240;
+  };
+
+  MetalLayerGenerator(Params params, DesignRules rules);
+
+  Clip generate(std::mt19937& rng) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  DesignRules rules_;
+};
+
+}  // namespace litho::layout

@@ -1,0 +1,115 @@
+#include "litho/cd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace litho::optics {
+namespace {
+
+/// Samples the 1-D profile of @p aerial along the cut.
+std::vector<float> profile_along(const Tensor& aerial, const CutLine& cut) {
+  const int64_t h = aerial.size(0), w = aerial.size(1);
+  std::vector<float> p;
+  if (cut.horizontal) {
+    if (cut.position_px < 0 || cut.position_px >= h) {
+      throw std::invalid_argument("cut row out of range");
+    }
+    p.resize(static_cast<size_t>(w));
+    for (int64_t c = 0; c < w; ++c) {
+      p[static_cast<size_t>(c)] = aerial[cut.position_px * w + c];
+    }
+  } else {
+    if (cut.position_px < 0 || cut.position_px >= w) {
+      throw std::invalid_argument("cut column out of range");
+    }
+    p.resize(static_cast<size_t>(h));
+    for (int64_t r = 0; r < h; ++r) {
+      p[static_cast<size_t>(r)] = aerial[r * w + cut.position_px];
+    }
+  }
+  return p;
+}
+
+/// Sub-pixel position where the profile crosses the threshold between
+/// samples i and i+1.
+double crossing(const std::vector<float>& p, int64_t i, double thr) {
+  const double a = p[static_cast<size_t>(i)];
+  const double b = p[static_cast<size_t>(i) + 1];
+  return static_cast<double>(i) + (thr - a) / (b - a);
+}
+
+}  // namespace
+
+double measure_cd_nm(const Tensor& aerial, double threshold, CutLine cut,
+                     int64_t center_px, double pixel_nm) {
+  if (aerial.dim() != 2) throw std::invalid_argument("measure_cd: 2-D only");
+  const std::vector<float> p = profile_along(aerial, cut);
+  const int64_t n = static_cast<int64_t>(p.size());
+  center_px = std::clamp<int64_t>(center_px, 0, n - 1);
+  if (p[static_cast<size_t>(center_px)] < threshold) {
+    // Feature does not print at the center: search the nearest printed run.
+    int64_t best = -1;
+    for (int64_t d = 1; d < n; ++d) {
+      if (center_px - d >= 0 &&
+          p[static_cast<size_t>(center_px - d)] >= threshold) {
+        best = center_px - d;
+        break;
+      }
+      if (center_px + d < n &&
+          p[static_cast<size_t>(center_px + d)] >= threshold) {
+        best = center_px + d;
+        break;
+      }
+    }
+    if (best < 0) return 0.0;
+    center_px = best;
+  }
+  // Expand to the run boundaries.
+  int64_t lo = center_px;
+  while (lo > 0 && p[static_cast<size_t>(lo - 1)] >= threshold) --lo;
+  int64_t hi = center_px;
+  while (hi + 1 < n && p[static_cast<size_t>(hi + 1)] >= threshold) ++hi;
+
+  const double left =
+      lo == 0 ? -0.5 : crossing(p, lo - 1, threshold);
+  const double right =
+      hi == n - 1 ? static_cast<double>(n) - 0.5 : crossing(p, hi, threshold);
+  return (right - left) * pixel_nm;
+}
+
+std::vector<BossungPoint> bossung_sweep(const OpticalConfig& nominal,
+                                        const Tensor& mask, double threshold,
+                                        CutLine cut, int64_t center_px,
+                                        const std::vector<double>& defocus_nm) {
+  std::vector<BossungPoint> out;
+  out.reserve(defocus_nm.size());
+  for (const double z : defocus_nm) {
+    OpticalConfig cfg = nominal;
+    cfg.defocus_nm = z;
+    LithoSimulator sim(cfg, compute_socs_kernels(cfg));
+    const Tensor aerial = sim.aerial(mask);
+    out.push_back(
+        {z, measure_cd_nm(aerial, threshold, cut, center_px, cfg.pixel_nm)});
+  }
+  return out;
+}
+
+double depth_of_focus_nm(const std::vector<BossungPoint>& curve,
+                         double tolerance) {
+  double nominal_cd = 0;
+  for (const BossungPoint& p : curve) {
+    if (p.defocus_nm == 0.0) nominal_cd = p.cd_nm;
+  }
+  if (nominal_cd <= 0) return 0.0;
+  double lo = 0, hi = 0;
+  for (const BossungPoint& p : curve) {
+    if (std::abs(p.cd_nm - nominal_cd) / nominal_cd <= tolerance) {
+      lo = std::min(lo, p.defocus_nm);
+      hi = std::max(hi, p.defocus_nm);
+    }
+  }
+  return hi - lo;
+}
+
+}  // namespace litho::optics

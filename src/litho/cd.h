@@ -1,0 +1,44 @@
+// Critical-dimension (CD) metrology on aerial images: measure the printed
+// width of a feature along a cut line, and Bossung-style process-window
+// sweeps (CD vs defocus). These are the classic lithography QA tools the
+// golden engine is used with in production flows.
+#pragma once
+
+#include <vector>
+
+#include "litho/simulator.h"
+
+namespace litho::optics {
+
+/// A horizontal or vertical cut through the image.
+struct CutLine {
+  bool horizontal = true;  ///< true: scan along x at row; false: along y
+  int64_t position_px = 0; ///< the fixed row (horizontal) or column
+};
+
+/// Measures the printed CD (nm) along a cut: width of the contiguous
+/// above-threshold run nearest to @p center_px, with sub-pixel linear
+/// interpolation at the two threshold crossings. Returns 0 when nothing
+/// prints on the cut.
+double measure_cd_nm(const Tensor& aerial, double threshold, CutLine cut,
+                     int64_t center_px, double pixel_nm);
+
+/// One Bossung point: defocus condition and the measured CD.
+struct BossungPoint {
+  double defocus_nm;
+  double cd_nm;
+};
+
+/// Sweeps defocus and measures the CD of the same feature at each
+/// condition. Kernels are recomputed per condition (seconds each).
+std::vector<BossungPoint> bossung_sweep(const OpticalConfig& nominal,
+                                        const Tensor& mask, double threshold,
+                                        CutLine cut, int64_t center_px,
+                                        const std::vector<double>& defocus_nm);
+
+/// Depth of focus: the defocus span over which |CD - CD(0)| / CD(0) stays
+/// within @p tolerance. Returns 0 when the nominal CD is 0.
+double depth_of_focus_nm(const std::vector<BossungPoint>& curve,
+                         double tolerance = 0.1);
+
+}  // namespace litho::optics

@@ -1,0 +1,260 @@
+#include "litho/optics.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "io/io.h"
+
+namespace litho::optics {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+using cd = std::complex<double>;
+
+/// Signed centered frequency index for grid position i of n samples.
+int64_t centered_index(int64_t i, int64_t n) { return i < n / 2 ? i : i - n; }
+
+/// Frequency points (integer, centered) within radius @p r on an n-grid.
+std::vector<std::pair<int64_t, int64_t>> freq_points(int64_t n, double r) {
+  std::vector<std::pair<int64_t, int64_t>> pts;
+  const int64_t ri = static_cast<int64_t>(std::ceil(r));
+  for (int64_t ky = -ri; ky <= ri; ++ky) {
+    for (int64_t kx = -ri; kx <= ri; ++kx) {
+      if (static_cast<double>(kx * kx + ky * ky) <= r * r) {
+        pts.emplace_back(kx, ky);
+      }
+    }
+  }
+  return pts;
+}
+
+}  // namespace
+
+double OpticalConfig::optical_diameter_nm() const {
+  // Interaction ambit heuristic: a few Rayleigh units. Matches the scale
+  // industrial flows quote for 193i (~0.5-1 um).
+  return 4.0 * wavelength_nm / na;
+}
+
+std::complex<double> pupil_value(const OpticalConfig& cfg, double fx,
+                                 double fy) {
+  const double f2 = fx * fx + fy * fy;
+  const double fc = cfg.cutoff_freq();
+  if (f2 > fc * fc) return {0.0, 0.0};
+  if (cfg.defocus_nm == 0.0) return {1.0, 0.0};
+  // Paraxial defocus phase: exp(i * pi * lambda * z * f^2).
+  const double phase = kPi * cfg.wavelength_nm * cfg.defocus_nm * f2;
+  return {std::cos(phase), std::sin(phase)};
+}
+
+std::vector<SourcePoint> source_points(const OpticalConfig& cfg, int64_t n) {
+  const double r = cfg.pupil_radius_px(n);
+  const double r_out = cfg.sigma_out * r;
+  const double r_in =
+      cfg.source == SourceShape::kAnnular ? cfg.sigma_in * r : 0.0;
+  std::vector<SourcePoint> pts;
+  const int64_t ri = static_cast<int64_t>(std::ceil(r_out));
+  for (int64_t ky = -ri; ky <= ri; ++ky) {
+    for (int64_t kx = -ri; kx <= ri; ++kx) {
+      const double d2 = static_cast<double>(kx * kx + ky * ky);
+      if (d2 <= r_out * r_out && d2 >= r_in * r_in) {
+        pts.push_back({static_cast<double>(kx), static_cast<double>(ky)});
+      }
+    }
+  }
+  if (pts.empty()) {
+    // Degenerate coherent limit: single on-axis point.
+    pts.push_back({0.0, 0.0});
+  }
+  return pts;
+}
+
+std::vector<SocsKernel> compute_socs_kernels(const OpticalConfig& cfg) {
+  const int64_t n = cfg.kernel_grid;
+  const double p = cfg.pixel_nm;
+  const double r_pupil = cfg.pupil_radius_px(n);
+  if (r_pupil < 2.0) {
+    throw std::invalid_argument(
+        "kernel grid too coarse: pupil radius below 2 samples");
+  }
+  // TCC support: shifted pupils reach |f| <= (1 + sigma_out) * r_pupil.
+  const auto pts = freq_points(n, (1.0 + cfg.sigma_out) * r_pupil);
+  const int64_t m = static_cast<int64_t>(pts.size());
+  const auto src = source_points(cfg, n);
+  const int64_t ns = static_cast<int64_t>(src.size());
+  const double inv_freq = 1.0 / (static_cast<double>(n) * p);
+
+  // A[i][s] = P(f_i + f_s): the TCC is (1/ns) A A^H, so T v = A (A^H v) / ns
+  // gives an O(m*ns) matvec for the power iteration.
+  std::vector<cd> a(static_cast<size_t>(m * ns));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t s = 0; s < ns; ++s) {
+      const double fx = (static_cast<double>(pts[i].first) + src[s].kx) * inv_freq;
+      const double fy = (static_cast<double>(pts[i].second) + src[s].ky) * inv_freq;
+      a[static_cast<size_t>(i * ns + s)] = pupil_value(cfg, fx, fy);
+    }
+  }
+
+  auto matvec = [&](const std::vector<cd>& v, std::vector<cd>& out) {
+    std::vector<cd> tmp(static_cast<size_t>(ns), cd(0, 0));
+    for (int64_t i = 0; i < m; ++i) {
+      const cd vi = v[static_cast<size_t>(i)];
+      if (vi == cd(0, 0)) continue;
+      const cd* row = a.data() + i * ns;
+      for (int64_t s = 0; s < ns; ++s) tmp[static_cast<size_t>(s)] += std::conj(row[s]) * vi;
+    }
+    const double inv_ns = 1.0 / static_cast<double>(ns);
+    for (int64_t i = 0; i < m; ++i) {
+      const cd* row = a.data() + i * ns;
+      cd acc(0, 0);
+      for (int64_t s = 0; s < ns; ++s) acc += row[s] * tmp[static_cast<size_t>(s)];
+      out[static_cast<size_t>(i)] = acc * inv_ns;
+    }
+  };
+
+  std::mt19937 rng(20220312);  // deterministic kernels for a fixed config
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<std::vector<cd>> eigvecs;
+  std::vector<double> eigvals;
+
+  for (int64_t k = 0; k < cfg.kernel_count; ++k) {
+    std::vector<cd> v(static_cast<size_t>(m));
+    for (auto& x : v) x = {dist(rng), dist(rng)};
+    std::vector<cd> tv(static_cast<size_t>(m));
+    double lambda = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Deflate previously found eigenpairs (Hotelling).
+      for (size_t j = 0; j < eigvecs.size(); ++j) {
+        cd proj(0, 0);
+        for (int64_t i = 0; i < m; ++i) {
+          proj += std::conj(eigvecs[j][static_cast<size_t>(i)]) *
+                  v[static_cast<size_t>(i)];
+        }
+        for (int64_t i = 0; i < m; ++i) {
+          v[static_cast<size_t>(i)] -= proj * eigvecs[j][static_cast<size_t>(i)];
+        }
+      }
+      matvec(v, tv);
+      double norm = 0.0;
+      for (const cd& x : tv) norm += std::norm(x);
+      norm = std::sqrt(norm);
+      if (norm < 1e-14) break;  // TCC rank exhausted
+      for (int64_t i = 0; i < m; ++i) {
+        v[static_cast<size_t>(i)] = tv[static_cast<size_t>(i)] / norm;
+      }
+      lambda = norm;  // after convergence ||Tv|| -> lambda for unit v
+    }
+    eigvecs.push_back(v);
+    eigvals.push_back(lambda);
+  }
+
+  // Assemble spatial kernels: spectrum on the n x n grid -> centered IFFT.
+  std::vector<SocsKernel> kernels;
+  kernels.reserve(eigvecs.size());
+  for (size_t k = 0; k < eigvecs.size(); ++k) {
+    fft::CTensor spec({n, n});
+    for (int64_t i = 0; i < m; ++i) {
+      const int64_t kx = (pts[static_cast<size_t>(i)].first % n + n) % n;
+      const int64_t ky = (pts[static_cast<size_t>(i)].second % n + n) % n;
+      spec.re[ky * n + kx] = static_cast<float>(eigvecs[k][static_cast<size_t>(i)].real());
+      spec.im[ky * n + kx] = static_cast<float>(eigvecs[k][static_cast<size_t>(i)].imag());
+    }
+    fft::CTensor spatial = fft::fft2(spec, /*inverse=*/true);
+    // fftshift so the kernel peak sits at the window center.
+    fft::CTensor shifted({n, n});
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t c = 0; c < n; ++c) {
+        const int64_t sr = (r + n / 2) % n;
+        const int64_t sc = (c + n / 2) % n;
+        shifted.re[sr * n + sc] = spatial.re[r * n + c];
+        shifted.im[sr * n + sc] = spatial.im[r * n + c];
+      }
+    }
+    SocsKernel kern;
+    kern.alpha = eigvals[k];
+    kern.spatial = std::move(shifted);
+    kernels.push_back(std::move(kern));
+  }
+  return kernels;
+}
+
+void save_kernels(const std::string& path, const std::vector<SocsKernel>& ks) {
+  std::map<std::string, Tensor> dict;
+  Tensor alphas({static_cast<int64_t>(ks.size())});
+  for (size_t i = 0; i < ks.size(); ++i) {
+    alphas[static_cast<int64_t>(i)] = static_cast<float>(ks[i].alpha);
+    dict.emplace("kernel" + std::to_string(i) + ".re", ks[i].spatial.re);
+    dict.emplace("kernel" + std::to_string(i) + ".im", ks[i].spatial.im);
+  }
+  dict.emplace("alphas", alphas);
+  io::save_tensors(path, dict);
+}
+
+std::vector<SocsKernel> load_kernels(const std::string& path) {
+  const auto dict = io::load_tensors(path);
+  const Tensor& alphas = dict.at("alphas");
+  std::vector<SocsKernel> ks(static_cast<size_t>(alphas.numel()));
+  for (size_t i = 0; i < ks.size(); ++i) {
+    ks[i].alpha = alphas[static_cast<int64_t>(i)];
+    ks[i].spatial =
+        fft::CTensor(dict.at("kernel" + std::to_string(i) + ".re"),
+                     dict.at("kernel" + std::to_string(i) + ".im"));
+  }
+  return ks;
+}
+
+fft::CTensor kernel_spectrum(const SocsKernel& k, int64_t h, int64_t w) {
+  const int64_t d = k.spatial.re.size(0);
+  if (d > h || d > w) {
+    throw std::invalid_argument(
+        "simulation grid smaller than the kernel window");
+  }
+  fft::CTensor grid({h, w});
+  // Window center (d/2, d/2) maps to origin (0, 0) with wrap-around.
+  for (int64_t r = 0; r < d; ++r) {
+    for (int64_t c = 0; c < d; ++c) {
+      const int64_t gr = ((r - d / 2) % h + h) % h;
+      const int64_t gc = ((c - d / 2) % w + w) % w;
+      grid.re[gr * w + gc] = k.spatial.re[r * d + c];
+      grid.im[gr * w + gc] = k.spatial.im[r * d + c];
+    }
+  }
+  return fft::fft2(grid, /*inverse=*/false);
+}
+
+Tensor abbe_intensity(const OpticalConfig& cfg, const Tensor& mask) {
+  if (mask.dim() != 2) throw std::invalid_argument("abbe: 2-D mask expected");
+  const int64_t h = mask.size(0), w = mask.size(1);
+  if (h != w) throw std::invalid_argument("abbe: square mask expected");
+  const auto src = source_points(cfg, h);
+  const double inv_freq = 1.0 / (static_cast<double>(h) * cfg.pixel_nm);
+
+  fft::CTensor mask_c(mask.clone(), Tensor(mask.shape()));
+  fft::CTensor spec = fft::fft2(mask_c, false);
+
+  Tensor intensity(mask.shape());
+  for (const SourcePoint& s : src) {
+    fft::CTensor filtered({h, w});
+    for (int64_t r = 0; r < h; ++r) {
+      for (int64_t c = 0; c < w; ++c) {
+        const double fx = (static_cast<double>(centered_index(c, w)) + s.kx) * inv_freq;
+        const double fy = (static_cast<double>(centered_index(r, h)) + s.ky) * inv_freq;
+        const cd pv = pupil_value(cfg, fx, fy);
+        if (pv == cd(0, 0)) continue;
+        const float xr = spec.re[r * w + c], xi = spec.im[r * w + c];
+        filtered.re[r * w + c] =
+            static_cast<float>(xr * pv.real() - xi * pv.imag());
+        filtered.im[r * w + c] =
+            static_cast<float>(xr * pv.imag() + xi * pv.real());
+      }
+    }
+    const fft::CTensor field = fft::fft2(filtered, true);
+    const Tensor mag = fft::cabs2(field);
+    intensity.add_scaled_(mag, 1.f / static_cast<float>(src.size()));
+  }
+  return intensity;
+}
+
+}  // namespace litho::optics

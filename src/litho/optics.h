@@ -1,0 +1,98 @@
+// Partially-coherent optical imaging model (the golden lithography engine).
+//
+// Implements the Hopkins diffraction model of paper Section 2.1:
+//   - a circular-NA pupil (optionally defocused),
+//   - a circular or annular illumination source,
+//   - the transmission cross coefficient (TCC) matrix over the band-limited
+//     frequency support,
+//   - its eigendecomposition into SOCS kernels h_k / eigenvalues alpha_k
+//     (eq. (1)-(2)),
+//   - FFT-based aerial image formation I = sum_k alpha_k |F^-1(H_k . F(M))|^2
+//     (eq. (3)).
+//
+// This is the stand-in for the rigorous engines ("Lithosim" / "Calibre") the
+// paper uses to produce golden contours; see DESIGN.md §2.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "fft/fft.h"
+#include "tensor/tensor.h"
+
+namespace litho::optics {
+
+/// Illumination shapes supported by the source model.
+enum class SourceShape {
+  kCircular,  ///< conventional partially coherent disc, radius sigma_out
+  kAnnular,   ///< annulus between sigma_in and sigma_out
+};
+
+/// Physical and numerical configuration of the optical model.
+struct OpticalConfig {
+  double wavelength_nm = 193.0;  ///< ArF immersion scanner
+  double na = 1.35;              ///< numerical aperture
+  SourceShape source = SourceShape::kAnnular;
+  double sigma_in = 0.6;   ///< inner partial-coherence factor (annular)
+  double sigma_out = 0.9;  ///< outer partial-coherence factor
+  double defocus_nm = 0.0; ///< defocus aberration; 0 = nominal focus
+
+  double pixel_nm = 16.0;  ///< mask raster pixel size
+  /// Side of the square grid the TCC is sampled on. Kernels computed here are
+  /// cropped in space and re-embedded onto any simulation grid, so this can
+  /// be (much) smaller than the simulation tile.
+  int64_t kernel_grid = 64;
+  int64_t kernel_count = 12;  ///< number of retained SOCS kernels (l in eq. 2)
+
+  /// Cutoff spatial frequency NA/lambda in cycles/nm.
+  double cutoff_freq() const { return na / wavelength_nm; }
+  /// Pupil radius in frequency-grid index units for @p n samples of pitch
+  /// pixel_nm.
+  double pupil_radius_px(int64_t n) const {
+    return cutoff_freq() * static_cast<double>(n) * pixel_nm;
+  }
+  /// Estimate of the optical diameter (interaction ambit) in nm, the d of
+  /// the paper's large-tile scheme (Section 3.2).
+  double optical_diameter_nm() const;
+};
+
+/// One SOCS kernel: eigenvalue plus the kernel's spatial samples on a
+/// kernel_grid x kernel_grid window centered at the origin.
+struct SocsKernel {
+  double alpha = 0.0;
+  fft::CTensor spatial;  ///< [D, D], center of the kernel at (D/2, D/2)
+};
+
+/// Pupil transfer value at frequency (fx, fy) in cycles/nm; complex because
+/// of the defocus phase term.
+std::complex<double> pupil_value(const OpticalConfig& cfg, double fx,
+                                 double fy);
+
+/// Source sample points (in frequency index units of an n-sample grid) and
+/// their (uniform) weights.
+struct SourcePoint {
+  double kx;
+  double ky;
+};
+std::vector<SourcePoint> source_points(const OpticalConfig& cfg, int64_t n);
+
+/// Computes the top-`cfg.kernel_count` SOCS kernels of the TCC by subspace
+/// (power) iteration with deflation. Deterministic for a fixed config.
+/// Expensive (seconds); callers should cache via save/load below.
+std::vector<SocsKernel> compute_socs_kernels(const OpticalConfig& cfg);
+
+/// Serializes kernels to / from the io tensor container format.
+void save_kernels(const std::string& path, const std::vector<SocsKernel>& ks);
+std::vector<SocsKernel> load_kernels(const std::string& path);
+
+/// Embeds a kernel's spatial window onto an h x w simulation grid (centered
+/// at the origin with wrap-around) and returns its full complex spectrum.
+fft::CTensor kernel_spectrum(const SocsKernel& k, int64_t h, int64_t w);
+
+/// Reference Abbe (source-point) imaging used in tests to validate the SOCS
+/// approximation: exact partially-coherent image of @p mask, O(#source pts)
+/// FFT pairs. Returns the UNNORMALIZED intensity.
+Tensor abbe_intensity(const OpticalConfig& cfg, const Tensor& mask);
+
+}  // namespace litho::optics

@@ -1,0 +1,135 @@
+#include "litho/resist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace litho::optics {
+namespace {
+
+/// Mean IOU of the foreground class between two binary images.
+double fg_iou(const Tensor& a, const Tensor& b) {
+  int64_t inter = 0, uni = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const bool pa = a[i] >= 0.5f, pb = b[i] >= 0.5f;
+    if (pa && pb) ++inter;
+    if (pa || pb) ++uni;
+  }
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double score(const VtrModel& m, const std::vector<Tensor>& aerials,
+             const std::vector<Tensor>& goldens) {
+  double acc = 0;
+  for (size_t i = 0; i < aerials.size(); ++i) {
+    acc += fg_iou(m.apply(aerials[i]), goldens[i]);
+  }
+  return acc / static_cast<double>(aerials.size());
+}
+
+}  // namespace
+
+Tensor intensity_gradient(const Tensor& aerial) {
+  if (aerial.dim() != 2) throw std::invalid_argument("gradient: 2-D only");
+  const int64_t h = aerial.size(0), w = aerial.size(1);
+  Tensor out({h, w});
+  for (int64_t r = 0; r < h; ++r) {
+    for (int64_t c = 0; c < w; ++c) {
+      const float gx = (aerial[r * w + std::min(c + 1, w - 1)] -
+                        aerial[r * w + std::max<int64_t>(c - 1, 0)]) *
+                       0.5f;
+      const float gy = (aerial[std::min(r + 1, h - 1) * w + c] -
+                        aerial[std::max<int64_t>(r - 1, 0) * w + c]) *
+                       0.5f;
+      out[r * w + c] = std::sqrt(gx * gx + gy * gy);
+    }
+  }
+  return out;
+}
+
+Tensor local_max(const Tensor& aerial, int64_t radius) {
+  if (aerial.dim() != 2) throw std::invalid_argument("local_max: 2-D only");
+  const int64_t h = aerial.size(0), w = aerial.size(1);
+  // Separable: rows then columns.
+  Tensor rows({h, w});
+  for (int64_t r = 0; r < h; ++r) {
+    for (int64_t c = 0; c < w; ++c) {
+      float m = aerial[r * w + c];
+      for (int64_t d = -radius; d <= radius; ++d) {
+        const int64_t cc = std::clamp<int64_t>(c + d, 0, w - 1);
+        m = std::max(m, aerial[r * w + cc]);
+      }
+      rows[r * w + c] = m;
+    }
+  }
+  Tensor out({h, w});
+  for (int64_t r = 0; r < h; ++r) {
+    for (int64_t c = 0; c < w; ++c) {
+      float m = rows[r * w + c];
+      for (int64_t d = -radius; d <= radius; ++d) {
+        const int64_t rr = std::clamp<int64_t>(r + d, 0, h - 1);
+        m = std::max(m, rows[rr * w + c]);
+      }
+      out[r * w + c] = m;
+    }
+  }
+  return out;
+}
+
+Tensor VtrModel::apply(const Tensor& aerial) const {
+  Tensor out(aerial.shape());
+  // Avoid the (relatively expensive) feature images when they are unused
+  // (the CTR special case).
+  if (a1 == 0.0 && a2 == 0.0) {
+    for (int64_t i = 0; i < aerial.numel(); ++i) {
+      out[i] = aerial[i] >= static_cast<float>(a0) ? 1.f : 0.f;
+    }
+    return out;
+  }
+  const Tensor imax = local_max(aerial, 2);
+  const Tensor grad = intensity_gradient(aerial);
+  for (int64_t i = 0; i < aerial.numel(); ++i) {
+    const double t = a0 + a1 * imax[i] + a2 * grad[i];
+    out[i] = aerial[i] >= static_cast<float>(t) ? 1.f : 0.f;
+  }
+  return out;
+}
+
+VtrModel calibrate_vtr(const std::vector<Tensor>& aerials,
+                       const std::vector<Tensor>& golden_contours,
+                       int64_t steps, int64_t sweeps) {
+  if (aerials.empty() || aerials.size() != golden_contours.size()) {
+    throw std::invalid_argument("calibrate_vtr: bad sample set");
+  }
+  VtrModel best;
+  double best_score = score(best, aerials, golden_contours);
+  // Coordinate descent over (a0, a1, a2) with a shrinking search window.
+  double w0 = 0.15, w1 = 0.3, w2 = 0.6;
+  for (int64_t sweep = 0; sweep < sweeps; ++sweep) {
+    for (int coord = 0; coord < 3; ++coord) {
+      const double width = coord == 0 ? w0 : (coord == 1 ? w1 : w2);
+      const double center =
+          coord == 0 ? best.a0 : (coord == 1 ? best.a1 : best.a2);
+      for (int64_t s = 0; s < steps; ++s) {
+        const double v = center - width / 2 +
+                         width * static_cast<double>(s) /
+                             static_cast<double>(steps - 1);
+        VtrModel candidate = best;
+        (coord == 0 ? candidate.a0
+                    : (coord == 1 ? candidate.a1 : candidate.a2)) = v;
+        if (candidate.a0 <= 0.01) continue;  // degenerate threshold
+        const double sc = score(candidate, aerials, golden_contours);
+        if (sc > best_score) {
+          best_score = sc;
+          best = candidate;
+        }
+      }
+    }
+    w0 *= 0.5;
+    w1 *= 0.5;
+    w2 *= 0.5;
+  }
+  return best;
+}
+
+}  // namespace litho::optics

@@ -1,0 +1,89 @@
+#include "litho/simulator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "io/io.h"
+
+namespace litho::optics {
+
+LithoSimulator::LithoSimulator(OpticalConfig cfg,
+                               std::vector<SocsKernel> kernels)
+    : cfg_(cfg), kernels_(std::move(kernels)) {
+  if (kernels_.empty()) throw std::invalid_argument("no SOCS kernels");
+  // Open-frame intensity: FFT(ones) concentrates at DC, so each kernel
+  // contributes alpha_k * |sum_x h_k(x)|^2.
+  double open = 0.0;
+  for (const SocsKernel& k : kernels_) {
+    double sr = 0.0, si = 0.0;
+    for (int64_t i = 0; i < k.spatial.numel(); ++i) {
+      sr += k.spatial.re[i];
+      si += k.spatial.im[i];
+    }
+    open += k.alpha * (sr * sr + si * si);
+  }
+  if (open <= 0.0) throw std::runtime_error("degenerate kernels: zero open-frame intensity");
+  open_frame_intensity_ = open;
+}
+
+LithoSimulator LithoSimulator::with_cache(const OpticalConfig& cfg,
+                                          const std::string& cache_path) {
+  if (io::file_exists(cache_path)) {
+    return LithoSimulator(cfg, load_kernels(cache_path));
+  }
+  auto kernels = compute_socs_kernels(cfg);
+  save_kernels(cache_path, kernels);
+  return LithoSimulator(cfg, std::move(kernels));
+}
+
+const std::vector<fft::CTensor>& LithoSimulator::spectra_for(int64_t h,
+                                                             int64_t w) const {
+  const auto key = std::make_pair(h, w);
+  auto it = spectra_cache_.find(key);
+  if (it == spectra_cache_.end()) {
+    std::vector<fft::CTensor> spectra;
+    spectra.reserve(kernels_.size());
+    for (const SocsKernel& k : kernels_) {
+      spectra.push_back(kernel_spectrum(k, h, w));
+    }
+    it = spectra_cache_.emplace(key, std::move(spectra)).first;
+  }
+  return it->second;
+}
+
+Tensor LithoSimulator::aerial(const Tensor& mask) const {
+  if (mask.dim() != 2) throw std::invalid_argument("aerial: 2-D mask expected");
+  const int64_t h = mask.size(0), w = mask.size(1);
+  const auto& spectra = spectra_for(h, w);
+
+  fft::CTensor mask_c(mask.clone(), Tensor(mask.shape()));
+  const fft::CTensor mask_spec = fft::fft2(mask_c, false);
+
+  Tensor intensity(mask.shape());
+  for (size_t k = 0; k < kernels_.size(); ++k) {
+    const fft::CTensor filtered = fft::cmul(mask_spec, spectra[k]);
+    const fft::CTensor field = fft::fft2(filtered, true);
+    const Tensor mag = fft::cabs2(field);
+    intensity.add_scaled_(mag, static_cast<float>(kernels_[k].alpha));
+  }
+  intensity.mul_(static_cast<float>(1.0 / open_frame_intensity_));
+  return intensity;
+}
+
+Tensor LithoSimulator::resist(const Tensor& aerial_image) const {
+  Tensor out = aerial_image.clone();
+  const float t = static_cast<float>(threshold_);
+  out.apply_([t](float v) { return v >= t ? 1.f : 0.f; });
+  return out;
+}
+
+Tensor LithoSimulator::simulate(const Tensor& mask) const {
+  return resist(aerial(mask));
+}
+
+int64_t LithoSimulator::optical_diameter_px() const {
+  return static_cast<int64_t>(
+      std::ceil(cfg_.optical_diameter_nm() / cfg_.pixel_nm));
+}
+
+}  // namespace litho::optics

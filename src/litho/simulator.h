@@ -1,0 +1,60 @@
+// Golden lithography simulator: SOCS aerial imaging + constant-threshold
+// resist model. This engine plays the role of "Lithosim"/"Calibre" in the
+// paper: it produces the ground-truth wafer contours the neural models are
+// trained on, and is the "Ref" bar of Figure 6.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "litho/optics.h"
+
+namespace litho::optics {
+
+/// SOCS forward simulator with per-grid-size kernel-spectrum caching.
+class LithoSimulator {
+ public:
+  /// Uses precomputed kernels (e.g. from load_kernels).
+  LithoSimulator(OpticalConfig cfg, std::vector<SocsKernel> kernels);
+
+  /// Loads kernels from @p cache_path if present, otherwise computes them
+  /// (seconds) and saves. The cache key is the caller's responsibility —
+  /// use distinct paths for distinct configs.
+  static LithoSimulator with_cache(const OpticalConfig& cfg,
+                                   const std::string& cache_path);
+
+  /// Aerial (light intensity) image of a 2-D mask raster, normalized so an
+  /// open-frame (all-ones) mask images to intensity 1.0.
+  Tensor aerial(const Tensor& mask) const;
+
+  /// Constant-threshold resist model: 1 where intensity >= threshold.
+  Tensor resist(const Tensor& aerial_image) const;
+
+  /// aerial + resist in one call: mask raster -> binary wafer contour.
+  Tensor simulate(const Tensor& mask) const;
+
+  /// Print threshold relative to the open-frame intensity (default 0.225,
+  /// the ICCAD-2013 contest value).
+  double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+
+  const OpticalConfig& config() const { return cfg_; }
+  const std::vector<SocsKernel>& kernels() const { return kernels_; }
+
+  /// Optical diameter in pixels on the simulation raster (paper's d).
+  int64_t optical_diameter_px() const;
+
+ private:
+  const std::vector<fft::CTensor>& spectra_for(int64_t h, int64_t w) const;
+
+  OpticalConfig cfg_;
+  std::vector<SocsKernel> kernels_;
+  double open_frame_intensity_ = 1.0;
+  double threshold_ = 0.225;
+  mutable std::map<std::pair<int64_t, int64_t>, std::vector<fft::CTensor>>
+      spectra_cache_;
+};
+
+}  // namespace litho::optics

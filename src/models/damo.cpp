@@ -1,0 +1,73 @@
+#include "models/damo.h"
+
+namespace litho::models {
+
+DamoDls::DamoDls(DamoConfig cfg, std::mt19937& rng)
+    : cfg_(cfg),
+      x00_(1, cfg.base_channels, rng),
+      x10_(cfg.base_channels * 2, cfg.base_channels * 2, rng),
+      x20_(cfg.base_channels * 4, cfg.base_channels * 4, rng),
+      x30_(cfg.base_channels * 8, cfg.base_channels * 8, rng),
+      down0_(cfg.base_channels, cfg.base_channels * 2, 4, 2, 1, rng),
+      down1_(cfg.base_channels * 2, cfg.base_channels * 4, 4, 2, 1, rng),
+      down2_(cfg.base_channels * 4, cfg.base_channels * 8, 4, 2, 1, rng),
+      u01_(cfg.base_channels * 2, cfg.base_channels, 4, 2, 1, rng),
+      u11_(cfg.base_channels * 4, cfg.base_channels * 2, 4, 2, 1, rng),
+      u21_(cfg.base_channels * 8, cfg.base_channels * 4, 4, 2, 1, rng),
+      u02_(cfg.base_channels * 2, cfg.base_channels, 4, 2, 1, rng),
+      u12_(cfg.base_channels * 4, cfg.base_channels * 2, 4, 2, 1, rng),
+      u03_(cfg.base_channels * 2, cfg.base_channels, 4, 2, 1, rng),
+      x01_(cfg.base_channels * 2, cfg.base_channels, rng),
+      x11_(cfg.base_channels * 4, cfg.base_channels * 2, rng),
+      x21_(cfg.base_channels * 8, cfg.base_channels * 4, rng),
+      x02_(cfg.base_channels * 3, cfg.base_channels, rng),
+      x12_(cfg.base_channels * 6, cfg.base_channels * 2, rng),
+      x03_(cfg.base_channels * 4, cfg.base_channels, rng),
+      out_(cfg.base_channels, 1, 3, 1, 1, rng) {
+  register_module("x00", &x00_);
+  register_module("x10", &x10_);
+  register_module("x20", &x20_);
+  register_module("x30", &x30_);
+  register_module("down0", &down0_);
+  register_module("down1", &down1_);
+  register_module("down2", &down2_);
+  register_module("u01", &u01_);
+  register_module("u11", &u11_);
+  register_module("u21", &u21_);
+  register_module("u02", &u02_);
+  register_module("u12", &u12_);
+  register_module("u03", &u03_);
+  register_module("x01", &x01_);
+  register_module("x11", &x11_);
+  register_module("x21", &x21_);
+  register_module("x02", &x02_);
+  register_module("x12", &x12_);
+  register_module("x03", &x03_);
+  register_module("out", &out_);
+}
+
+ag::Variable DamoDls::forward(const ag::Variable& x) {
+  // Backbone column.
+  ag::Variable x00 = x00_.forward(x);
+  ag::Variable x10 = x10_.forward(down0_.forward(x00));
+  ag::Variable x20 = x20_.forward(down1_.forward(x10));
+  ag::Variable x30 = x30_.forward(down2_.forward(x20));
+  // First nested column.
+  ag::Variable x01 =
+      x01_.forward(ag::concat_channels({x00, u01_.forward(x10)}));
+  ag::Variable x11 =
+      x11_.forward(ag::concat_channels({x10, u11_.forward(x20)}));
+  ag::Variable x21 =
+      x21_.forward(ag::concat_channels({x20, u21_.forward(x30)}));
+  // Second nested column.
+  ag::Variable x02 =
+      x02_.forward(ag::concat_channels({x00, x01, u02_.forward(x11)}));
+  ag::Variable x12 =
+      x12_.forward(ag::concat_channels({x10, x11, u12_.forward(x21)}));
+  // Output column.
+  ag::Variable x03 =
+      x03_.forward(ag::concat_channels({x00, x01, x02, u03_.forward(x12)}));
+  return ag::tanh(out_.forward(x03));
+}
+
+}  // namespace litho::models

@@ -1,0 +1,39 @@
+// DAMO-DLS baseline [Chen et al., ICCAD'20, ref. 10 of the paper]: the deep
+// lithography simulator the paper compares against. DAMO's generator is a
+// nested UNet (UNet++-style): every decoder node X(i,j) receives dense skip
+// connections from all same-level predecessors plus an upsampled deeper
+// node. This reproduction keeps that topology at reduced width; it is
+// deliberately the largest and slowest of the three models, matching the
+// paper's model-size comparison (DAMO-DLS 18M vs DOINN 1.3M parameters).
+#pragma once
+
+#include <array>
+
+#include "nn/contour_model.h"
+#include "nn/layers.h"
+
+namespace litho::models {
+
+struct DamoConfig {
+  int64_t base_channels = 12;  ///< width of the top level
+};
+
+class DamoDls : public nn::ContourModel {
+ public:
+  DamoDls(DamoConfig cfg, std::mt19937& rng);
+
+  ag::Variable forward(const ag::Variable& x) override;
+  std::string name() const override { return "DAMO-DLS"; }
+
+ private:
+  DamoConfig cfg_;
+  // Backbone column X(i,0), i = 0..3.
+  nn::VggBlock x00_, x10_, x20_, x30_;
+  nn::Conv2d down0_, down1_, down2_;
+  // Nested decoder nodes X(i,j), j >= 1.
+  nn::ConvTranspose2d u01_, u11_, u21_, u02_, u12_, u03_;
+  nn::VggBlock x01_, x11_, x21_, x02_, x12_, x03_;
+  nn::Conv2d out_;
+};
+
+}  // namespace litho::models

@@ -1,0 +1,68 @@
+#include "models/fno_baseline.h"
+
+namespace litho::models {
+namespace {
+
+Tensor fno_init(Shape shape, int64_t cin, int64_t cout, std::mt19937& rng) {
+  const float scale = 1.f / static_cast<float>(cin * cout);
+  return Tensor::rand(std::move(shape), rng, -scale, scale);
+}
+
+}  // namespace
+
+FnoBaseline::FnoBaseline(FnoConfig cfg, std::mt19937& rng)
+    : cfg_(cfg),
+      lift_(1, cfg.channels, 1, 1, 0, rng),
+      up1_(cfg.channels, cfg.channels, 4, 2, 1, rng),
+      up2_(cfg.channels, cfg.channels / 2, 4, 2, 1, rng),
+      up3_(cfg.channels / 2, cfg.channels / 2, 4, 2, 1, rng),
+      out_(cfg.channels / 2, 1, 3, 1, 1, rng) {
+  register_module("lift", &lift_);
+  for (int64_t u = 0; u < cfg_.num_units; ++u) {
+    Unit unit;
+    unit.wre = register_parameter(
+        "unit" + std::to_string(u) + ".wre",
+        fno_init({cfg_.channels, cfg_.channels, cfg_.modes, cfg_.modes},
+                 cfg_.channels, cfg_.channels, rng));
+    unit.wim = register_parameter(
+        "unit" + std::to_string(u) + ".wim",
+        fno_init({cfg_.channels, cfg_.channels, cfg_.modes, cfg_.modes},
+                 cfg_.channels, cfg_.channels, rng));
+    bypass_store_.push_back(std::make_unique<nn::Conv2d>(
+        cfg_.channels, cfg_.channels, 1, 1, 0, rng));
+    unit.bypass = bypass_store_.back().get();
+    register_module("unit" + std::to_string(u) + ".bypass", unit.bypass);
+    units_.push_back(std::move(unit));
+  }
+  register_module("up1", &up1_);
+  register_module("up2", &up2_);
+  register_module("up3", &up3_);
+  register_module("out", &out_);
+}
+
+ag::Variable FnoBaseline::spectral_features(const ag::Variable& x) {
+  ag::Variable pooled = ag::avg_pool2d(x, cfg_.pool);
+  const int64_t gh = pooled.shape()[2], gw = pooled.shape()[3];
+  // P: lift on the spatial grid, then T stacked Fourier Units, each with
+  // its own per-channel forward and inverse FFT (the cost eq. (11) removes).
+  ag::Variable v = lift_.forward(pooled);
+  for (const Unit& unit : units_) {
+    ag::CVariable spec = ag::rfft2v(v);
+    ag::CVariable trunc = ag::ctruncate(spec, cfg_.modes, cfg_.modes);
+    ag::CVariable mixed = ag::cmode_matmul(trunc, {unit.wre, unit.wim});
+    ag::CVariable padded = ag::cpad(mixed, gh, gw / 2 + 1);
+    ag::Variable spectral = ag::irfft2v(padded, gw);
+    v = ag::leaky_relu(ag::add(spectral, unit.bypass->forward(v)), 0.1f);
+  }
+  return v;
+}
+
+ag::Variable FnoBaseline::forward(const ag::Variable& x) {
+  ag::Variable v = spectral_features(x);
+  v = ag::leaky_relu(up1_.forward(v), 0.1f);
+  v = ag::leaky_relu(up2_.forward(v), 0.1f);
+  v = ag::leaky_relu(up3_.forward(v), 0.1f);
+  return ag::tanh(out_.forward(v));
+}
+
+}  // namespace litho::models

@@ -1,0 +1,49 @@
+// Baseline FNO (paper Figure 3(a)): stacked Fourier Units, each performing
+// per-channel FFT -> truncated complex mode-mixing -> inverse FFT plus a
+// 1x1-conv bypass (eq. (10)). Used by the Fourier-Unit ablation bench to
+// demonstrate the computational saving of DOINN's reduced single-unit
+// design (eq. (11)), and as an additional accuracy baseline.
+//
+// The spectral stack operates on the /8-pooled grid (like DOINN's GP path)
+// and is upsampled back by the same transposed-conv chain, so the
+// comparison isolates the Fourier-Unit cost.
+#pragma once
+
+#include "autograd/spectral.h"
+#include "nn/contour_model.h"
+#include "nn/layers.h"
+
+namespace litho::models {
+
+struct FnoConfig {
+  int64_t pool = 8;
+  int64_t modes = 7;
+  int64_t channels = 8;
+  int64_t num_units = 4;  ///< stacked Fourier Units (paper baseline: T units)
+};
+
+class FnoBaseline : public nn::ContourModel {
+ public:
+  FnoBaseline(FnoConfig cfg, std::mt19937& rng);
+
+  ag::Variable forward(const ag::Variable& x) override;
+  std::string name() const override { return "FNO-baseline"; }
+
+  /// Spectral stack only (pooled resolution); exposed for the cost
+  /// ablation bench.
+  ag::Variable spectral_features(const ag::Variable& x);
+
+ private:
+  FnoConfig cfg_;
+  nn::Conv2d lift_;  ///< P: 1x1 channel lift on the spatial grid
+  struct Unit {
+    ag::Variable wre, wim;  ///< [C, C, modes, modes]
+    nn::Conv2d* bypass;     ///< L: 1x1 conv (owned by FnoBaseline)
+  };
+  std::vector<Unit> units_;
+  std::vector<std::unique_ptr<nn::Conv2d>> bypass_store_;
+  nn::ConvTranspose2d up1_, up2_, up3_;
+  nn::Conv2d out_;
+};
+
+}  // namespace litho::models

@@ -1,0 +1,51 @@
+#include "models/unet.h"
+
+namespace litho::models {
+
+UNet::UNet(UNetConfig cfg, std::mt19937& rng)
+    : cfg_(cfg),
+      enc1_(1, cfg.base_channels, rng),
+      enc2_(cfg.base_channels * 2, cfg.base_channels * 2, rng),
+      enc3_(cfg.base_channels * 4, cfg.base_channels * 4, rng),
+      down1_(cfg.base_channels, cfg.base_channels * 2, 4, 2, 1, rng),
+      down2_(cfg.base_channels * 2, cfg.base_channels * 4, 4, 2, 1, rng),
+      down3_(cfg.base_channels * 4, cfg.base_channels * 8, 4, 2, 1, rng),
+      bottleneck_(cfg.base_channels * 8, cfg.base_channels * 8, rng),
+      up3_(cfg.base_channels * 8, cfg.base_channels * 4, 4, 2, 1, rng),
+      up2_(cfg.base_channels * 4, cfg.base_channels * 2, 4, 2, 1, rng),
+      up1_(cfg.base_channels * 2, cfg.base_channels, 4, 2, 1, rng),
+      dec3_(cfg.base_channels * 8, cfg.base_channels * 4, rng),
+      dec2_(cfg.base_channels * 4, cfg.base_channels * 2, rng),
+      dec1_(cfg.base_channels * 2, cfg.base_channels, rng),
+      out_(cfg.base_channels, 1, 3, 1, 1, rng) {
+  register_module("enc1", &enc1_);
+  register_module("enc2", &enc2_);
+  register_module("enc3", &enc3_);
+  register_module("down1", &down1_);
+  register_module("down2", &down2_);
+  register_module("down3", &down3_);
+  register_module("bottleneck", &bottleneck_);
+  register_module("up3", &up3_);
+  register_module("up2", &up2_);
+  register_module("up1", &up1_);
+  register_module("dec3", &dec3_);
+  register_module("dec2", &dec2_);
+  register_module("dec1", &dec1_);
+  register_module("out", &out_);
+}
+
+ag::Variable UNet::forward(const ag::Variable& x) {
+  ag::Variable e1 = enc1_.forward(x);                       // C, H
+  ag::Variable e2 = enc2_.forward(down1_.forward(e1));      // 2C, H/2
+  ag::Variable e3 = enc3_.forward(down2_.forward(e2));      // 4C, H/4
+  ag::Variable b = bottleneck_.forward(down3_.forward(e3)); // 8C, H/8
+  ag::Variable d3 = dec3_.forward(
+      ag::concat_channels({up3_.forward(b), e3}));          // 4C, H/4
+  ag::Variable d2 = dec2_.forward(
+      ag::concat_channels({up2_.forward(d3), e2}));         // 2C, H/2
+  ag::Variable d1 = dec1_.forward(
+      ag::concat_channels({up1_.forward(d2), e1}));         // C, H
+  return ag::tanh(out_.forward(d1));
+}
+
+}  // namespace litho::models

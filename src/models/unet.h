@@ -1,0 +1,33 @@
+// UNet baseline [Ronneberger et al., ref. 28 of the paper]: the standard
+// encoder/decoder with skip connections used as the "popular ML model"
+// comparison in Table 2, Figure 6 and Figure 8.
+#pragma once
+
+#include "nn/contour_model.h"
+#include "nn/layers.h"
+
+namespace litho::models {
+
+struct UNetConfig {
+  int64_t base_channels = 8;  ///< channel width of the first level
+  int64_t levels = 3;         ///< number of down/up levels (fixed 3 here)
+};
+
+class UNet : public nn::ContourModel {
+ public:
+  UNet(UNetConfig cfg, std::mt19937& rng);
+
+  ag::Variable forward(const ag::Variable& x) override;
+  std::string name() const override { return "UNet"; }
+
+ private:
+  UNetConfig cfg_;
+  nn::VggBlock enc1_, enc2_, enc3_;
+  nn::Conv2d down1_, down2_, down3_;
+  nn::VggBlock bottleneck_;
+  nn::ConvTranspose2d up3_, up2_, up1_;
+  nn::VggBlock dec3_, dec2_, dec1_;
+  nn::Conv2d out_;
+};
+
+}  // namespace litho::models

@@ -1,0 +1,20 @@
+// Common interface for image-to-contour models (DOINN and the baselines it
+// is compared against). Input is an [N,1,H,W] mask raster in [0,1]; output
+// is an [N,1,H,W] map in [-1,1] (tanh) whose sign gives the predicted resist
+// contour.
+#pragma once
+
+#include "nn/module.h"
+
+namespace litho::nn {
+
+class ContourModel : public Module {
+ public:
+  virtual ag::Variable forward(const ag::Variable& x) = 0;
+
+  /// Short display name used by the benchmark harness ("UNet", "DAMO-DLS",
+  /// "DOINN", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace litho::nn

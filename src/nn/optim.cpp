@@ -1,0 +1,90 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace litho::nn {
+
+Adam::Adam(std::vector<ag::Variable> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ag::Variable& p : params_) {
+    m_.push_back(Tensor::zeros(p.value().shape()));
+    v_.push_back(Tensor::zeros(p.value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    const Tensor& g = p.grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    float* pv = p.mutable_value().data();
+    const int64_t n = p.value().numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float gj = g[j] + weight_decay_ * pv[j];
+      m[j] = beta1_ * m[j] + (1.f - beta1_) * gj;
+      v[j] = beta2_ * v[j] + (1.f - beta2_) * gj * gj;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      pv[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (ag::Variable& p : params_) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<ag::Variable> params, float lr, float momentum,
+         float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (const ag::Variable& p : params_) {
+    velocity_.push_back(Tensor::zeros(p.value().shape()));
+  }
+}
+
+void Sgd::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    const Tensor& g = p.grad();
+    Tensor& v = velocity_[i];
+    float* pv = p.mutable_value().data();
+    const int64_t n = p.value().numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float gj = g[j] + weight_decay_ * pv[j];
+      v[j] = momentum_ * v[j] + gj;
+      pv[j] -= lr_ * v[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (ag::Variable& p : params_) p.zero_grad();
+}
+
+StepLR::StepLR(Adam& optimizer, int64_t step_size, float gamma)
+    : optimizer_(optimizer), step_size_(step_size), gamma_(gamma) {}
+
+void StepLR::step() {
+  ++epoch_;
+  if (epoch_ % step_size_ == 0) {
+    optimizer_.set_lr(optimizer_.lr() * gamma_);
+  }
+}
+
+}  // namespace litho::nn

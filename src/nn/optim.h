@@ -1,0 +1,78 @@
+// Optimizers matching the paper's training configuration (Table 8):
+// Adam with weight decay 1e-4, initial LR 2e-3, step decay x0.5 every
+// 2 epochs.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace litho::nn {
+
+/// Adam optimizer (Kingma & Ba) with optional decoupled-style L2 weight
+/// decay added to the gradient (PyTorch `Adam(weight_decay=...)` semantics).
+class Adam {
+ public:
+  Adam(std::vector<ag::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.f);
+
+  /// Applies one update from the currently accumulated gradients.
+  void step();
+
+  /// Zeroes gradients of all managed parameters.
+  void zero_grad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  int64_t step_count() const { return t_; }
+
+ private:
+  std::vector<ag::Variable> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+};
+
+/// Plain SGD with momentum and L2 weight decay; provided as the simple
+/// baseline optimizer (Adam is the paper's choice, Table 8).
+class Sgd {
+ public:
+  Sgd(std::vector<ag::Variable> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.f);
+
+  void step();
+  void zero_grad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  std::vector<ag::Variable> params_;
+  std::vector<Tensor> velocity_;
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+};
+
+/// Multiplies the optimizer LR by gamma every step_size epochs
+/// (call step() once per epoch).
+class StepLR {
+ public:
+  StepLR(Adam& optimizer, int64_t step_size, float gamma);
+
+  void step();
+  int64_t epoch() const { return epoch_; }
+
+ private:
+  Adam& optimizer_;
+  int64_t step_size_;
+  float gamma_;
+  int64_t epoch_ = 0;
+};
+
+}  // namespace litho::nn

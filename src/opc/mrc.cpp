@@ -1,0 +1,49 @@
+#include "opc/mrc.h"
+
+#include <stdexcept>
+
+namespace litho::opc {
+namespace {
+
+/// Scans one line (stride-accessed) for short runs.
+void scan_line(const Tensor& mask, int64_t line, int64_t n, int64_t stride,
+               int64_t base, bool horizontal, double pixel_nm,
+               const MrcRules& rules, std::vector<MrcViolation>& out) {
+  int64_t run_start = 0;
+  bool run_value = mask[base] >= 0.5f;
+  for (int64_t i = 1; i <= n; ++i) {
+    const bool v = i < n ? mask[base + i * stride] >= 0.5f : !run_value;
+    if (v == run_value) continue;
+    const int64_t len = i - run_start;
+    const double extent = static_cast<double>(len) * pixel_nm;
+    const bool touches_border = run_start == 0 || i == n;
+    if (run_value && extent < rules.min_feature_nm) {
+      out.push_back({MrcViolation::Kind::kFeature, horizontal, line, run_start,
+                     extent});
+    } else if (!run_value && extent < rules.min_gap_nm && !touches_border) {
+      out.push_back(
+          {MrcViolation::Kind::kGap, horizontal, line, run_start, extent});
+    }
+    run_start = i;
+    run_value = v;
+  }
+}
+
+}  // namespace
+
+std::vector<MrcViolation> check_mask_rules(const Tensor& mask,
+                                           double pixel_nm,
+                                           const MrcRules& rules) {
+  if (mask.dim() != 2) throw std::invalid_argument("MRC: 2-D mask expected");
+  const int64_t h = mask.size(0), w = mask.size(1);
+  std::vector<MrcViolation> out;
+  for (int64_t r = 0; r < h; ++r) {
+    scan_line(mask, r, w, 1, r * w, /*horizontal=*/true, pixel_nm, rules, out);
+  }
+  for (int64_t c = 0; c < w; ++c) {
+    scan_line(mask, c, h, w, c, /*horizontal=*/false, pixel_nm, rules, out);
+  }
+  return out;
+}
+
+}  // namespace litho::opc

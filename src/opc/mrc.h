@@ -1,0 +1,36 @@
+// Mask rule check (MRC): manufacturability constraints on corrected masks.
+// OPC moves edges aggressively; MRC verifies the result still satisfies the
+// mask shop's minimum feature / minimum gap rules. Operates on the mask
+// raster via run-length analysis along rows and columns, so it covers both
+// polygon and fragment-offset mask representations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace litho::opc {
+
+struct MrcRules {
+  double min_feature_nm = 48.0;  ///< narrowest allowed mask feature
+  double min_gap_nm = 48.0;      ///< narrowest allowed gap between features
+};
+
+struct MrcViolation {
+  enum class Kind { kFeature, kGap };
+  Kind kind;
+  bool horizontal;    ///< run direction the violation was found along
+  int64_t row_px;     ///< location (row/col of the run)
+  int64_t col_px;     ///< start of the offending run
+  double extent_nm;   ///< measured run length
+};
+
+/// Scans a (binarized at 0.5) mask raster for feature/gap runs shorter than
+/// the rules along both axes. Border-touching runs are not reported as gap
+/// violations (the mask continues outside the tile).
+std::vector<MrcViolation> check_mask_rules(const Tensor& mask,
+                                           double pixel_nm,
+                                           const MrcRules& rules);
+
+}  // namespace litho::opc

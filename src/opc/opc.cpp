@@ -1,0 +1,259 @@
+#include "opc/opc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace litho::opc {
+namespace {
+
+using layout::Clip;
+using layout::Rect;
+
+/// Bilinear sample of a 2-D tensor at pixel coordinates (clamped).
+float sample_bilinear(const Tensor& img, double row, double col) {
+  const int64_t h = img.size(0), w = img.size(1);
+  row = std::clamp(row, 0.0, static_cast<double>(h - 1));
+  col = std::clamp(col, 0.0, static_cast<double>(w - 1));
+  const int64_t r0 = static_cast<int64_t>(row);
+  const int64_t c0 = static_cast<int64_t>(col);
+  const int64_t r1 = std::min(r0 + 1, h - 1);
+  const int64_t c1 = std::min(c0 + 1, w - 1);
+  const double fr = row - static_cast<double>(r0);
+  const double fc = col - static_cast<double>(c0);
+  const double v =
+      (1 - fr) * ((1 - fc) * img[r0 * w + c0] + fc * img[r0 * w + c1]) +
+      fr * ((1 - fc) * img[r1 * w + c0] + fc * img[r1 * w + c1]);
+  return static_cast<float>(v);
+}
+
+/// Adds signed rectangular coverage [x0,x1)x[y0,y1) nm onto the grid.
+void add_coverage(Tensor& grid, double x0, double y0, double x1, double y1,
+                  double pixel_nm, float sign) {
+  if (x1 <= x0 || y1 <= y0) return;
+  const int64_t n = grid.size(0);
+  const double inv_area = 1.0 / (pixel_nm * pixel_nm);
+  const int64_t c0 = std::max<int64_t>(0, static_cast<int64_t>(std::floor(x0 / pixel_nm)));
+  const int64_t c1 = std::min<int64_t>(n - 1, static_cast<int64_t>(std::ceil(x1 / pixel_nm)) - 1);
+  const int64_t r0 = std::max<int64_t>(0, static_cast<int64_t>(std::floor(y0 / pixel_nm)));
+  const int64_t r1 = std::min<int64_t>(n - 1, static_cast<int64_t>(std::ceil(y1 / pixel_nm)) - 1);
+  for (int64_t row = r0; row <= r1; ++row) {
+    const double oy = std::min(y1, (row + 1) * pixel_nm) - std::max(y0, row * pixel_nm);
+    if (oy <= 0) continue;
+    for (int64_t col = c0; col <= c1; ++col) {
+      const double ox = std::min(x1, (col + 1) * pixel_nm) - std::max(x0, col * pixel_nm);
+      if (ox <= 0) continue;
+      grid[row * grid.size(1) + col] += sign * static_cast<float>(ox * oy * inv_area);
+    }
+  }
+}
+
+/// Outward unit normal of a fragment edge as (dx, dy).
+std::pair<double, double> outward_normal(Fragment::Edge e) {
+  switch (e) {
+    case Fragment::Edge::kLeft:
+      return {-1.0, 0.0};
+    case Fragment::Edge::kRight:
+      return {1.0, 0.0};
+    case Fragment::Edge::kTop:
+      return {0.0, 1.0};
+    case Fragment::Edge::kBottom:
+      return {0.0, -1.0};
+  }
+  return {0.0, 0.0};
+}
+
+/// Fragment center on the (un-offset) target edge, in nm.
+std::pair<double, double> fragment_center(const Rect& r, const Fragment& f) {
+  const double mid = 0.5 * static_cast<double>(f.span0 + f.span1);
+  switch (f.edge) {
+    case Fragment::Edge::kLeft:
+      return {static_cast<double>(r.x0), mid};
+    case Fragment::Edge::kRight:
+      return {static_cast<double>(r.x1), mid};
+    case Fragment::Edge::kTop:
+      return {mid, static_cast<double>(r.y1)};
+    case Fragment::Edge::kBottom:
+      return {mid, static_cast<double>(r.y0)};
+  }
+  return {0, 0};
+}
+
+}  // namespace
+
+OpcEngine::OpcEngine(const optics::LithoSimulator& sim, OpcParams params)
+    : sim_(sim), params_(params) {}
+
+std::vector<Fragment> OpcEngine::fragment(const Clip& clip) const {
+  std::vector<Fragment> out;
+  for (size_t i = 0; i < clip.shapes.size(); ++i) {
+    const Rect& r = clip.shapes[i];
+    auto split = [&](Fragment::Edge e, int64_t a0, int64_t a1) {
+      const int64_t len = a1 - a0;
+      const int64_t n =
+          std::max<int64_t>(1, (len + params_.fragment_nm - 1) / params_.fragment_nm);
+      for (int64_t k = 0; k < n; ++k) {
+        Fragment f;
+        f.rect_index = i;
+        f.edge = e;
+        f.span0 = a0 + k * len / n;
+        f.span1 = a0 + (k + 1) * len / n;
+        out.push_back(f);
+      }
+    };
+    split(Fragment::Edge::kLeft, r.y0, r.y1);
+    split(Fragment::Edge::kRight, r.y0, r.y1);
+    split(Fragment::Edge::kTop, r.x0, r.x1);
+    split(Fragment::Edge::kBottom, r.x0, r.x1);
+  }
+  return out;
+}
+
+Tensor OpcEngine::rasterize_with_offsets(
+    const Clip& clip, const std::vector<Fragment>& fragments) const {
+  const double pixel = sim_.config().pixel_nm;
+  Tensor grid = layout::rasterize(clip, pixel);
+  for (const Fragment& f : fragments) {
+    if (f.offset_nm == 0.0) continue;
+    const Rect& r = clip.shapes[f.rect_index];
+    const double off = f.offset_nm;
+    double x0, y0, x1, y1;
+    switch (f.edge) {
+      case Fragment::Edge::kLeft:
+        x0 = r.x0 - std::max(off, 0.0);
+        x1 = r.x0 - std::min(off, 0.0);
+        y0 = f.span0;
+        y1 = f.span1;
+        break;
+      case Fragment::Edge::kRight:
+        x0 = r.x1 + std::min(off, 0.0);
+        x1 = r.x1 + std::max(off, 0.0);
+        y0 = f.span0;
+        y1 = f.span1;
+        break;
+      case Fragment::Edge::kTop:
+        y0 = r.y1 + std::min(off, 0.0);
+        y1 = r.y1 + std::max(off, 0.0);
+        x0 = f.span0;
+        x1 = f.span1;
+        break;
+      case Fragment::Edge::kBottom:
+        y0 = r.y0 - std::max(off, 0.0);
+        y1 = r.y0 - std::min(off, 0.0);
+        x0 = f.span0;
+        x1 = f.span1;
+        break;
+    }
+    add_coverage(grid, x0, y0, x1, y1, pixel, off > 0 ? 1.f : -1.f);
+  }
+  grid.apply_([](float v) { return std::clamp(v, 0.f, 1.f); });
+  return grid;
+}
+
+void OpcEngine::measure_epe(const Clip& clip, const Tensor& aerial,
+                            std::vector<Fragment>& fragments) const {
+  const double pixel = sim_.config().pixel_nm;
+  const float thr = static_cast<float>(sim_.threshold());
+  const double step = pixel * 0.5;
+  const int64_t steps = static_cast<int64_t>(params_.search_nm / step);
+  for (Fragment& f : fragments) {
+    const Rect& r = clip.shapes[f.rect_index];
+    const auto [cx, cy] = fragment_center(r, f);
+    const auto [nx, ny] = outward_normal(f.edge);
+    // Scan intensity from inside (-search) to outside (+search) along the
+    // normal; the printed contour is the threshold crossing nearest to the
+    // target edge (s = 0).
+    double best = params_.search_nm + step;  // sentinel: no crossing found
+    float prev = 0.f;
+    bool have_prev = false;
+    for (int64_t i = -steps; i <= steps; ++i) {
+      const double s = static_cast<double>(i) * step;
+      const double px = (cx + nx * s) / pixel - 0.5;
+      const double py = (cy + ny * s) / pixel - 0.5;
+      const float v = sample_bilinear(aerial, py, px);
+      if (have_prev && ((prev >= thr) != (v >= thr))) {
+        // Linear interpolation of the crossing point.
+        const double t = (thr - prev) / (v - prev);
+        const double cross = s - step + t * step;
+        if (std::abs(cross) < std::abs(best)) best = cross;
+      }
+      prev = v;
+      have_prev = true;
+    }
+    if (best > params_.search_nm) {
+      // No crossing: feature under- or over-exposed across the whole scan.
+      const double px = cx / pixel - 0.5, py = cy / pixel - 0.5;
+      best = sample_bilinear(aerial, py, px) >= thr ? params_.search_nm
+                                                    : -params_.search_nm;
+    }
+    f.last_epe_nm = best;
+  }
+}
+
+std::vector<OpcIteration> OpcEngine::run(const Clip& clip,
+                                         int64_t iterations) const {
+  std::vector<Fragment> frags = fragment(clip);
+  std::vector<OpcIteration> out;
+  out.reserve(static_cast<size_t>(iterations) + 1);
+  for (int64_t it = 0; it <= iterations; ++it) {
+    Tensor mask = rasterize_with_offsets(clip, frags);
+    Tensor aerial = sim_.aerial(mask);
+    measure_epe(clip, aerial, frags);
+    double sum_abs = 0.0, max_abs = 0.0;
+    for (const Fragment& f : frags) {
+      sum_abs += std::abs(f.last_epe_nm);
+      max_abs = std::max(max_abs, std::abs(f.last_epe_nm));
+    }
+    out.push_back({std::move(mask),
+                   frags.empty() ? 0.0 : sum_abs / static_cast<double>(frags.size()),
+                   max_abs});
+    if (it == iterations) break;
+    for (Fragment& f : frags) {
+      f.offset_nm = std::clamp(f.offset_nm - params_.gain * f.last_epe_nm,
+                               -params_.max_offset_nm, params_.max_offset_nm);
+    }
+  }
+  return out;
+}
+
+layout::Clip insert_srafs(const layout::Clip& clip, int64_t sraf_nm,
+                          int64_t distance_nm, int64_t min_clearance_nm) {
+  layout::Clip out = clip;
+  auto blocked = [&](const Rect& candidate) {
+    for (const Rect& s : clip.shapes) {
+      if (candidate.intersects(s) ||
+          candidate.spacing_to(s) < min_clearance_nm) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<Rect> srafs;
+  for (const Rect& r : clip.shapes) {
+    // One assist bar per side, spanning the shape edge.
+    const Rect cands[4] = {
+        {r.x0 - distance_nm - sraf_nm, r.y0, r.x0 - distance_nm, r.y1},  // L
+        {r.x1 + distance_nm, r.y0, r.x1 + distance_nm + sraf_nm, r.y1},  // R
+        {r.x0, r.y1 + distance_nm, r.x1, r.y1 + distance_nm + sraf_nm},  // T
+        {r.x0, r.y0 - distance_nm - sraf_nm, r.x1, r.y0 - distance_nm},  // B
+    };
+    for (const Rect& c : cands) {
+      if (c.x0 < 0 || c.y0 < 0 || c.x1 > clip.extent_nm ||
+          c.y1 > clip.extent_nm) {
+        continue;
+      }
+      if (blocked(c)) continue;
+      bool clash = false;
+      for (const Rect& s : srafs) {
+        if (c.intersects(s) || c.spacing_to(s) < min_clearance_nm) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) srafs.push_back(c);
+    }
+  }
+  out.shapes.insert(out.shapes.end(), srafs.begin(), srafs.end());
+  return out;
+}
+
+}  // namespace litho::opc

@@ -1,0 +1,368 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace litho {
+
+int64_t numel_of(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t e : shape) {
+    if (e < 0) throw std::invalid_argument("negative extent in shape");
+    n *= e;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor() : data_(std::make_shared<std::vector<float>>()), numel_(0) {}
+
+Tensor::Tensor(Shape shape)
+    : data_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(numel_of(shape)), 0.f)),
+      shape_(std::move(shape)),
+      numel_(numel_of(shape_)) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : data_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(numel_of(shape)), value)),
+      shape_(std::move(shape)),
+      numel_(numel_of(shape_)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : data_(std::make_shared<std::vector<float>>(std::move(values))),
+      shape_(std::move(shape)),
+      numel_(numel_of(shape_)) {
+  if (static_cast<int64_t>(data_->size()) != numel_) {
+    throw std::invalid_argument("value count " + std::to_string(data_->size()) +
+                                " does not match shape " +
+                                shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+Tensor Tensor::ones(Shape shape) { return Tensor(std::move(shape), 1.f); }
+Tensor Tensor::full(Shape shape, float value) {
+  return Tensor(std::move(shape), value);
+}
+
+Tensor Tensor::rand(Shape shape, std::mt19937& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = dist(rng);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, std::mt19937& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  std::normal_distribution<float> dist(mean, stddev);
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = dist(rng);
+  return t;
+}
+
+Tensor Tensor::arange(int64_t n) {
+  Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::size(int64_t d) const {
+  const int64_t nd = dim();
+  if (d < 0) d += nd;
+  if (d < 0 || d >= nd) {
+    throw std::out_of_range("dimension " + std::to_string(d) +
+                            " out of range for shape " +
+                            shape_to_string(shape_));
+  }
+  return shape_[static_cast<size_t>(d)];
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  const auto flat = const_cast<const Tensor*>(this)->at(idx);
+  (void)flat;
+  // Recompute flat index (cheap; keeps one implementation path).
+  int64_t f = 0;
+  auto it = idx.begin();
+  for (size_t d = 0; d < shape_.size(); ++d, ++it) f = f * shape_[d] + *it;
+  return (*data_)[static_cast<size_t>(f)];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  if (static_cast<int64_t>(idx.size()) != dim()) {
+    throw std::invalid_argument("index rank does not match tensor rank");
+  }
+  int64_t f = 0;
+  auto it = idx.begin();
+  for (size_t d = 0; d < shape_.size(); ++d, ++it) {
+    if (*it < 0 || *it >= shape_[d]) {
+      throw std::out_of_range("index out of range in dim " + std::to_string(d));
+    }
+    f = f * shape_[d] + *it;
+  }
+  return (*data_)[static_cast<size_t>(f)];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (numel_of(new_shape) != numel_) {
+    throw std::invalid_argument("reshape from " + shape_to_string(shape_) +
+                                " to " + shape_to_string(new_shape) +
+                                " changes element count");
+  }
+  Tensor t;
+  t.data_ = data_;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  return t;
+}
+
+Tensor Tensor::transpose2d() const {
+  if (dim() != 2) throw std::invalid_argument("transpose2d requires 2-D");
+  const int64_t r = shape_[0], c = shape_[1];
+  Tensor out({c, r});
+  const float* src = data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < r; ++i)
+    for (int64_t j = 0; j < c; ++j) dst[j * r + i] = src[i * c + j];
+  return out;
+}
+
+Tensor Tensor::concat(const std::vector<Tensor>& parts, int64_t dim) {
+  if (parts.empty()) throw std::invalid_argument("concat of zero tensors");
+  const int64_t nd = parts[0].dim();
+  if (dim < 0) dim += nd;
+  if (dim < 0 || dim >= nd) throw std::out_of_range("concat dim out of range");
+  Shape out_shape = parts[0].shape();
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    if (p.dim() != nd) throw std::invalid_argument("concat rank mismatch");
+    for (int64_t d = 0; d < nd; ++d) {
+      if (d != dim && p.size(d) != parts[0].size(d)) {
+        throw std::invalid_argument("concat extent mismatch in dim " +
+                                    std::to_string(d));
+      }
+    }
+    total += p.size(dim);
+  }
+  out_shape[static_cast<size_t>(dim)] = total;
+  Tensor out(out_shape);
+
+  // outer = product of dims before `dim`; inner = product after.
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= out_shape[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < nd; ++d)
+    inner *= out_shape[static_cast<size_t>(d)];
+
+  float* dst = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    int64_t written = 0;
+    for (const Tensor& p : parts) {
+      const int64_t len = p.size(dim) * inner;
+      const float* src = p.data() + o * len;
+      std::copy(src, src + len, dst + (o * total + written) * inner);
+      written += p.size(dim);
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::narrow(int64_t dim, int64_t start, int64_t length) const {
+  const int64_t nd = this->dim();
+  if (dim < 0) dim += nd;
+  if (dim < 0 || dim >= nd) throw std::out_of_range("narrow dim out of range");
+  if (start < 0 || length < 0 || start + length > size(dim)) {
+    throw std::out_of_range("narrow range out of bounds");
+  }
+  Shape out_shape = shape_;
+  out_shape[static_cast<size_t>(dim)] = length;
+  Tensor out(out_shape);
+
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= shape_[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < nd; ++d) inner *= shape_[static_cast<size_t>(d)];
+  const int64_t full = size(dim);
+
+  const float* src = data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(src + (o * full + start) * inner,
+              src + (o * full + start + length) * inner,
+              dst + o * length * inner);
+  }
+  return out;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+void Tensor::add_(const Tensor& other) {
+  if (!same_shape(other)) {
+    throw std::invalid_argument("add_ shape mismatch: " +
+                                shape_to_string(shape_) + " vs " +
+                                shape_to_string(other.shape_));
+  }
+  float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) a[i] += b[i];
+}
+
+void Tensor::add_scaled_(const Tensor& other, float alpha) {
+  if (!same_shape(other)) throw std::invalid_argument("add_scaled_ mismatch");
+  float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) a[i] += alpha * b[i];
+}
+
+void Tensor::mul_(float scalar) {
+  for (float& v : *data_) v *= scalar;
+}
+
+void Tensor::apply_(const std::function<float(float)>& fn) {
+  for (float& v : *data_) v = fn(v);
+}
+
+Tensor Tensor::add(const Tensor& other) const {
+  Tensor out = clone();
+  out.add_(other);
+  return out;
+}
+
+Tensor Tensor::sub(const Tensor& other) const {
+  Tensor out = clone();
+  out.add_scaled_(other, -1.f);
+  return out;
+}
+
+Tensor Tensor::mul(const Tensor& other) const {
+  if (!same_shape(other)) throw std::invalid_argument("mul shape mismatch");
+  Tensor out = clone();
+  float* a = out.data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) a[i] *= b[i];
+  return out;
+}
+
+Tensor Tensor::mul(float scalar) const {
+  Tensor out = clone();
+  out.mul_(scalar);
+  return out;
+}
+
+Tensor Tensor::map(const std::function<float(float)>& fn) const {
+  Tensor out = clone();
+  out.apply_(fn);
+  return out;
+}
+
+float Tensor::sum() const {
+  // Kahan summation: training statistics stay stable over large tensors.
+  double acc = 0.0;
+  for (const float v : *data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  return numel_ == 0 ? 0.f : sum() / static_cast<float>(numel_);
+}
+
+float Tensor::max() const {
+  if (numel_ == 0) return 0.f;
+  return *std::max_element(data_->begin(), data_->end());
+}
+
+float Tensor::min() const {
+  if (numel_ == 0) return 0.f;
+  return *std::min_element(data_->begin(), data_->end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.f;
+  for (const float v : *data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+namespace {
+constexpr int64_t kBlock = 64;
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n) {
+  std::fill(c, c + m * n, 0.f);
+  gemm_accumulate(a, b, c, m, k, n);
+}
+
+void gemm_accumulate(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n) {
+  // i-k-j loop order with blocking: inner loop is a contiguous AXPY over B/C
+  // rows, which the compiler vectorizes.
+  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const int64_t i1 = std::min(i0 + kBlock, m);
+    for (int64_t k0 = 0; k0 < k; k0 += kBlock) {
+      const int64_t k1 = std::min(k0 + kBlock, k);
+      for (int64_t i = i0; i < i1; ++i) {
+        float* ci = c + i * n;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float aik = a[i * k + kk];
+          if (aik == 0.f) continue;
+          const float* bk = b + kk * n;
+          for (int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_at_b(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  // C(MxN) = A^T * B where A is stored (K x M).
+  std::fill(c, c + m * n, 0.f);
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* ak = a + kk * m;
+    const float* bk = b + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float aik = ak[i];
+      if (aik == 0.f) continue;
+      float* ci = c + i * n;
+      for (int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void gemm_a_bt(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  // C(MxN) = A * B^T where B is stored (N x K); dot products over contiguous
+  // rows of both operands.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      float acc = 0.f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+      ci[j] = acc;
+    }
+  }
+}
+
+}  // namespace litho

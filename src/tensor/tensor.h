@@ -1,0 +1,140 @@
+// Dense N-dimensional float tensor used throughout the DOINN stack.
+//
+// Design notes (see DESIGN.md §1):
+//  - Always contiguous, row-major. Views are not supported; `reshape` shares
+//    storage, every other transform copies. This keeps the autograd layer and
+//    the FFT/conv kernels simple and predictable.
+//  - Storage is shared via shared_ptr so Tensor is a cheap value type
+//    (C++ Core Guidelines F.16: pass by value / const reference freely).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace litho {
+
+/// Shape of a tensor: one extent per dimension, row-major.
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements described by @p shape (product of extents).
+int64_t numel_of(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" form, used in error messages.
+std::string shape_to_string(const Shape& shape);
+
+/// Dense float32 tensor with shared, contiguous, row-major storage.
+class Tensor {
+ public:
+  /// Empty 0-d tensor with no elements.
+  Tensor();
+
+  /// Uninitialized-to-zero tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of @p shape filled with @p value.
+  Tensor(Shape shape, float value);
+
+  /// Tensor wrapping a copy of @p values; values.size() must equal
+  /// numel_of(shape).
+  Tensor(Shape shape, std::vector<float> values);
+
+  // -- Factories ------------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// Uniform samples in [lo, hi).
+  static Tensor rand(Shape shape, std::mt19937& rng, float lo = 0.f,
+                     float hi = 1.f);
+  /// Normal samples with the given mean / stddev.
+  static Tensor randn(Shape shape, std::mt19937& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor arange(int64_t n);
+
+  // -- Introspection --------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  /// Extent of dimension @p d; negative indices count from the end.
+  int64_t size(int64_t d) const;
+  int64_t numel() const { return numel_; }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  /// Element access by flat row-major index.
+  float& operator[](int64_t i) { return (*data_)[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return (*data_)[static_cast<size_t>(i)]; }
+
+  /// Element access by multi-dimensional index (bounds-checked in debug).
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  // -- Shape manipulation ---------------------------------------------------
+  /// Returns a tensor sharing this storage with a new shape of equal numel.
+  Tensor reshape(Shape new_shape) const;
+  /// Deep copy.
+  Tensor clone() const;
+  /// 2-D transpose (copies). Requires dim() == 2.
+  Tensor transpose2d() const;
+  /// Concatenation of equally-shaped-except-@p dim tensors along @p dim.
+  static Tensor concat(const std::vector<Tensor>& parts, int64_t dim);
+  /// Copy of the sub-tensor [start, start+length) along @p dim.
+  Tensor narrow(int64_t dim, int64_t start, int64_t length) const;
+
+  // -- In-place / elementwise -----------------------------------------------
+  void fill(float value);
+  /// this += other (shapes must match).
+  void add_(const Tensor& other);
+  /// this += alpha * other.
+  void add_scaled_(const Tensor& other, float alpha);
+  void mul_(float scalar);
+  /// Applies @p fn to every element in place.
+  void apply_(const std::function<float(float)>& fn);
+
+  // -- Elementwise (allocating) ---------------------------------------------
+  Tensor add(const Tensor& other) const;
+  Tensor sub(const Tensor& other) const;
+  Tensor mul(const Tensor& other) const;
+  Tensor mul(float scalar) const;
+  Tensor map(const std::function<float(float)>& fn) const;
+
+  // -- Reductions -----------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float max() const;
+  float min() const;
+  /// Largest |x| over all elements; 0 for empty tensors.
+  float abs_max() const;
+
+ private:
+  void check_index(int64_t flat) const;
+
+  std::shared_ptr<std::vector<float>> data_;
+  Shape shape_;
+  int64_t numel_ = 0;
+};
+
+/// C = A(MxK) * B(KxN), row-major blocked GEMM; beta=0 semantics (C is
+/// overwritten). Sizes are explicit so callers can GEMM into reshaped views.
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n);
+
+/// C += A(MxK) * B(KxN).
+void gemm_accumulate(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n);
+
+/// C = A^T(KxM stored as MxK) * B(KxN)  -> (M x N) where a is (K x M).
+void gemm_at_b(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n);
+
+/// C = A(MxK) * B^T (N x K)  -> (M x N).
+void gemm_a_bt(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n);
+
+}  // namespace litho

@@ -1,0 +1,171 @@
+// Tests for CD metrology, mask rule checking and hotspot detection.
+#include <gtest/gtest.h>
+
+#include "core/hotspot.h"
+#include "litho/cd.h"
+#include "opc/mrc.h"
+#include "test_util.h"
+
+namespace litho::optics {
+namespace {
+
+TEST(Cd, MeasuresSyntheticTrapezoidWidth) {
+  // A flat-top profile from 0 to 1 with linear flanks: threshold 0.5 cuts
+  // exactly at the flank midpoints.
+  Tensor aerial({1, 16});
+  const float profile[16] = {0, 0, 0, 0.25f, 0.75f, 1, 1, 1,
+                             1, 1, 1, 0.75f, 0.25f, 0, 0, 0};
+  for (int i = 0; i < 16; ++i) aerial[i] = profile[i];
+  const double cd =
+      measure_cd_nm(aerial, 0.5, CutLine{true, 0}, 8, /*pixel_nm=*/10.0);
+  // Crossings at x = 3.5 and x = 11.5 -> 8 px -> 80 nm.
+  EXPECT_NEAR(cd, 80.0, 1e-6);
+}
+
+TEST(Cd, ZeroWhenNothingPrints) {
+  Tensor aerial = Tensor::full({1, 8}, 0.1f);
+  EXPECT_DOUBLE_EQ(
+      measure_cd_nm(aerial, 0.5, CutLine{true, 0}, 4, 10.0), 0.0);
+}
+
+TEST(Cd, FindsNearestRunWhenCenterIsDark) {
+  Tensor aerial({1, 12});
+  for (int i = 8; i < 11; ++i) aerial[i] = 1.f;
+  const double cd = measure_cd_nm(aerial, 0.5, CutLine{true, 0}, 2, 1.0);
+  EXPECT_GT(cd, 2.0);
+  EXPECT_LT(cd, 5.0);
+}
+
+TEST(Cd, VerticalCutMeasuresSameSquare) {
+  Tensor aerial({16, 16});
+  for (int64_t r = 5; r < 11; ++r)
+    for (int64_t c = 5; c < 11; ++c) aerial[r * 16 + c] = 1.f;
+  const double h =
+      measure_cd_nm(aerial, 0.5, CutLine{true, 8}, 8, 1.0);
+  const double v =
+      measure_cd_nm(aerial, 0.5, CutLine{false, 8}, 8, 1.0);
+  EXPECT_NEAR(h, v, 1e-9);
+}
+
+TEST(Cd, CutOutOfRangeThrows) {
+  Tensor aerial({4, 4});
+  EXPECT_THROW(measure_cd_nm(aerial, 0.5, CutLine{true, 9}, 0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Cd, DepthOfFocusFromCurve) {
+  std::vector<BossungPoint> curve = {
+      {-80, 60}, {-40, 95}, {0, 100}, {40, 96}, {80, 55}};
+  // 10% tolerance band keeps [-40, 40].
+  EXPECT_DOUBLE_EQ(depth_of_focus_nm(curve, 0.1), 80.0);
+  // Degenerate: no nominal point.
+  EXPECT_DOUBLE_EQ(depth_of_focus_nm({{-40, 90}, {40, 91}}, 0.1), 0.0);
+}
+
+}  // namespace
+}  // namespace litho::optics
+
+namespace litho::opc {
+namespace {
+
+TEST(Mrc, CleanMaskHasNoViolations) {
+  Tensor mask({16, 16});
+  for (int64_t r = 4; r < 12; ++r)
+    for (int64_t c = 4; c < 12; ++c) mask[r * 16 + c] = 1.f;
+  const auto v = check_mask_rules(mask, 16.0, MrcRules{48, 48});
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Mrc, FlagsNarrowFeature) {
+  Tensor mask({8, 8});
+  for (int64_t r = 2; r < 6; ++r) mask[r * 8 + 4] = 1.f;  // 1 px = 16 nm wide
+  const auto v = check_mask_rules(mask, 16.0, MrcRules{48, 48});
+  ASSERT_FALSE(v.empty());
+  bool found_feature = false;
+  for (const MrcViolation& x : v) {
+    if (x.kind == MrcViolation::Kind::kFeature) found_feature = true;
+  }
+  EXPECT_TRUE(found_feature);
+}
+
+TEST(Mrc, FlagsNarrowGap) {
+  Tensor mask({8, 8});
+  // Two 3-px features separated by a 1-px (16 nm) gap along each row.
+  for (int64_t r = 0; r < 8; ++r) {
+    for (int64_t c = 0; c < 3; ++c) mask[r * 8 + c] = 1.f;
+    for (int64_t c = 4; c < 7; ++c) mask[r * 8 + c] = 1.f;
+  }
+  const auto v = check_mask_rules(mask, 16.0, MrcRules{40, 40});
+  bool found_gap = false;
+  for (const MrcViolation& x : v) {
+    if (x.kind == MrcViolation::Kind::kGap && x.horizontal) found_gap = true;
+  }
+  EXPECT_TRUE(found_gap);
+}
+
+TEST(Mrc, BorderGapsNotReported) {
+  Tensor mask({8, 8});
+  // Feature at the right edge: the 1-px gap at the left border must not be
+  // counted (mask continues outside the tile), nor trailing background.
+  for (int64_t r = 0; r < 8; ++r)
+    for (int64_t c = 4; c < 8; ++c) mask[r * 8 + c] = 1.f;
+  const auto v = check_mask_rules(mask, 16.0, MrcRules{48, 48});
+  for (const MrcViolation& x : v) {
+    EXPECT_NE(x.kind, MrcViolation::Kind::kGap);
+  }
+}
+
+}  // namespace
+}  // namespace litho::opc
+
+namespace litho::core {
+namespace {
+
+TEST(Hotspot, FlagsMissingPattern) {
+  Tensor design({24, 24});
+  for (int64_t r = 2; r < 8; ++r)
+    for (int64_t c = 2; c < 8; ++c) design[r * 24 + c] = 1.f;    // prints
+  for (int64_t r = 14; r < 20; ++r)
+    for (int64_t c = 14; c < 20; ++c) design[r * 24 + c] = 1.f;  // missing
+  Tensor printed({24, 24});
+  for (int64_t r = 2; r < 8; ++r)
+    for (int64_t c = 2; c < 8; ++c) printed[r * 24 + c] = 1.f;
+
+  HotspotParams params;
+  const auto spots = find_hotspots(design, printed, params);
+  ASSERT_EQ(spots.size(), 1u);
+  EXPECT_EQ(spots[0].row_px, 12);
+  EXPECT_EQ(spots[0].col_px, 12);
+  EXPECT_DOUBLE_EQ(spots[0].printed_ratio, 0.0);
+}
+
+TEST(Hotspot, PerfectPrintIsQuiet) {
+  Tensor design({24, 24});
+  for (int64_t r = 4; r < 10; ++r)
+    for (int64_t c = 4; c < 10; ++c) design[r * 24 + c] = 1.f;
+  const auto spots = find_hotspots(design, design, HotspotParams{});
+  EXPECT_TRUE(spots.empty());
+}
+
+TEST(Hotspot, SortedBySeverity) {
+  Tensor design({24, 24});
+  for (int64_t r = 0; r < 12; ++r)
+    for (int64_t c = 0; c < 12; ++c) design[r * 24 + c] = 1.f;
+  for (int64_t r = 12; r < 24; ++r)
+    for (int64_t c = 12; c < 24; ++c) design[r * 24 + c] = 1.f;
+  Tensor printed({24, 24});
+  // First block prints at ~40%, second at 0%.
+  for (int64_t r = 0; r < 12; ++r)
+    for (int64_t c = 0; c < 5; ++c) printed[r * 24 + c] = 1.f;
+  const auto spots = find_hotspots(design, printed, HotspotParams{});
+  ASSERT_GE(spots.size(), 2u);
+  EXPECT_DOUBLE_EQ(spots[0].printed_ratio, 0.0);  // worst first
+}
+
+TEST(Hotspot, MismatchThrows) {
+  EXPECT_THROW(find_hotspots(Tensor({4, 4}), Tensor({5, 5}), HotspotParams{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace litho::core

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/io.h"
+#include "layout/clip_io.h"
+#include "test_util.h"
+
+namespace litho::layout {
+namespace {
+
+TEST(ClipIo, RoundTrip) {
+  Clip clip;
+  clip.extent_nm = 2048;
+  clip.shapes = {{0, 0, 100, 100}, {500, 700, 900, 780}};
+  const std::string path = "/tmp/litho_test.lclip";
+  write_clip(path, clip);
+  const Clip loaded = read_clip(path);
+  EXPECT_EQ(loaded.extent_nm, 2048);
+  ASSERT_EQ(loaded.shapes.size(), 2u);
+  EXPECT_EQ(loaded.shapes[1].x0, 500);
+  EXPECT_EQ(loaded.shapes[1].y1, 780);
+  std::filesystem::remove(path);
+}
+
+TEST(ClipIo, RejectsBadMagic) {
+  const std::string path = "/tmp/litho_bad.lclip";
+  std::ofstream(path) << "GDSII 7\n";
+  EXPECT_THROW(read_clip(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(ClipIo, RejectsEmptyRectAndMissingExtent) {
+  const std::string path = "/tmp/litho_bad2.lclip";
+  std::ofstream(path) << "LCLIP 1\nextent 100\nrect 5 5 5 10\n";
+  EXPECT_THROW(read_clip(path), std::runtime_error);
+  std::ofstream(path) << "LCLIP 1\nrect 0 0 10 10\n";
+  EXPECT_THROW(read_clip(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(ClipIo, RasterizesAfterRoundTrip) {
+  Clip clip;
+  clip.extent_nm = 128;
+  clip.shapes = {{32, 32, 96, 96}};
+  const std::string path = "/tmp/litho_rt.lclip";
+  write_clip(path, clip);
+  Tensor a = rasterize(clip, 16.0);
+  Tensor b = rasterize(read_clip(path), 16.0);
+  EXPECT_EQ(litho::test::max_abs_diff(a, b), 0.f);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace litho::layout
+
+namespace litho::io {
+namespace {
+
+TEST(PgmRead, RoundTripsThroughWrite) {
+  auto rng = litho::test::rng();
+  Tensor img = Tensor::rand({13, 17}, rng);
+  const std::string path = "/tmp/litho_rt.pgm";
+  write_pgm(path, img);
+  Tensor back = read_pgm(path);
+  EXPECT_EQ(back.shape(), img.shape());
+  // 8-bit quantization: half-LSB tolerance.
+  EXPECT_LT(litho::test::max_abs_diff(back, img), 1.f / 255.f);
+  std::filesystem::remove(path);
+}
+
+TEST(PgmRead, HandlesCommentsInHeader) {
+  const std::string path = "/tmp/litho_comment.pgm";
+  std::ofstream os(path, std::ios::binary);
+  os << "P5\n# a comment line\n2 1\n255\n";
+  const unsigned char px[2] = {0, 255};
+  os.write(reinterpret_cast<const char*>(px), 2);
+  os.close();
+  Tensor t = read_pgm(path);
+  EXPECT_EQ(t.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(t[0], 0.f);
+  EXPECT_FLOAT_EQ(t[1], 1.f);
+  std::filesystem::remove(path);
+}
+
+TEST(PgmRead, RejectsNonPgmAndTruncated) {
+  const std::string path = "/tmp/litho_notpgm.pgm";
+  std::ofstream(path) << "P6\n1 1\n255\nxxx";
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::ofstream(path, std::ios::binary) << "P5\n4 4\n255\nab";
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace litho::io

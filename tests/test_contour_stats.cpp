@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/contour_stats.h"
+#include "test_util.h"
+
+namespace litho::core {
+namespace {
+
+Tensor square(int64_t n, int64_t r0, int64_t c0, int64_t side) {
+  Tensor t({n, n});
+  for (int64_t r = r0; r < r0 + side; ++r)
+    for (int64_t c = c0; c < c0 + side; ++c) t[r * n + c] = 1.f;
+  return t;
+}
+
+TEST(BoundaryMap, SquareHasHollowBoundary) {
+  Tensor sq = square(16, 4, 4, 6);
+  Tensor b = boundary_map(sq);
+  // 6x6 square: boundary = 36 - 16 interior = 20 pixels.
+  EXPECT_FLOAT_EQ(b.sum(), 20.f);
+  EXPECT_FLOAT_EQ(b.at({4, 4}), 1.f);   // corner
+  EXPECT_FLOAT_EQ(b.at({6, 6}), 0.f);   // interior
+  EXPECT_FLOAT_EQ(b.at({0, 0}), 0.f);   // background
+}
+
+TEST(BoundaryMap, ImageEdgePixelsCountAsBoundary) {
+  Tensor all = Tensor::ones({4, 4});
+  Tensor b = boundary_map(all);
+  EXPECT_FLOAT_EQ(b.sum(), 12.f);  // outer ring of a 4x4
+}
+
+TEST(EpeStats, IdenticalContoursScoreZero) {
+  Tensor sq = square(32, 8, 8, 10);
+  const EpeStats s = contour_epe_stats(sq, sq);
+  EXPECT_DOUBLE_EQ(s.mean_px, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_px, 0.0);
+  EXPECT_EQ(s.violations, 0);
+  EXPECT_EQ(s.boundary_px, 36);
+}
+
+TEST(EpeStats, UniformShiftMeasuredExactly) {
+  Tensor a = square(32, 8, 8, 10);
+  Tensor b = square(32, 8, 11, 10);  // shifted 3 px in x
+  const EpeStats s = contour_epe_stats(b, a, /*violation_threshold_px=*/2.0);
+  // Left and right edges displaced by 3; top/bottom edges overlap over most
+  // of their length, so mean is between 0 and 3 and max is exactly 3.
+  EXPECT_NEAR(s.max_px, 3.0, 1e-9);
+  EXPECT_GT(s.mean_px, 0.5);
+  EXPECT_LT(s.mean_px, 3.0);
+  EXPECT_GT(s.violations, 0);
+}
+
+TEST(EpeStats, DilationByOnePixel) {
+  Tensor a = square(32, 10, 10, 8);
+  Tensor b = square(32, 9, 9, 10);  // uniformly grown by 1 px
+  const EpeStats s = contour_epe_stats(b, a, 2.0);
+  // Every golden boundary pixel is exactly 1 px from the dilated ring
+  // (corners see the ring's edge-adjacent pixel at distance 1, not the
+  // diagonal corner at sqrt(2)).
+  EXPECT_NEAR(s.max_px, 1.0, 1e-9);
+  EXPECT_NEAR(s.mean_px, 1.0, 1e-9);
+  EXPECT_EQ(s.violations, 0);
+}
+
+TEST(EpeStats, EmptyPredictionGivesDiagonalDistances) {
+  Tensor golden = square(16, 4, 4, 4);
+  Tensor empty({16, 16});
+  const EpeStats s = contour_epe_stats(empty, golden);
+  EXPECT_GT(s.mean_px, 10.0);  // everything "missed by the full image"
+  EXPECT_GT(s.violations, 0);
+}
+
+TEST(EpeStats, EmptyGoldenIsNeutral) {
+  Tensor empty({8, 8});
+  const EpeStats s = contour_epe_stats(empty, empty);
+  EXPECT_EQ(s.boundary_px, 0);
+  EXPECT_DOUBLE_EQ(s.mean_px, 0.0);
+}
+
+TEST(EpeStats, MismatchThrows) {
+  EXPECT_THROW(contour_epe_stats(Tensor({4, 4}), Tensor({5, 5})),
+               std::invalid_argument);
+}
+
+// Property: EPE stats are zero iff boundaries coincide, across shapes.
+class EpeShapes : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpeShapes, SelfComparisonIsAlwaysZero) {
+  auto rng = test::rng(static_cast<uint32_t>(GetParam()));
+  Tensor img({24, 24});
+  // Random blobs.
+  for (int k = 0; k < 3; ++k) {
+    const int64_t r0 = 2 + static_cast<int64_t>(rng() % 14);
+    const int64_t c0 = 2 + static_cast<int64_t>(rng() % 14);
+    const int64_t s = 2 + static_cast<int64_t>(rng() % 6);
+    for (int64_t r = r0; r < std::min<int64_t>(24, r0 + s); ++r)
+      for (int64_t c = c0; c < std::min<int64_t>(24, c0 + s); ++c)
+        img[r * 24 + c] = 1.f;
+  }
+  const EpeStats s = contour_epe_stats(img, img);
+  EXPECT_DOUBLE_EQ(s.mean_px, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_px, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpeShapes, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace litho::core

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "core/doinn.h"
+#include "core/large_tile.h"
+#include "test_util.h"
+
+namespace litho::core {
+namespace {
+
+DoinnConfig tiny_config() {
+  DoinnConfig cfg;
+  cfg.tile = 64;
+  cfg.modes = 5;  // gp grid 8, half spectrum width 5
+  cfg.gp_channels = 4;
+  cfg.lp1 = 2;
+  cfg.lp2 = 4;
+  cfg.refine1 = 8;
+  cfg.refine2 = 4;
+  return cfg;
+}
+
+TEST(DoinnConfig, ValidationCatchesBadShapes) {
+  DoinnConfig cfg = tiny_config();
+  cfg.modes = 9;  // exceeds half-spectrum width 5
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.tile = 100;  // not divisible by 32
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.pool = 4;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(DoinnConfig, PaperScaleMatchesPublishedModelSize) {
+  // The paper reports DOINN at 1.3M parameters (20x smaller than
+  // DAMO-DLS's 18M). Verify our paper-dimension build reproduces that.
+  auto rng = test::rng();
+  Doinn model(DoinnConfig::paper(), rng);
+  const int64_t params = model.num_parameters();
+  EXPECT_GT(params, 1'200'000) << params;
+  EXPECT_LT(params, 1'450'000) << params;
+}
+
+TEST(Doinn, ForwardShapeAndRange) {
+  auto rng = test::rng(1);
+  Doinn model(tiny_config(), rng);
+  ag::Variable x(Tensor::rand({2, 1, 64, 64}, rng), false);
+  ag::Variable y = model.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 1, 64, 64}));
+  EXPECT_LE(y.value().max(), 1.f);
+  EXPECT_GE(y.value().min(), -1.f);
+}
+
+TEST(Doinn, RejectsBadInput) {
+  auto rng = test::rng(2);
+  Doinn model(tiny_config(), rng);
+  EXPECT_THROW(model.forward(ag::Variable(Tensor::zeros({1, 2, 64, 64}), false)),
+               std::invalid_argument);
+  EXPECT_THROW(model.forward(ag::Variable(Tensor::zeros({1, 1, 48, 48}), false)),
+               std::invalid_argument);
+}
+
+TEST(Doinn, GpFeaturesShape) {
+  auto rng = test::rng(3);
+  DoinnConfig cfg = tiny_config();
+  Doinn model(cfg, rng);
+  ag::Variable x(Tensor::rand({1, 1, 64, 64}, rng), false);
+  ag::Variable gp = model.gp_features(x);
+  EXPECT_EQ(gp.shape(), (Shape{1, cfg.gp_channels, 8, 8}));
+  ag::Variable lp = model.lp_features(x);
+  EXPECT_EQ(lp.shape(), (Shape{1, cfg.lp3(), 8, 8}));
+}
+
+TEST(Doinn, AblationVariantsConstructAndRun) {
+  auto rng = test::rng(4);
+  for (const auto& [ir, lp, bypass] :
+       std::vector<std::tuple<bool, bool, bool>>{{false, false, false},
+                                                 {true, false, false},
+                                                 {true, true, false},
+                                                 {true, true, true}}) {
+    DoinnConfig cfg = tiny_config();
+    cfg.use_ir = ir;
+    cfg.use_lp = lp;
+    cfg.use_bypass = bypass;
+    Doinn model(cfg, rng);
+    ag::Variable x(Tensor::rand({1, 1, 64, 64}, rng), false);
+    EXPECT_EQ(model.forward(x).shape(), (Shape{1, 1, 64, 64}))
+        << "ir=" << ir << " lp=" << lp << " bypass=" << bypass;
+  }
+}
+
+TEST(Doinn, AblationAddsParameters) {
+  auto rng = test::rng(5);
+  DoinnConfig base = tiny_config();
+  base.use_ir = base.use_lp = base.use_bypass = false;
+  DoinnConfig full = tiny_config();
+  Doinn m_base(base, rng), m_full(full, rng);
+  EXPECT_GT(m_full.num_parameters(), m_base.num_parameters());
+}
+
+TEST(Doinn, BackwardProducesFiniteParamGrads) {
+  auto rng = test::rng(6);
+  Doinn model(tiny_config(), rng);
+  ag::Variable x(Tensor::rand({1, 1, 64, 64}, rng), false);
+  Tensor target = Tensor::full({1, 1, 64, 64}, -1.f);
+  ag::Variable loss = ag::mse_loss(model.forward(x), target);
+  loss.backward();
+  int64_t nonzero = 0;
+  for (const ag::Variable& p : model.parameters()) {
+    const Tensor& g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(g[i]));
+      if (g[i] != 0.f) ++nonzero;
+    }
+  }
+  EXPECT_GT(nonzero, 100) << "gradients did not flow to parameters";
+}
+
+TEST(Doinn, StateDictRoundTripPreservesOutput) {
+  auto rng = test::rng(7);
+  Doinn a(tiny_config(), rng), b(tiny_config(), rng);
+  auto rng2 = test::rng(8);
+  Tensor x = Tensor::rand({1, 1, 64, 64}, rng2);
+  b.load_state_dict(a.state_dict());
+  a.set_training(false);
+  b.set_training(false);
+  ag::Variable ya = a.forward(ag::Variable(x, false));
+  ag::Variable yb = b.forward(ag::Variable(x, false));
+  EXPECT_EQ(test::max_abs_diff(ya.value(), yb.value()), 0.f);
+}
+
+// Property sweep: DOINN constructs and preserves shape across a grid of
+// scaled configurations (tile, modes, channels).
+class DoinnConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DoinnConfigSweep, ForwardPreservesShape) {
+  const auto [tile, modes, channels] = GetParam();
+  DoinnConfig cfg;
+  cfg.tile = tile;
+  cfg.modes = modes;
+  cfg.gp_channels = channels;
+  cfg.lp1 = 2;
+  cfg.lp2 = 4;
+  cfg.refine1 = 8;
+  cfg.refine2 = 4;
+  auto rng = test::rng(static_cast<uint32_t>(tile + modes + channels));
+  Doinn model(cfg, rng);
+  ag::Variable x(Tensor::rand({1, 1, tile, tile}, rng), false);
+  EXPECT_EQ(model.forward(x).shape(), (Shape{1, 1, tile, tile}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DoinnConfigSweep,
+                         ::testing::Values(std::tuple{32, 3, 2},
+                                           std::tuple{64, 5, 4},
+                                           std::tuple{64, 3, 8},
+                                           std::tuple{96, 7, 4},
+                                           std::tuple{128, 7, 8}));
+
+TEST(Doinn, AnySizeInputWithFixedWeights) {
+  // The paper's "ANY-sized tiles" property: the same weights run on inputs
+  // of different (divisible-by-32) sizes, because every path is
+  // convolutional or spectral with size-relative truncation.
+  auto rng = test::rng(77);
+  Doinn model(tiny_config(), rng);  // trained-at-64 weights
+  for (int64_t n : {64, 96, 128}) {
+    auto rng2 = test::rng(static_cast<uint32_t>(n));
+    ag::Variable x(Tensor::rand({1, 1, n, n}, rng2), false);
+    EXPECT_EQ(model.forward(x).shape(), (Shape{1, 1, n, n})) << n;
+  }
+}
+
+// -- Large-tile scheme --------------------------------------------------------
+
+TEST(LargeTile, StitchedGpEqualsPlainGpForTrainingSize) {
+  auto rng = test::rng(9);
+  Doinn model(tiny_config(), rng);
+  LargeTilePredictor lt(model);
+  auto rng2 = test::rng(10);
+  Tensor mask = Tensor::rand({64, 64}, rng2);
+  ag::Variable stitched = lt.stitched_gp(mask);
+  ag::Variable plain = model.gp_features(
+      ag::Variable(mask.clone().reshape({1, 1, 64, 64}), false));
+  EXPECT_LT(test::max_abs_diff(stitched.value(), plain.value()), 1e-6f);
+}
+
+TEST(LargeTile, PredictMatchesPlainForTrainingSize) {
+  auto rng = test::rng(11);
+  Doinn model(tiny_config(), rng);
+  LargeTilePredictor lt(model);
+  auto rng2 = test::rng(12);
+  Tensor mask = Tensor::rand({64, 64}, rng2);
+  Tensor a = lt.predict(mask);
+  Tensor b = lt.predict_plain(mask);
+  EXPECT_LT(test::max_abs_diff(a, b), 1e-5f);
+}
+
+TEST(LargeTile, DoubleSizePredictionShapes) {
+  auto rng = test::rng(13);
+  Doinn model(tiny_config(), rng);
+  LargeTilePredictor lt(model);
+  auto rng2 = test::rng(14);
+  Tensor mask = Tensor::rand({128, 128}, rng2);
+  Tensor out = lt.predict(mask);
+  EXPECT_EQ(out.shape(), (Shape{128, 128}));
+  Tensor plain = lt.predict_plain(mask);
+  EXPECT_EQ(plain.shape(), (Shape{128, 128}));
+}
+
+TEST(LargeTile, RejectsNonMultipleOfHalfTile) {
+  auto rng = test::rng(15);
+  Doinn model(tiny_config(), rng);
+  LargeTilePredictor lt(model);
+  EXPECT_THROW(lt.predict(Tensor::zeros({80, 64})), std::invalid_argument);
+  EXPECT_THROW(lt.predict(Tensor::zeros({32, 32})), std::invalid_argument);
+  // 96 = 3 * tile/2 is fine (three half-overlapped clip rows).
+  EXPECT_EQ(lt.predict(Tensor::zeros({96, 64})).shape(), (Shape{96, 64}));
+}
+
+TEST(LargeTile, StitchingCoversEveryFeaturePixelExactlyOnce) {
+  // Feed a constant mask: every stitched feature pixel must equal the value
+  // the plain GP produces for a constant input (translation invariance of
+  // the pipeline up to boundary effects is exact for constants).
+  auto rng = test::rng(16);
+  Doinn model(tiny_config(), rng);
+  LargeTilePredictor lt(model);
+  Tensor mask = Tensor::full({128, 128}, 0.7f);
+  ag::Variable stitched = lt.stitched_gp(mask);
+  ag::Variable plain_small = model.gp_features(
+      ag::Variable(Tensor::full({1, 1, 64, 64}, 0.7f), false));
+  // All stitched values must appear in the plain feature map's value range.
+  EXPECT_LE(stitched.value().max(), plain_small.value().max() + 1e-4f);
+  EXPECT_GE(stitched.value().min(), plain_small.value().min() - 1e-4f);
+}
+
+}  // namespace
+}  // namespace litho::core

@@ -1,0 +1,78 @@
+// Cheap tests of the experiment harness (no training; dataset/model
+// factories, cache keys, benchmark metadata).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/experiments.h"
+#include "test_util.h"
+
+namespace litho::core {
+namespace {
+
+TEST(Benchmarks, IdsAreDistinctAndStable) {
+  EXPECT_EQ(ispd2019(Resolution::kLow).id(), "ispd_2019_l");
+  EXPECT_EQ(ispd2019(Resolution::kHigh).id(), "ispd_2019_h");
+  EXPECT_EQ(iccad2013(Resolution::kLow).id(), "iccad_2013_l");
+  EXPECT_EQ(n14().id(), "n14_l");
+  EXPECT_EQ(n14().display(), "N14");
+  EXPECT_EQ(iccad2013(Resolution::kHigh).display(), "ICCAD-2013 (H)");
+}
+
+TEST(Benchmarks, ResolutionControlsRaster) {
+  const Benchmark low = ispd2019(Resolution::kLow);
+  const Benchmark high = ispd2019(Resolution::kHigh);
+  // Same physical tile, different raster.
+  EXPECT_DOUBLE_EQ(low.tile_px() * low.pixel_nm(),
+                   high.tile_px() * high.pixel_nm());
+  EXPECT_EQ(low.tile_px(), 128);
+  EXPECT_EQ(high.tile_px(), 256);
+}
+
+TEST(Benchmarks, DamoSupportsOnlyLowRes) {
+  EXPECT_TRUE(damo_supports(ispd2019(Resolution::kLow)));
+  EXPECT_FALSE(damo_supports(ispd2019(Resolution::kHigh)));
+  EXPECT_TRUE(damo_supports(n14()));
+}
+
+TEST(Factories, AllModelNamesConstruct) {
+  for (const std::string& name :
+       {"DOINN", "UNet", "DAMO-DLS", "FNO-baseline"}) {
+    auto m = make_model(name, 1);
+    ASSERT_NE(m, nullptr);
+    EXPECT_GT(m->num_parameters(), 0) << name;
+  }
+  EXPECT_THROW(make_model("nonsense", 1), std::invalid_argument);
+}
+
+TEST(Factories, AblationVariantsDifferInSize) {
+  auto full = make_doinn(true, true, true, 1);
+  auto bare = make_doinn(false, false, false, 1);
+  EXPECT_GT(full->num_parameters(), bare->num_parameters());
+}
+
+TEST(Factories, SeedReproducesInit) {
+  auto a = make_model("DOINN", 5);
+  auto b = make_model("DOINN", 5);
+  const auto da = a->state_dict(), db = b->state_dict();
+  for (const auto& [k, v] : da) {
+    EXPECT_EQ(test::max_abs_diff(v, db.at(k)), 0.f) << k;
+  }
+}
+
+TEST(Cache, DirRespectsEnvOverride) {
+  setenv("LITHO_CACHE_DIR", "/tmp/litho_test_cache", 1);
+  EXPECT_EQ(cache_dir(), "/tmp/litho_test_cache");
+  unsetenv("LITHO_CACHE_DIR");
+}
+
+TEST(TrainDefaults, MatchPaperTable8Family) {
+  const TrainConfig cfg = default_train_config();
+  EXPECT_FLOAT_EQ(cfg.lr, 2e-3f);          // paper: 0.002
+  EXPECT_EQ(cfg.lr_step, 2);               // paper: every 2 epochs
+  EXPECT_FLOAT_EQ(cfg.lr_gamma, 0.5f);     // paper: x0.5
+  EXPECT_FLOAT_EQ(cfg.weight_decay, 1e-4f);// paper: 0.0001
+}
+
+}  // namespace
+}  // namespace litho::core

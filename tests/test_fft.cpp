@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "fft/fft.h"
+#include "test_util.h"
+
+namespace litho::fft {
+namespace {
+
+// Real inner product over complex tensors: <a,b> = sum re*re + im*im.
+double cdot(const CTensor& a, const CTensor& b) {
+  double acc = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(a.re[i]) * b.re[i] +
+           static_cast<double>(a.im[i]) * b.im[i];
+  }
+  return acc;
+}
+
+double rdot(const Tensor& a, const Tensor& b) {
+  double acc = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+TEST(Fft1d, MatchesNaiveDftPow2) {
+  const size_t n = 8;
+  std::vector<std::complex<double>> x(n);
+  auto g = test::rng();
+  std::uniform_real_distribution<double> d(-1, 1);
+  for (auto& v : x) v = {d(g), d(g)};
+  auto y = x;
+  fft1d_unnormalized(y, false);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> acc = 0;
+    for (size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k * j) / n;
+      acc += x[j] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(std::abs(y[k] - acc), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft1d, MatchesNaiveDftBluestein) {
+  const size_t n = 12;  // not a power of two -> Bluestein path
+  std::vector<std::complex<double>> x(n);
+  auto g = test::rng(1);
+  std::uniform_real_distribution<double> d(-1, 1);
+  for (auto& v : x) v = {d(g), d(g)};
+  auto y = x;
+  fft1d_unnormalized(y, false);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> acc = 0;
+    for (size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k * j) / n;
+      acc += x[j] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(std::abs(y[k] - acc), 0.0, 1e-8);
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FftRoundTrip, Fft2InverseRecoversInput) {
+  const auto [h, w] = GetParam();
+  auto g = test::rng(h * 31 + w);
+  CTensor x(Tensor::randn({2, h, w}, g), Tensor::randn({2, h, w}, g));
+  CTensor y = fft2(x, false);
+  CTensor back = fft2(y, true);
+  EXPECT_LT(test::max_abs_diff(back.re, x.re), 1e-4f);
+  EXPECT_LT(test::max_abs_diff(back.im, x.im), 1e-4f);
+}
+
+TEST_P(FftRoundTrip, RfftIrfftRecoversRealInput) {
+  const auto [h, w] = GetParam();
+  auto g = test::rng(h * 17 + w);
+  Tensor x = Tensor::randn({3, h, w}, g);
+  CTensor spec = rfft2(x);
+  EXPECT_EQ(spec.shape(), (Shape{3, h, w / 2 + 1}));
+  Tensor back = irfft2(spec, w);
+  EXPECT_LT(test::max_abs_diff(back, x), 1e-4f);
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const auto [h, w] = GetParam();
+  auto g = test::rng(h + w * 7);
+  CTensor x(Tensor::randn({1, h, w}, g), Tensor::randn({1, h, w}, g));
+  CTensor y = fft2(x, false);
+  // sum |X|^2 = N * sum |x|^2 for an unnormalized forward transform.
+  const double ex = cdot(x, x);
+  const double ey = cdot(y, y);
+  EXPECT_NEAR(ey / (h * w), ex, 1e-3 * std::abs(ex) + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(std::pair{4, 4}, std::pair{8, 8},
+                                           std::pair{16, 8}, std::pair{8, 16},
+                                           std::pair{6, 10},  // Bluestein
+                                           std::pair{12, 12},
+                                           std::pair{32, 32},
+                                           std::pair{5, 7}));
+
+TEST(Fft2, ImpulseGivesFlatSpectrum) {
+  Tensor x({1, 8, 8});
+  x[0] = 1.f;  // delta at origin
+  CTensor spec = rfft2(x);
+  for (int64_t i = 0; i < spec.numel(); ++i) {
+    EXPECT_NEAR(spec.re[i], 1.f, 1e-5f);
+    EXPECT_NEAR(spec.im[i], 0.f, 1e-5f);
+  }
+}
+
+TEST(Fft2, DcComponentIsSum) {
+  auto g = test::rng(5);
+  Tensor x = Tensor::rand({1, 16, 16}, g);
+  CTensor spec = rfft2(x);
+  EXPECT_NEAR(spec.re[0], x.sum(), 1e-3f);
+  EXPECT_NEAR(spec.im[0], 0.f, 1e-4f);
+}
+
+// The adjoint identities are what the autograd spectral ops rely on:
+//   <rfft2(x), g> == <x, rfft2_adjoint(g)>
+//   <irfft2(X), y> == <X, irfft2_adjoint(y)>
+class FftAdjoint : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FftAdjoint, RfftAdjointIdentity) {
+  const auto [h, w] = GetParam();
+  auto g = test::rng(h * 3 + w);
+  Tensor x = Tensor::randn({2, h, w}, g);
+  CTensor cot(Tensor::randn({2, h, w / 2 + 1}, g),
+              Tensor::randn({2, h, w / 2 + 1}, g));
+  const double lhs = cdot(rfft2(x), cot);
+  const double rhs = rdot(x, rfft2_adjoint(cot, w));
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST_P(FftAdjoint, IrfftAdjointIdentity) {
+  const auto [h, w] = GetParam();
+  auto g = test::rng(h * 13 + w);
+  CTensor spec(Tensor::randn({2, h, w / 2 + 1}, g),
+               Tensor::randn({2, h, w / 2 + 1}, g));
+  Tensor cot = Tensor::randn({2, h, w}, g);
+  const double lhs = rdot(irfft2(spec, w), cot);
+  const double rhs = cdot(spec, irfft2_adjoint(cot));
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftAdjoint,
+                         ::testing::Values(std::pair{4, 4}, std::pair{8, 8},
+                                           std::pair{8, 6}, std::pair{6, 8},
+                                           std::pair{16, 16},
+                                           std::pair{5, 9}));
+
+TEST(ComplexOps, MulAndConjMul) {
+  CTensor a(Tensor({1}, {1.f}), Tensor({1}, {2.f}));   // 1+2i
+  CTensor b(Tensor({1}, {3.f}), Tensor({1}, {-1.f}));  // 3-i
+  CTensor ab = cmul(a, b);  // (1+2i)(3-i) = 5+5i
+  EXPECT_FLOAT_EQ(ab.re[0], 5.f);
+  EXPECT_FLOAT_EQ(ab.im[0], 5.f);
+  CTensor abc = cmul_conj(a, b);  // (1+2i)(3+i) = 1+7i
+  EXPECT_FLOAT_EQ(abc.re[0], 1.f);
+  EXPECT_FLOAT_EQ(abc.im[0], 7.f);
+  EXPECT_FLOAT_EQ(cabs2(a)[0], 5.f);
+}
+
+TEST(CTensor, ShapeMismatchThrows) {
+  EXPECT_THROW(CTensor(Tensor({2}), Tensor({3})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace litho::fft

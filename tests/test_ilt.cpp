@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/ilt.h"
+#include "test_util.h"
+
+namespace litho::core {
+namespace {
+
+DoinnConfig tiny_config() {
+  DoinnConfig cfg;
+  cfg.tile = 64;
+  cfg.modes = 5;
+  cfg.gp_channels = 4;
+  cfg.lp1 = 2;
+  cfg.lp2 = 4;
+  cfg.refine1 = 8;
+  cfg.refine2 = 4;
+  return cfg;
+}
+
+TEST(Ilt, ObjectiveDecreasesThroughFrozenModel) {
+  auto rng = test::rng(1);
+  Doinn model(tiny_config(), rng);
+  auto rng2 = test::rng(2);
+  Tensor target({64, 64});
+  for (int64_t r = 28; r < 36; ++r)
+    for (int64_t c = 28; c < 36; ++c) target[r * 64 + c] = 1.f;
+  Tensor init = Tensor::rand({64, 64}, rng2, 0.2f, 0.8f);
+
+  IltConfig cfg;
+  cfg.iterations = 10;
+  const IltResult result = optimize_mask(model, target, init, cfg);
+  ASSERT_EQ(result.loss.size(), 10u);
+  EXPECT_LT(result.loss.back(), result.loss.front())
+      << "mask gradients did not reduce the objective";
+  EXPECT_EQ(result.mask.shape(), (Shape{64, 64}));
+  EXPECT_GE(result.mask.min(), 0.f);
+  EXPECT_LE(result.mask.max(), 1.f);
+  for (int64_t i = 0; i < result.binary_mask.numel(); ++i) {
+    ASSERT_TRUE(result.binary_mask[i] == 0.f || result.binary_mask[i] == 1.f);
+  }
+}
+
+TEST(Ilt, ModelWeightsAreNotModified) {
+  auto rng = test::rng(3);
+  Doinn model(tiny_config(), rng);
+  const auto before = model.state_dict();
+  Tensor target = Tensor::zeros({64, 64});
+  Tensor init = Tensor::full({64, 64}, 0.5f);
+  IltConfig cfg;
+  cfg.iterations = 3;
+  (void)optimize_mask(model, target, init, cfg);
+  const auto after = model.state_dict();
+  for (const auto& [k, v] : before) {
+    // Running BN statistics may not change either: eval mode.
+    EXPECT_EQ(test::max_abs_diff(v, after.at(k)), 0.f) << k;
+  }
+}
+
+TEST(Ilt, ShapeMismatchThrows) {
+  auto rng = test::rng(4);
+  Doinn model(tiny_config(), rng);
+  EXPECT_THROW(optimize_mask(model, Tensor({64, 64}), Tensor({32, 32}),
+                             IltConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace litho::core

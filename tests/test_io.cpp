@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/io.h"
+#include "test_util.h"
+
+namespace litho::io {
+namespace {
+
+TEST(Pgm, WritesValidHeaderAndPixels) {
+  Tensor img({2, 3}, {0.f, 0.5f, 1.f, 1.f, 0.25f, 0.75f});
+  const std::string path = "/tmp/litho_test.pgm";
+  write_pgm(path, img);
+  std::ifstream is(path, std::ios::binary);
+  std::string magic;
+  int w, h, maxv;
+  is >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxv, 255);
+  is.get();  // single whitespace after header
+  unsigned char px[6];
+  is.read(reinterpret_cast<char*>(px), 6);
+  EXPECT_EQ(px[0], 0);
+  EXPECT_EQ(px[1], 128);
+  EXPECT_EQ(px[2], 255);
+  std::filesystem::remove(path);
+}
+
+TEST(Pgm, AutoRangeWhenLoEqualsHi) {
+  Tensor img({1, 2}, {-3.f, 5.f});
+  const std::string path = "/tmp/litho_test_auto.pgm";
+  write_pgm(path, img, 0.f, 0.f);  // auto range
+  std::ifstream is(path, std::ios::binary);
+  std::string line;
+  std::getline(is, line);
+  std::getline(is, line);
+  std::getline(is, line);
+  unsigned char px[2];
+  is.read(reinterpret_cast<char*>(px), 2);
+  EXPECT_EQ(px[0], 0);
+  EXPECT_EQ(px[1], 255);
+  std::filesystem::remove(path);
+}
+
+TEST(Pgm, RejectsNon2D) {
+  EXPECT_THROW(write_pgm("/tmp/x.pgm", Tensor({2, 2, 2})),
+               std::invalid_argument);
+}
+
+TEST(Ppm, WritesColorPlanes) {
+  Tensor r = Tensor::ones({2, 2});
+  Tensor g = Tensor::zeros({2, 2});
+  Tensor b = Tensor::zeros({2, 2});
+  const std::string path = "/tmp/litho_test.ppm";
+  write_ppm(path, r, g, b);
+  std::ifstream is(path, std::ios::binary);
+  std::string magic;
+  is >> magic;
+  EXPECT_EQ(magic, "P6");
+  std::filesystem::remove(path);
+}
+
+TEST(TensorContainer, RoundTripsMultipleTensors) {
+  auto rng = test::rng();
+  std::map<std::string, Tensor> dict;
+  dict.emplace("a", Tensor::randn({3, 4}, rng));
+  dict.emplace("b.nested.name", Tensor::randn({2, 2, 2}, rng));
+  dict.emplace("scalarish", Tensor({1}, {42.f}));
+  const std::string path = "/tmp/litho_test_container.bin";
+  save_tensors(path, dict);
+  const auto loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (const auto& [k, v] : dict) {
+    ASSERT_TRUE(loaded.count(k)) << k;
+    EXPECT_EQ(loaded.at(k).shape(), v.shape());
+    EXPECT_EQ(test::max_abs_diff(loaded.at(k), v), 0.f);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TensorContainer, RejectsBadMagic) {
+  const std::string path = "/tmp/litho_bad_magic.bin";
+  std::ofstream(path, std::ios::binary) << "NOPE-this-is-not-a-container";
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TensorContainer, RejectsTruncatedFile) {
+  const std::string path = "/tmp/litho_truncated.bin";
+  {
+    std::map<std::string, Tensor> dict;
+    dict.emplace("t", Tensor::ones({64}));
+    save_tensors(path, dict);
+  }
+  // Truncate the payload.
+  std::filesystem::resize_file(path, 40);
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TensorContainer, MissingFileThrows) {
+  EXPECT_THROW(load_tensors("/tmp/litho_does_not_exist.bin"),
+               std::runtime_error);
+}
+
+TEST(Fs, FileExistsAndEnsureDir) {
+  EXPECT_FALSE(file_exists("/tmp/litho_no_such_file"));
+  ensure_dir("/tmp/litho_test_dir/nested");
+  EXPECT_TRUE(std::filesystem::is_directory("/tmp/litho_test_dir/nested"));
+  std::filesystem::remove_all("/tmp/litho_test_dir");
+}
+
+}  // namespace
+}  // namespace litho::io

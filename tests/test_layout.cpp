@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "layout/layout.h"
+#include "test_util.h"
+
+namespace litho::layout {
+namespace {
+
+TEST(Rect, BasicsAndSpacing) {
+  Rect a{0, 0, 10, 10};
+  EXPECT_EQ(a.width(), 10);
+  EXPECT_EQ(a.area(), 100);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE((Rect{5, 5, 5, 9}).empty());
+
+  Rect right{20, 0, 30, 10};
+  EXPECT_EQ(a.spacing_to(right), 10);
+  Rect above{0, 14, 10, 20};
+  EXPECT_EQ(a.spacing_to(above), 4);
+  Rect diag{13, 14, 20, 20};  // dx=3, dy=4 -> 5
+  EXPECT_EQ(a.spacing_to(diag), 5);
+  Rect overlapping{5, 5, 15, 15};
+  EXPECT_TRUE(a.intersects(overlapping));
+  EXPECT_EQ(a.spacing_to(overlapping), 0);
+}
+
+TEST(Drc, DetectsViolations) {
+  DesignRules rules{64, 64};
+  Clip clip;
+  clip.extent_nm = 1024;
+  clip.shapes = {{0, 0, 100, 100}, {200, 0, 300, 100}};
+  EXPECT_TRUE(drc_clean(clip, rules));
+  // Too-close pair.
+  clip.shapes = {{0, 0, 100, 100}, {130, 0, 230, 100}};
+  EXPECT_FALSE(drc_clean(clip, rules));
+  // Sub-minimum width.
+  clip.shapes = {{0, 0, 32, 100}};
+  EXPECT_FALSE(drc_clean(clip, rules));
+  // Out of clip bounds.
+  clip.shapes = {{1000, 0, 1100, 100}};
+  EXPECT_FALSE(drc_clean(clip, rules));
+  // Overlapping shapes merge (allowed).
+  clip.shapes = {{0, 0, 100, 100}, {50, 50, 150, 150}};
+  EXPECT_TRUE(drc_clean(clip, rules));
+}
+
+TEST(Rasterize, PixelAlignedRectExact) {
+  Clip clip;
+  clip.extent_nm = 64;
+  clip.shapes = {{16, 16, 48, 32}};
+  Tensor g = rasterize(clip, 16.0);
+  EXPECT_EQ(g.shape(), (Shape{4, 4}));
+  EXPECT_FLOAT_EQ(g.at({1, 1}), 1.f);
+  EXPECT_FLOAT_EQ(g.at({1, 2}), 1.f);
+  EXPECT_FLOAT_EQ(g.at({0, 1}), 0.f);
+  EXPECT_FLOAT_EQ(g.at({2, 1}), 0.f);
+}
+
+TEST(Rasterize, FractionalCoverageAntialiased) {
+  Clip clip;
+  clip.extent_nm = 32;
+  clip.shapes = {{0, 0, 8, 16}};  // half a pixel wide, full pixel tall
+  Tensor g = rasterize(clip, 16.0);
+  EXPECT_FLOAT_EQ(g.at({0, 0}), 0.5f);
+  EXPECT_FLOAT_EQ(g.at({0, 1}), 0.f);
+}
+
+TEST(Rasterize, AreaConservedForDisjointShapes) {
+  Clip clip;
+  clip.extent_nm = 512;
+  clip.shapes = {{10, 20, 110, 90}, {200, 300, 380, 420}};
+  Tensor g = rasterize(clip, 16.0);
+  double total_nm2 = 0;
+  for (const Rect& r : clip.shapes) total_nm2 += static_cast<double>(r.area());
+  EXPECT_NEAR(g.sum() * 16.0 * 16.0, total_nm2, 1.0);
+}
+
+TEST(Rasterize, OverlapSaturatesAtOne) {
+  Clip clip;
+  clip.extent_nm = 64;
+  clip.shapes = {{0, 0, 64, 64}, {0, 0, 64, 64}};
+  Tensor g = rasterize(clip, 16.0);
+  EXPECT_FLOAT_EQ(g.max(), 1.f);
+}
+
+TEST(Rasterize, RejectsNonMultipleExtent) {
+  Clip clip;
+  clip.extent_nm = 100;
+  EXPECT_THROW(rasterize(clip, 16.0), std::invalid_argument);
+}
+
+TEST(ViaGenerator, RejectsUnsatisfiableRules) {
+  ViaLayerGenerator::Params p;
+  p.pitch_nm = 100;  // 100 - 72 - 32 < 64
+  EXPECT_THROW(ViaLayerGenerator(p, DesignRules{64, 64}),
+               std::invalid_argument);
+}
+
+// Property: generated clips are always DRC-clean, non-trivial, in-bounds.
+class GeneratorSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSeeds, ViaClipsAreDrcClean) {
+  DesignRules rules{64, 64};
+  ViaLayerGenerator gen(ViaLayerGenerator::Params{}, rules);
+  auto rng = test::rng(static_cast<uint32_t>(GetParam()));
+  Clip clip = gen.generate(rng);
+  EXPECT_TRUE(drc_clean(clip, rules)) << "seed " << GetParam();
+  EXPECT_GT(clip.shapes.size(), 3u);
+  for (const Rect& r : clip.shapes) {
+    EXPECT_EQ(r.width(), 72);
+    EXPECT_EQ(r.height(), 72);
+  }
+}
+
+TEST_P(GeneratorSeeds, MetalClipsAreDrcClean) {
+  DesignRules rules{64, 64};
+  MetalLayerGenerator gen(MetalLayerGenerator::Params{}, rules);
+  auto rng = test::rng(static_cast<uint32_t>(GetParam()) + 1000);
+  Clip clip = gen.generate(rng);
+  EXPECT_TRUE(drc_clean(clip, rules)) << "seed " << GetParam();
+  EXPECT_GT(clip.shapes.size(), 2u);
+  for (const Rect& r : clip.shapes) {
+    EXPECT_GE(r.width(), 80) << "segment shorter than wire width";
+    EXPECT_GE(r.height(), 80);
+  }
+}
+
+TEST_P(GeneratorSeeds, DensityWithinPlausibleBand) {
+  DesignRules rules{64, 64};
+  ViaLayerGenerator vgen(ViaLayerGenerator::Params{}, rules);
+  MetalLayerGenerator mgen(MetalLayerGenerator::Params{}, rules);
+  auto rng = test::rng(static_cast<uint32_t>(GetParam()) + 7);
+  EXPECT_LT(density(vgen.generate(rng)), 0.35);
+  const double md = density(mgen.generate(rng));
+  EXPECT_GT(md, 0.01);
+  EXPECT_LT(md, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds, ::testing::Range(0, 12));
+
+TEST(ViaGenerator, DeterministicForSeed) {
+  DesignRules rules{64, 64};
+  ViaLayerGenerator gen(ViaLayerGenerator::Params{}, rules);
+  auto r1 = test::rng(9), r2 = test::rng(9);
+  Clip a = gen.generate(r1), b = gen.generate(r2);
+  ASSERT_EQ(a.shapes.size(), b.shapes.size());
+  for (size_t i = 0; i < a.shapes.size(); ++i) {
+    EXPECT_EQ(a.shapes[i].x0, b.shapes[i].x0);
+    EXPECT_EQ(a.shapes[i].y0, b.shapes[i].y0);
+  }
+}
+
+}  // namespace
+}  // namespace litho::layout

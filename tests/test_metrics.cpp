@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "test_util.h"
+
+namespace litho::core {
+namespace {
+
+TEST(Metrics, PerfectPredictionScoresOne) {
+  Tensor g({4, 4});
+  g[0] = g[5] = g[10] = 1.f;
+  const auto m = evaluate_contours(g, g);
+  EXPECT_DOUBLE_EQ(m.miou, 1.0);
+  EXPECT_DOUBLE_EQ(m.mpa, 1.0);
+}
+
+TEST(Metrics, KnownPartialOverlap) {
+  // G: 4 fg pixels; P: 4 fg pixels, 2 overlap; total 16 pixels.
+  Tensor g({4, 4}), p({4, 4});
+  g[0] = g[1] = g[2] = g[3] = 1.f;
+  p[2] = p[3] = p[4] = p[5] = 1.f;
+  const auto m = evaluate_contours(p, g);
+  // fg: inter 2, union 6 -> 1/3. bg: inter 10, union 14 -> 5/7.
+  EXPECT_NEAR(m.miou, 0.5 * (2.0 / 6.0 + 10.0 / 14.0), 1e-12);
+  // fg PA: 2/4. bg PA: 10/12.
+  EXPECT_NEAR(m.mpa, 0.5 * (2.0 / 4.0 + 10.0 / 12.0), 1e-12);
+}
+
+TEST(Metrics, AllBackgroundHandledByConvention) {
+  Tensor z({3, 3});
+  const auto m = evaluate_contours(z, z);
+  EXPECT_DOUBLE_EQ(m.miou, 1.0);  // empty fg class scores 1 by convention
+  EXPECT_DOUBLE_EQ(m.mpa, 1.0);
+}
+
+TEST(Metrics, CompleteMissScoresLow) {
+  Tensor g({2, 2}), p({2, 2});
+  g[0] = 1.f;
+  p[3] = 1.f;
+  const auto m = evaluate_contours(p, g);
+  EXPECT_LT(m.miou, 0.5);
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  EXPECT_THROW(evaluate_contours(Tensor({2, 2}), Tensor({2, 3})),
+               std::invalid_argument);
+}
+
+TEST(Metrics, AverageOfSamples) {
+  SegmentationMetrics a{1.0, 1.0}, b{0.5, 0.8};
+  const auto m = average({a, b});
+  EXPECT_DOUBLE_EQ(m.miou, 0.75);
+  EXPECT_DOUBLE_EQ(m.mpa, 0.9);
+  const auto empty = average({});
+  EXPECT_DOUBLE_EQ(empty.miou, 0.0);
+}
+
+TEST(Metrics, ThresholdAtHalf) {
+  Tensor g({1, 2}, {0.6f, 0.4f});  // fg, bg
+  Tensor p({1, 2}, {0.501f, 0.499f});
+  const auto m = evaluate_contours(p, g);
+  EXPECT_DOUBLE_EQ(m.miou, 1.0);
+}
+
+}  // namespace
+}  // namespace litho::core

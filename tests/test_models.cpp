@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/doinn.h"
+#include "models/damo.h"
+#include "models/fno_baseline.h"
+#include "models/unet.h"
+#include "test_util.h"
+
+namespace litho::models {
+namespace {
+
+TEST(UNet, ForwardShapeAndRange) {
+  auto rng = test::rng();
+  UNet model(UNetConfig{4, 3}, rng);
+  ag::Variable x(Tensor::rand({2, 1, 64, 64}, rng), false);
+  ag::Variable y = model.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 1, 64, 64}));
+  EXPECT_LE(y.value().max(), 1.f);
+  EXPECT_GE(y.value().min(), -1.f);
+}
+
+TEST(DamoDls, ForwardShape) {
+  auto rng = test::rng(1);
+  DamoDls model(DamoConfig{4}, rng);
+  ag::Variable x(Tensor::rand({1, 1, 64, 64}, rng), false);
+  EXPECT_EQ(model.forward(x).shape(), (Shape{1, 1, 64, 64}));
+}
+
+TEST(FnoBaseline, ForwardShape) {
+  auto rng = test::rng(2);
+  FnoConfig cfg;
+  cfg.modes = 5;
+  cfg.channels = 4;
+  cfg.num_units = 2;
+  FnoBaseline model(cfg, rng);
+  ag::Variable x(Tensor::rand({1, 1, 64, 64}, rng), false);
+  EXPECT_EQ(model.forward(x).shape(), (Shape{1, 1, 64, 64}));
+  EXPECT_EQ(model.spectral_features(x).shape(), (Shape{1, 4, 8, 8}));
+}
+
+TEST(ModelZoo, ParameterOrderingMatchesPaper) {
+  // Paper: DAMO-DLS (18M) >> UNet >> DOINN (1.3M). At our scaled widths the
+  // ordering must be preserved.
+  auto rng = test::rng(3);
+  core::DoinnConfig dcfg = core::DoinnConfig::small();
+  core::Doinn doinn(dcfg, rng);
+  UNet unet(UNetConfig{}, rng);
+  DamoDls damo(DamoConfig{}, rng);
+  EXPECT_GT(damo.num_parameters(), unet.num_parameters());
+  EXPECT_GT(unet.num_parameters(), doinn.num_parameters());
+  // DAMO should be roughly an order of magnitude larger than DOINN.
+  EXPECT_GT(damo.num_parameters(), 6 * doinn.num_parameters());
+}
+
+TEST(ModelZoo, BackwardRunsOnAllBaselines) {
+  auto rng = test::rng(4);
+  UNet unet(UNetConfig{4, 3}, rng);
+  DamoDls damo(DamoConfig{4}, rng);
+  Tensor target = Tensor::zeros({1, 1, 64, 64});
+  for (nn::ContourModel* m :
+       std::initializer_list<nn::ContourModel*>{&unet, &damo}) {
+    auto rng2 = test::rng(5);
+    ag::Variable x(Tensor::rand({1, 1, 64, 64}, rng2), false);
+    ag::Variable loss = ag::mse_loss(m->forward(x), target);
+    loss.backward();
+    for (const ag::Variable& p : m->parameters()) {
+      for (int64_t i = 0; i < p.grad().numel(); ++i) {
+        ASSERT_TRUE(std::isfinite(p.grad()[i])) << m->name();
+      }
+    }
+  }
+}
+
+TEST(ModelZoo, NamesAreDistinct) {
+  auto rng = test::rng(6);
+  UNet unet(UNetConfig{4, 3}, rng);
+  DamoDls damo(DamoConfig{4}, rng);
+  FnoConfig fcfg;
+  fcfg.modes = 5;
+  fcfg.channels = 4;
+  FnoBaseline fno(fcfg, rng);
+  EXPECT_EQ(unet.name(), "UNet");
+  EXPECT_EQ(damo.name(), "DAMO-DLS");
+  EXPECT_EQ(fno.name(), "FNO-baseline");
+}
+
+}  // namespace
+}  // namespace litho::models

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "io/io.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "test_util.h"
+
+namespace litho::nn {
+namespace {
+
+// Tiny regression model used by optimizer / serialization tests.
+class TinyNet : public Module {
+ public:
+  explicit TinyNet(std::mt19937& rng)
+      : conv1_(1, 4, 3, 1, 1, rng), bn_(4), conv2_(4, 1, 3, 1, 1, rng) {
+    register_module("conv1", &conv1_);
+    register_module("bn", &bn_);
+    register_module("conv2", &conv2_);
+  }
+
+  ag::Variable forward(const ag::Variable& x) {
+    return conv2_.forward(ag::leaky_relu(bn_.forward(conv1_.forward(x)), 0.1f));
+  }
+
+ private:
+  Conv2d conv1_;
+  BatchNorm2d bn_;
+  Conv2d conv2_;
+};
+
+TEST(Module, ParameterCollection) {
+  auto g = test::rng();
+  TinyNet net(g);
+  // conv1: 4*1*3*3 + 4; bn: 4 + 4; conv2: 1*4*3*3 + 1.
+  EXPECT_EQ(net.num_parameters(), 36 + 4 + 8 + 36 + 1);
+  EXPECT_EQ(net.parameters().size(), 6u);  // weight+bias per conv, gamma+beta
+}
+
+TEST(Module, StateDictRoundTrip) {
+  auto g = test::rng(1);
+  TinyNet a(g), b(g);
+  // a and b differ after independent init; sync b from a.
+  auto dict = a.state_dict();
+  EXPECT_TRUE(dict.count("conv1.weight"));
+  EXPECT_TRUE(dict.count("bn.running_mean"));
+  b.load_state_dict(dict);
+  auto db = b.state_dict();
+  for (const auto& [k, v] : dict) {
+    EXPECT_EQ(test::max_abs_diff(v, db.at(k)), 0.f) << k;
+  }
+}
+
+TEST(Module, LoadRejectsMissingKey) {
+  auto g = test::rng(2);
+  TinyNet net(g);
+  std::map<std::string, Tensor> empty;
+  EXPECT_THROW(net.load_state_dict(empty), std::runtime_error);
+}
+
+TEST(Module, StateDictSerializesThroughFile) {
+  auto g = test::rng(3);
+  TinyNet a(g), b(g);
+  const std::string path = "/tmp/litho_test_net.bin";
+  io::save_tensors(path, a.state_dict());
+  b.load_state_dict(io::load_tensors(path));
+  auto da = a.state_dict(), db = b.state_dict();
+  for (const auto& [k, v] : da) {
+    EXPECT_EQ(test::max_abs_diff(v, db.at(k)), 0.f) << k;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Module, TrainEvalPropagates) {
+  auto g = test::rng(4);
+  TinyNet net(g);
+  EXPECT_TRUE(net.training());
+  net.set_training(false);
+  EXPECT_FALSE(net.training());
+}
+
+TEST(Conv2dLayer, OutputShape) {
+  auto g = test::rng(5);
+  Conv2d conv(3, 8, 4, 2, 1, g);
+  ag::Variable x(Tensor::randn({2, 3, 16, 16}, g), false);
+  EXPECT_EQ(conv.forward(x).shape(), (Shape{2, 8, 8, 8}));
+}
+
+TEST(ConvTranspose2dLayer, UpsamplesByStride) {
+  auto g = test::rng(6);
+  ConvTranspose2d up(8, 4, 4, 2, 1, g);
+  ag::Variable x(Tensor::randn({1, 8, 8, 8}, g), false);
+  EXPECT_EQ(up.forward(x).shape(), (Shape{1, 4, 16, 16}));
+}
+
+TEST(VggBlockLayer, PreservesSpatialSize) {
+  auto g = test::rng(7);
+  VggBlock block(4, 8, g);
+  ag::Variable x(Tensor::randn({2, 4, 10, 10}, g), false);
+  EXPECT_EQ(block.forward(x).shape(), (Shape{2, 8, 10, 10}));
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 elementwise.
+  ag::Variable w(Tensor::zeros({4}), true);
+  Adam opt({w}, 0.1f);
+  Tensor target = Tensor::full({4}, 3.f);
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    ag::Variable loss = ag::mse_loss(w, target);
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(test::max_abs_diff(w.value(), target), 1e-2f);
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  ag::Variable w(Tensor::full({1}, 5.f), true);
+  Adam opt({w}, 0.05f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/1.f);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    // Zero data gradient: only decay drives the update.
+    ag::Variable loss = ag::scale(ag::sum(w), 0.f);
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(std::abs(w.value()[0]), 0.5f);
+}
+
+TEST(StepLR, HalvesEveryTwoEpochs) {
+  ag::Variable w(Tensor::zeros({1}), true);
+  Adam opt({w}, 0.002f);
+  StepLR sched(opt, 2, 0.5f);
+  sched.step();
+  EXPECT_FLOAT_EQ(opt.lr(), 0.002f);
+  sched.step();
+  EXPECT_FLOAT_EQ(opt.lr(), 0.001f);
+  sched.step();
+  sched.step();
+  EXPECT_FLOAT_EQ(opt.lr(), 0.0005f);
+}
+
+TEST(Training, TinyNetFitsConstantMapping) {
+  // Smoke test of the full train loop: learn y = 0.5 everywhere.
+  auto g = test::rng(8);
+  TinyNet net(g);
+  Adam opt(net.parameters(), 0.01f);
+  Tensor x = Tensor::rand({2, 1, 8, 8}, g);
+  Tensor y = Tensor::full({2, 1, 8, 8}, 0.5f);
+  float first = 0.f, last = 0.f;
+  for (int i = 0; i < 60; ++i) {
+    opt.zero_grad();
+    ag::Variable pred = net.forward(ag::Variable(x, false));
+    ag::Variable loss = ag::mse_loss(pred, y);
+    if (i == 0) first = loss.value()[0];
+    last = loss.value()[0];
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(last, first * 0.2f) << "training loss did not decrease";
+}
+
+}  // namespace
+}  // namespace litho::nn

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "opc/opc.h"
+#include "test_util.h"
+
+namespace litho::opc {
+namespace {
+
+using layout::Clip;
+using layout::Rect;
+
+optics::LithoSimulator make_sim() {
+  optics::OpticalConfig cfg;
+  cfg.pixel_nm = 16.0;
+  cfg.kernel_grid = 32;
+  cfg.kernel_count = 10;
+  static std::vector<optics::SocsKernel> kernels =
+      optics::compute_socs_kernels(cfg);  // shared across tests (expensive)
+  return optics::LithoSimulator(cfg, kernels);
+}
+
+Clip square_clip(int64_t extent, int64_t size) {
+  Clip clip;
+  clip.extent_nm = extent;
+  const int64_t c = extent / 2;
+  clip.shapes.push_back({c - size / 2, c - size / 2, c + size / 2, c + size / 2});
+  return clip;
+}
+
+TEST(Fragmentation, CoversEveryEdge) {
+  auto sim = make_sim();
+  OpcEngine opc(sim, OpcParams{});
+  Clip clip = square_clip(1024, 256);
+  auto frags = opc.fragment(clip);
+  // 256 nm edges at 128 nm fragments -> 2 per edge, 4 edges.
+  EXPECT_EQ(frags.size(), 8u);
+  int64_t left_len = 0;
+  for (const Fragment& f : frags) {
+    EXPECT_LT(f.span0, f.span1);
+    if (f.edge == Fragment::Edge::kLeft) left_len += f.span1 - f.span0;
+  }
+  EXPECT_EQ(left_len, 256);
+}
+
+TEST(Fragmentation, SmallShapeGetsOneFragmentPerEdge) {
+  auto sim = make_sim();
+  OpcEngine opc(sim, OpcParams{});
+  Clip clip = square_clip(1024, 72);
+  EXPECT_EQ(opc.fragment(clip).size(), 4u);
+}
+
+TEST(OffsetRasterization, PositiveOffsetGrowsArea) {
+  auto sim = make_sim();
+  OpcEngine opc(sim, OpcParams{});
+  Clip clip = square_clip(1024, 256);
+  auto frags = opc.fragment(clip);
+  const float base = opc.rasterize_with_offsets(clip, frags).sum();
+  for (Fragment& f : frags) f.offset_nm = 16.0;
+  const float grown = opc.rasterize_with_offsets(clip, frags).sum();
+  for (Fragment& f : frags) f.offset_nm = -16.0;
+  const float shrunk = opc.rasterize_with_offsets(clip, frags).sum();
+  EXPECT_GT(grown, base);
+  EXPECT_LT(shrunk, base);
+  // Uniform 16 nm growth of a 256 nm square: area (288^2-256^2)nm^2.
+  const float expected_delta = (288.f * 288.f - 256.f * 256.f) / (16.f * 16.f);
+  EXPECT_NEAR(grown - base, expected_delta, expected_delta * 0.1f);
+}
+
+TEST(OffsetRasterization, ZeroOffsetsMatchPlainRasterization) {
+  auto sim = make_sim();
+  OpcEngine opc(sim, OpcParams{});
+  Clip clip = square_clip(1024, 200);
+  auto frags = opc.fragment(clip);
+  Tensor a = opc.rasterize_with_offsets(clip, frags);
+  Tensor b = layout::rasterize(clip, sim.config().pixel_nm);
+  EXPECT_EQ(litho::test::max_abs_diff(a, b), 0.f);
+}
+
+TEST(Epe, MeasuredSignMatchesPrintBias) {
+  auto sim = make_sim();
+  OpcEngine opc(sim, OpcParams{});
+  // A large square under-prints at corners / edges with threshold resist:
+  // un-OPC'ed EPE should be clearly nonzero somewhere.
+  Clip clip = square_clip(1024, 200);
+  auto frags = opc.fragment(clip);
+  Tensor aerial = sim.aerial(layout::rasterize(clip, sim.config().pixel_nm));
+  opc.measure_epe(clip, aerial, frags);
+  double max_abs = 0;
+  for (const Fragment& f : frags) max_abs = std::max(max_abs, std::abs(f.last_epe_nm));
+  EXPECT_GT(max_abs, 1.0) << "expected measurable EPE before correction";
+}
+
+TEST(Opc, ConvergesOnIsolatedSquare) {
+  auto sim = make_sim();
+  OpcParams params;
+  params.gain = 0.5;
+  OpcEngine opc(sim, params);
+  Clip clip = square_clip(1024, 200);
+  const auto iters = opc.run(clip, 8);
+  ASSERT_EQ(iters.size(), 9u);
+  EXPECT_LT(iters.back().mean_abs_epe, iters.front().mean_abs_epe * 0.7)
+      << "OPC failed to reduce EPE";
+  for (const auto& it : iters) {
+    EXPECT_GE(it.mask.min(), 0.f);
+    EXPECT_LE(it.mask.max(), 1.f);
+  }
+}
+
+TEST(Opc, ImprovesMultiFeatureClip) {
+  auto sim = make_sim();
+  OpcEngine opc(sim, OpcParams{});
+  Clip clip;
+  clip.extent_nm = 1024;
+  clip.shapes = {{128, 128, 328, 208},    // horizontal bar
+                 {512, 400, 584, 472},    // contact
+                 {200, 600, 800, 680}};   // long wire
+  const auto iters = opc.run(clip, 8);
+  EXPECT_LT(iters.back().mean_abs_epe, iters.front().mean_abs_epe);
+}
+
+TEST(Sraf, InsertedBarsRespectClearanceAndBounds) {
+  Clip clip = square_clip(2048, 200);
+  Clip with = insert_srafs(clip, /*sraf_nm=*/40, /*distance_nm=*/120,
+                           /*min_clearance_nm=*/80);
+  EXPECT_GT(with.shapes.size(), clip.shapes.size());
+  for (size_t i = clip.shapes.size(); i < with.shapes.size(); ++i) {
+    const Rect& s = with.shapes[i];
+    EXPECT_GE(s.x0, 0);
+    EXPECT_GE(s.y0, 0);
+    EXPECT_LE(s.x1, clip.extent_nm);
+    EXPECT_LE(s.y1, clip.extent_nm);
+    // Clearance to the original shape.
+    EXPECT_GE(s.spacing_to(clip.shapes[0]), 80);
+  }
+}
+
+TEST(Sraf, AssistBarsDoNotPrint) {
+  auto sim = make_sim();
+  Clip clip = square_clip(1024, 200);
+  Clip with = insert_srafs(clip, 32, 128, 80);
+  ASSERT_GT(with.shapes.size(), 1u);
+  Tensor resist = sim.simulate(layout::rasterize(with, sim.config().pixel_nm));
+  // Sample the center of the first SRAF: it must not print.
+  const Rect& s = with.shapes[1];
+  const int64_t r = (s.y0 + s.y1) / 2 / 16;
+  const int64_t c = (s.x0 + s.x1) / 2 / 16;
+  EXPECT_FLOAT_EQ(resist.at({r, c}), 0.f);
+}
+
+TEST(Sraf, SkipsWhenBlockedByNeighbors) {
+  Clip clip;
+  clip.extent_nm = 1024;
+  // Two shapes 200 nm apart: no SRAF fits between them with 80 clearance.
+  clip.shapes = {{200, 400, 400, 600}, {600, 400, 800, 600}};
+  Clip with = insert_srafs(clip, 40, 80, 80);
+  for (size_t i = 2; i < with.shapes.size(); ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_GE(with.shapes[i].spacing_to(clip.shapes[j]), 80);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace litho::opc

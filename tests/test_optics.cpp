@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "io/io.h"
+#include "litho/simulator.h"
+#include "test_util.h"
+
+namespace litho::optics {
+namespace {
+
+/// Small, fast config used throughout these tests.
+OpticalConfig test_config() {
+  OpticalConfig cfg;
+  cfg.pixel_nm = 16.0;
+  cfg.kernel_grid = 32;
+  cfg.kernel_count = 10;
+  return cfg;
+}
+
+TEST(Pupil, CutoffBehaviour) {
+  OpticalConfig cfg = test_config();
+  const double fc = cfg.cutoff_freq();
+  EXPECT_EQ(pupil_value(cfg, 0, 0), std::complex<double>(1, 0));
+  EXPECT_EQ(pupil_value(cfg, fc * 0.99, 0), std::complex<double>(1, 0));
+  EXPECT_EQ(pupil_value(cfg, fc * 1.01, 0), std::complex<double>(0, 0));
+  EXPECT_EQ(pupil_value(cfg, fc, fc), std::complex<double>(0, 0));
+}
+
+TEST(Pupil, DefocusAddsPhaseInsideSupportOnly) {
+  OpticalConfig cfg = test_config();
+  cfg.defocus_nm = 50.0;
+  const auto v = pupil_value(cfg, cfg.cutoff_freq() * 0.5, 0);
+  EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+  EXPECT_NE(v.imag(), 0.0);
+  EXPECT_EQ(pupil_value(cfg, cfg.cutoff_freq() * 1.1, 0),
+            std::complex<double>(0, 0));
+}
+
+TEST(Source, AnnularExcludesInnerDisc) {
+  OpticalConfig cfg = test_config();
+  cfg.source = SourceShape::kAnnular;
+  const auto annular = source_points(cfg, 64);
+  cfg.source = SourceShape::kCircular;
+  const auto circular = source_points(cfg, 64);
+  EXPECT_GT(circular.size(), annular.size());
+  // No annular point may lie strictly inside sigma_in * pupil radius.
+  const double r_in = cfg.sigma_in * cfg.pupil_radius_px(64);
+  for (const SourcePoint& s : annular) {
+    EXPECT_GE(s.kx * s.kx + s.ky * s.ky, r_in * r_in - 1e-9);
+  }
+}
+
+TEST(Source, DegenerateConfigFallsBackToOnAxisPoint) {
+  OpticalConfig cfg = test_config();
+  cfg.sigma_out = 1e-9;  // coherent limit
+  const auto pts = source_points(cfg, 64);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].kx, 0.0);
+}
+
+TEST(Socs, EigenvaluesPositiveAndDescending) {
+  const auto kernels = compute_socs_kernels(test_config());
+  ASSERT_EQ(kernels.size(), 10u);
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    EXPECT_GT(kernels[i].alpha, 0.0) << i;
+    if (i > 0) {
+      EXPECT_LE(kernels[i].alpha, kernels[i - 1].alpha * 1.001) << i;
+    }
+  }
+  // The leading kernel dominates for partially coherent imaging.
+  EXPECT_GT(kernels[0].alpha, kernels.back().alpha * 2);
+}
+
+TEST(Socs, KernelEnergyConcentratedAtWindowCenter) {
+  const auto kernels = compute_socs_kernels(test_config());
+  const auto& k = kernels[0];
+  const int64_t d = k.spatial.re.size(0);
+  double total = 0, central = 0;
+  for (int64_t r = 0; r < d; ++r) {
+    for (int64_t c = 0; c < d; ++c) {
+      const double e = static_cast<double>(k.spatial.re[r * d + c]) *
+                           k.spatial.re[r * d + c] +
+                       static_cast<double>(k.spatial.im[r * d + c]) *
+                           k.spatial.im[r * d + c];
+      total += e;
+      if (std::abs(r - d / 2) <= d / 4 && std::abs(c - d / 2) <= d / 4) {
+        central += e;
+      }
+    }
+  }
+  EXPECT_GT(central / total, 0.8) << "kernel energy not centered";
+}
+
+TEST(Socs, SaveLoadRoundTrip) {
+  const auto kernels = compute_socs_kernels(test_config());
+  const std::string path = "/tmp/litho_test_kernels.bin";
+  save_kernels(path, kernels);
+  const auto loaded = load_kernels(path);
+  ASSERT_EQ(loaded.size(), kernels.size());
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    EXPECT_FLOAT_EQ(static_cast<float>(loaded[i].alpha),
+                    static_cast<float>(kernels[i].alpha));
+    EXPECT_EQ(test::max_abs_diff(loaded[i].spatial.re, kernels[i].spatial.re),
+              0.f);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Socs, SpectrumEmbeddingPreservesKernel) {
+  const auto kernels = compute_socs_kernels(test_config());
+  // Embedding onto the native grid and inverting must recover the
+  // (fft-shifted) spatial kernel.
+  const auto& k = kernels[0];
+  const int64_t d = k.spatial.re.size(0);
+  fft::CTensor spec = kernel_spectrum(k, d, d);
+  fft::CTensor back = fft::fft2(spec, true);
+  // back is the origin-centered version; compare against unshifted window.
+  for (int64_t r = 0; r < d; ++r) {
+    for (int64_t c = 0; c < d; ++c) {
+      const int64_t sr = (r + d / 2) % d, sc = (c + d / 2) % d;
+      EXPECT_NEAR(back.re[r * d + c], k.spatial.re[sr * d + sc], 1e-4f);
+    }
+  }
+}
+
+TEST(Socs, RejectsGridSmallerThanKernelWindow) {
+  const auto kernels = compute_socs_kernels(test_config());
+  EXPECT_THROW(kernel_spectrum(kernels[0], 16, 16), std::invalid_argument);
+}
+
+TEST(Socs, MatchesAbbeReferenceImaging) {
+  // The core physics check: truncated SOCS must approximate the exact Abbe
+  // source-point image. Relative L2 error below a few percent with 10
+  // kernels on a small grid.
+  OpticalConfig cfg = test_config();
+  LithoSimulator sim(cfg, compute_socs_kernels(cfg));
+
+  Tensor mask({32, 32});
+  // A few features: square contact + bar.
+  for (int64_t r = 8; r < 13; ++r)
+    for (int64_t c = 8; c < 13; ++c) mask[r * 32 + c] = 1.f;
+  for (int64_t r = 20; r < 23; ++r)
+    for (int64_t c = 6; c < 26; ++c) mask[r * 32 + c] = 1.f;
+
+  Tensor socs = sim.aerial(mask);
+  Tensor abbe = abbe_intensity(cfg, mask);
+  // Normalize Abbe by the same open-frame convention.
+  Tensor open = Tensor::ones({32, 32});
+  const float abbe_open = abbe_intensity(cfg, open).mean();
+  abbe.mul_(1.f / abbe_open);
+
+  double num = 0, den = 0;
+  for (int64_t i = 0; i < socs.numel(); ++i) {
+    num += (socs[i] - abbe[i]) * (socs[i] - abbe[i]);
+    den += abbe[i] * abbe[i];
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.05)
+      << "SOCS does not reproduce Abbe imaging";
+}
+
+TEST(Simulator, OpenFrameNormalization) {
+  OpticalConfig cfg = test_config();
+  LithoSimulator sim(cfg, compute_socs_kernels(cfg));
+  Tensor aerial = sim.aerial(Tensor::ones({64, 64}));
+  EXPECT_NEAR(aerial.mean(), 1.f, 1e-3f);
+}
+
+TEST(Simulator, DarkFieldIsDark) {
+  OpticalConfig cfg = test_config();
+  LithoSimulator sim(cfg, compute_socs_kernels(cfg));
+  Tensor aerial = sim.aerial(Tensor::zeros({64, 64}));
+  EXPECT_LT(aerial.abs_max(), 1e-5f);
+}
+
+TEST(Simulator, ResistThresholdBinarizes) {
+  OpticalConfig cfg = test_config();
+  LithoSimulator sim(cfg, compute_socs_kernels(cfg));
+  Tensor a({2, 2}, {0.1f, 0.3f, 0.225f, 0.9f});
+  Tensor z = sim.resist(a);
+  EXPECT_FLOAT_EQ(z[0], 0.f);
+  EXPECT_FLOAT_EQ(z[1], 1.f);
+  EXPECT_FLOAT_EQ(z[2], 1.f);  // >= threshold prints
+  EXPECT_FLOAT_EQ(z[3], 1.f);
+}
+
+TEST(Simulator, LargeContactPrints) {
+  OpticalConfig cfg = test_config();
+  LithoSimulator sim(cfg, compute_socs_kernels(cfg));
+  Tensor mask({64, 64});
+  // 8x8 px = 128 nm contact: comfortably above resolution.
+  for (int64_t r = 28; r < 36; ++r)
+    for (int64_t c = 28; c < 36; ++c) mask[r * 64 + c] = 1.f;
+  Tensor z = sim.simulate(mask);
+  EXPECT_GT(z.sum(), 10.f) << "feature failed to print";
+  EXPECT_FLOAT_EQ(z.at({32, 32}), 1.f);
+  EXPECT_FLOAT_EQ(z.at({4, 4}), 0.f);
+}
+
+TEST(Simulator, PrintAreaMonotoneInFeatureSize) {
+  OpticalConfig cfg = test_config();
+  LithoSimulator sim(cfg, compute_socs_kernels(cfg));
+  float prev = 0.f;
+  for (int64_t half : {2, 3, 4, 6}) {
+    Tensor mask({64, 64});
+    for (int64_t r = 32 - half; r < 32 + half; ++r)
+      for (int64_t c = 32 - half; c < 32 + half; ++c) mask[r * 64 + c] = 1.f;
+    const float area = sim.simulate(mask).sum();
+    EXPECT_GE(area, prev) << "half=" << half;
+    prev = area;
+  }
+  EXPECT_GT(prev, 0.f);
+}
+
+TEST(Simulator, ThresholdSetterChangesPrintArea) {
+  OpticalConfig cfg = test_config();
+  LithoSimulator sim(cfg, compute_socs_kernels(cfg));
+  Tensor mask({64, 64});
+  for (int64_t r = 26; r < 38; ++r)
+    for (int64_t c = 26; c < 38; ++c) mask[r * 64 + c] = 1.f;
+  const float at_default = sim.simulate(mask).sum();
+  sim.set_threshold(0.1);
+  const float at_low = sim.simulate(mask).sum();
+  EXPECT_GT(at_low, at_default) << "lower threshold must print more";
+  EXPECT_DOUBLE_EQ(sim.threshold(), 0.1);
+}
+
+TEST(Simulator, KernelCacheRoundTrip) {
+  OpticalConfig cfg = test_config();
+  const std::string path = "/tmp/litho_test_kcache.bin";
+  std::filesystem::remove(path);
+  LithoSimulator a = LithoSimulator::with_cache(cfg, path);
+  EXPECT_TRUE(litho::io::file_exists(path));
+  LithoSimulator b = LithoSimulator::with_cache(cfg, path);  // loads
+  Tensor mask = Tensor::zeros({32, 32});
+  for (int64_t r = 12; r < 20; ++r)
+    for (int64_t c = 12; c < 20; ++c) mask[r * 32 + c] = 1.f;
+  EXPECT_EQ(test::max_abs_diff(a.aerial(mask), b.aerial(mask)), 0.f);
+  std::filesystem::remove(path);
+}
+
+TEST(Simulator, AerialIsShiftEquivariant) {
+  // FFT-based imaging is exactly equivariant under circular shifts: a
+  // shifted mask must produce the identically shifted intensity.
+  OpticalConfig cfg = test_config();
+  LithoSimulator sim(cfg, compute_socs_kernels(cfg));
+  auto g = test::rng(21);
+  Tensor mask({64, 64});
+  for (int64_t r = 20; r < 28; ++r)
+    for (int64_t c = 12; c < 20; ++c) mask[r * 64 + c] = 1.f;
+  Tensor a = sim.aerial(mask);
+
+  const int64_t dy = 17, dx = 9;
+  Tensor shifted({64, 64});
+  for (int64_t r = 0; r < 64; ++r) {
+    for (int64_t c = 0; c < 64; ++c) {
+      shifted[((r + dy) % 64) * 64 + (c + dx) % 64] = mask[r * 64 + c];
+    }
+  }
+  Tensor b = sim.aerial(shifted);
+  float worst = 0.f;
+  for (int64_t r = 0; r < 64; ++r) {
+    for (int64_t c = 0; c < 64; ++c) {
+      worst = std::max(worst,
+                       std::abs(b[((r + dy) % 64) * 64 + (c + dx) % 64] -
+                                a[r * 64 + c]));
+    }
+  }
+  EXPECT_LT(worst, 1e-4f);
+}
+
+TEST(Simulator, DefocusSignSymmetryForRealMasks) {
+  // With a real mask and a symmetric source, +z and -z defocus produce the
+  // same intensity (the pupil phases are conjugate).
+  OpticalConfig plus = test_config();
+  plus.defocus_nm = 60.0;
+  OpticalConfig minus = test_config();
+  minus.defocus_nm = -60.0;
+  Tensor mask({32, 32});
+  for (int64_t r = 10; r < 20; ++r)
+    for (int64_t c = 14; c < 18; ++c) mask[r * 32 + c] = 1.f;
+  Tensor ip = abbe_intensity(plus, mask);
+  Tensor im = abbe_intensity(minus, mask);
+  EXPECT_LT(test::max_abs_diff(ip, im), 1e-4f);
+}
+
+TEST(Simulator, DefocusDegradesContrast) {
+  // Peak intensity of a small feature drops away from focus.
+  OpticalConfig nominal = test_config();
+  OpticalConfig defocused = test_config();
+  defocused.defocus_nm = 120.0;
+  Tensor mask({64, 64});
+  for (int64_t r = 28; r < 36; ++r)
+    for (int64_t c = 28; c < 36; ++c) mask[r * 64 + c] = 1.f;
+  LithoSimulator s0(nominal, compute_socs_kernels(nominal));
+  LithoSimulator s1(defocused, compute_socs_kernels(defocused));
+  EXPECT_GT(s0.aerial(mask).max(), s1.aerial(mask).max());
+}
+
+TEST(Simulator, OpticalDiameterIsPositiveAndSubMicron) {
+  OpticalConfig cfg = test_config();
+  EXPECT_GT(cfg.optical_diameter_nm(), 100.0);
+  EXPECT_LT(cfg.optical_diameter_nm(), 1200.0);
+  LithoSimulator sim(cfg, compute_socs_kernels(cfg));
+  EXPECT_GT(sim.optical_diameter_px(), 0);
+}
+
+}  // namespace
+}  // namespace litho::optics

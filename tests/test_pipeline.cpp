@@ -1,0 +1,139 @@
+// End-to-end integration tests: dataset generation -> training -> evaluation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/dataset.h"
+#include "core/trainer.h"
+#include "models/unet.h"
+#include "test_util.h"
+
+namespace litho::core {
+namespace {
+
+const optics::LithoSimulator& shared_sim() {
+  static optics::LithoSimulator* sim = [] {
+    optics::OpticalConfig cfg;
+    cfg.pixel_nm = 16.0;
+    cfg.kernel_grid = 32;
+    cfg.kernel_count = 10;
+    return new optics::LithoSimulator(cfg, optics::compute_socs_kernels(cfg));
+  }();
+  return *sim;
+}
+
+DatasetSpec tiny_spec() {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kViaDense;
+  spec.count = 6;
+  spec.tile_px = 64;
+  spec.seed = 3;
+  spec.opc_iterations = 2;  // sub-nominal contacts need OPC bias to print
+  return spec;
+}
+
+TEST(Dataset, GeneratesConsistentPairs) {
+  const auto ds = build_dataset(shared_sim(), tiny_spec());
+  ASSERT_EQ(ds.size(), 6);
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    const Tensor& m = ds.masks[static_cast<size_t>(i)];
+    const Tensor& z = ds.resists[static_cast<size_t>(i)];
+    EXPECT_EQ(m.shape(), (Shape{64, 64}));
+    EXPECT_EQ(z.shape(), (Shape{64, 64}));
+    EXPECT_GE(m.min(), 0.f);
+    EXPECT_LE(m.max(), 1.f);
+    // Resist is binary.
+    for (int64_t p = 0; p < z.numel(); ++p) {
+      EXPECT_TRUE(z[p] == 0.f || z[p] == 1.f);
+    }
+  }
+  // Dense via clips must actually print something on most samples.
+  int printed = 0;
+  for (const Tensor& z : ds.resists) {
+    if (z.sum() > 0) ++printed;
+  }
+  EXPECT_GE(printed, 4);
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  const auto a = build_dataset(shared_sim(), tiny_spec());
+  const auto b = build_dataset(shared_sim(), tiny_spec());
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(test::max_abs_diff(a.masks[static_cast<size_t>(i)],
+                                 b.masks[static_cast<size_t>(i)]),
+              0.f);
+  }
+}
+
+TEST(Dataset, CacheRoundTrip) {
+  DatasetSpec spec = tiny_spec();
+  spec.cache_file = "/tmp/litho_test_dataset.bin";
+  std::filesystem::remove(spec.cache_file);
+  const auto fresh = build_dataset(shared_sim(), spec);
+  EXPECT_TRUE(std::filesystem::exists(spec.cache_file));
+  const auto cached = build_dataset(shared_sim(), spec);
+  ASSERT_EQ(fresh.size(), cached.size());
+  for (int64_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(test::max_abs_diff(fresh.resists[static_cast<size_t>(i)],
+                                 cached.resists[static_cast<size_t>(i)]),
+              0.f);
+  }
+  std::filesystem::remove(spec.cache_file);
+}
+
+TEST(Dataset, OpcMasksDifferFromRawMasks) {
+  DatasetSpec raw = tiny_spec();
+  raw.opc_iterations = 0;
+  DatasetSpec corrected = tiny_spec();
+  const auto a = build_dataset(shared_sim(), raw);
+  const auto b = build_dataset(shared_sim(), corrected);
+  EXPECT_GT(test::max_abs_diff(a.masks[0], b.masks[0]), 0.01f)
+      << "OPC did not move any edges";
+}
+
+TEST(Dataset, GenerateMaskLargeTile) {
+  Tensor mask = generate_mask(shared_sim(), DatasetKind::kViaSparse,
+                              /*tile_px=*/128, /*seed=*/5,
+                              /*opc_iterations=*/0);
+  EXPECT_EQ(mask.shape(), (Shape{128, 128}));
+  EXPECT_GT(mask.sum(), 0.f);
+}
+
+TEST(Trainer, TargetsAreSignEncoded) {
+  Tensor z({2}, {0.f, 1.f});
+  Tensor t = to_target(z);
+  EXPECT_FLOAT_EQ(t[0], -1.f);
+  EXPECT_FLOAT_EQ(t[1], 1.f);
+}
+
+TEST(Trainer, UNetLearnsTinyDataset) {
+  const auto ds = build_dataset(shared_sim(), tiny_spec());
+  auto rng = test::rng(11);
+  models::UNet model(models::UNetConfig{4, 3}, rng);
+  TrainConfig cfg;
+  cfg.epochs = 24;
+  cfg.batch_size = 2;
+  cfg.lr = 5e-3f;
+  cfg.lr_step = 8;
+  std::vector<double> losses;
+  cfg.on_epoch = [&](int64_t, double loss) { losses.push_back(loss); };
+  train_model(model, ds, cfg);
+  ASSERT_EQ(losses.size(), 24u);
+  EXPECT_LT(losses.back(), losses.front())
+      << "training loss failed to decrease";
+  // After training on the (tiny) set, metrics on it should beat chance.
+  const auto m = evaluate_model(model, ds);
+  EXPECT_GT(m.miou, 0.6);
+  EXPECT_GT(m.mpa, 0.6);
+}
+
+TEST(Trainer, EmptyDatasetThrows) {
+  auto rng = test::rng(12);
+  models::UNet model(models::UNetConfig{4, 3}, rng);
+  EXPECT_THROW(train_model(model, ContourDataset{}, TrainConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace litho::core

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tensor/tensor.h"
+#include "test_util.h"
+
+namespace litho {
+namespace {
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(), 3);
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(-1), 4);
+  EXPECT_EQ(shape_to_string(t.shape()), "[2, 3, 4]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 3});
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(Tensor, FromValuesAndAt) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at({0, 0}), 1.f);
+  EXPECT_EQ(t.at({1, 2}), 6.f);
+  t.at({1, 0}) = 9.f;
+  EXPECT_EQ(t[3], 9.f);
+}
+
+TEST(Tensor, AtThrowsOutOfRange) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW((void)t.at({0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Tensor, ValueCountMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.f, 2.f, 3.f}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshape({3, 2});
+  r[0] = 42.f;
+  EXPECT_EQ(t[0], 42.f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t({2}, {1, 2});
+  Tensor c = t.clone();
+  c[0] = 7.f;
+  EXPECT_EQ(t[0], 1.f);
+}
+
+TEST(Tensor, Transpose2d) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor tt = t.transpose2d();
+  EXPECT_EQ(tt.size(0), 3);
+  EXPECT_EQ(tt.at({0, 1}), 4.f);
+  EXPECT_EQ(tt.at({2, 0}), 3.f);
+}
+
+TEST(Tensor, ConcatMiddleDim) {
+  Tensor a({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2, 2}, {5, 6, 7, 8, 9, 10, 11, 12});
+  Tensor c = Tensor::concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 2}));
+  EXPECT_EQ(c.at({0, 0, 0}), 1.f);
+  EXPECT_EQ(c.at({0, 1, 0}), 5.f);
+  EXPECT_EQ(c.at({1, 0, 1}), 4.f);
+  EXPECT_EQ(c.at({1, 2, 1}), 12.f);
+}
+
+TEST(Tensor, NarrowIsInverseOfConcat) {
+  auto g = test::rng();
+  Tensor a = Tensor::randn({2, 3, 4}, g);
+  Tensor b = Tensor::randn({2, 2, 4}, g);
+  Tensor c = Tensor::concat({a, b}, 1);
+  EXPECT_EQ(test::max_abs_diff(c.narrow(1, 0, 3), a), 0.f);
+  EXPECT_EQ(test::max_abs_diff(c.narrow(1, 3, 2), b), 0.f);
+}
+
+TEST(Tensor, NarrowBoundsChecked) {
+  Tensor t({2, 4});
+  EXPECT_THROW(t.narrow(1, 3, 2), std::out_of_range);
+  EXPECT_THROW(t.narrow(2, 0, 1), std::out_of_range);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_EQ(a.add(b).at({1}), 7.f);
+  EXPECT_EQ(a.sub(b).at({0}), -3.f);
+  EXPECT_EQ(a.mul(b).at({2}), 18.f);
+  EXPECT_EQ(a.mul(2.f).at({2}), 6.f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.sum(), -2.f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.5f);
+  EXPECT_FLOAT_EQ(t.max(), 3.f);
+  EXPECT_FLOAT_EQ(t.min(), -4.f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  auto g = test::rng();
+  Tensor t = Tensor::randn({10000}, g, 1.f, 2.f);
+  EXPECT_NEAR(t.mean(), 1.f, 0.1f);
+  double var = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    var += (t[i] - t.mean()) * (t[i] - t.mean());
+  }
+  var /= t.numel();
+  EXPECT_NEAR(std::sqrt(var), 2.f, 0.1f);
+}
+
+TEST(Gemm, MatchesNaive) {
+  auto g = test::rng();
+  const int64_t m = 7, k = 13, n = 9;
+  Tensor a = Tensor::randn({m, k}, g);
+  Tensor b = Tensor::randn({k, n}, g);
+  Tensor c({m, n});
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      EXPECT_NEAR(c[i * n + j], acc, 1e-4f);
+    }
+  }
+}
+
+TEST(Gemm, TransposedVariantsConsistent) {
+  auto g = test::rng(7);
+  const int64_t m = 5, k = 6, n = 4;
+  Tensor a = Tensor::randn({m, k}, g);
+  Tensor b = Tensor::randn({k, n}, g);
+  Tensor ref({m, n});
+  gemm(a.data(), b.data(), ref.data(), m, k, n);
+
+  // gemm_at_b: pass a stored as (k x m) = a^T.
+  Tensor at = a.transpose2d();
+  Tensor c1({m, n});
+  gemm_at_b(at.data(), b.data(), c1.data(), m, k, n);
+  EXPECT_LT(test::max_abs_diff(ref, c1), 1e-4f);
+
+  // gemm_a_bt: pass b stored as (n x k) = b^T.
+  Tensor bt = b.transpose2d();
+  Tensor c2({m, n});
+  gemm_a_bt(a.data(), bt.data(), c2.data(), m, k, n);
+  EXPECT_LT(test::max_abs_diff(ref, c2), 1e-4f);
+}
+
+TEST(Gemm, AccumulateAddsOntoC) {
+  auto g = test::rng(3);
+  const int64_t m = 3, k = 4, n = 2;
+  Tensor a = Tensor::randn({m, k}, g);
+  Tensor b = Tensor::randn({k, n}, g);
+  Tensor c = Tensor::ones({m, n});
+  Tensor ref({m, n});
+  gemm(a.data(), b.data(), ref.data(), m, k, n);
+  gemm_accumulate(a.data(), b.data(), c.data(), m, k, n);
+  for (int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i] + 1.f, 1e-4f);
+}
+
+// Property sweep: gemm correct across a grid of sizes including
+// non-multiples of the blocking factor.
+class GemmSizes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  auto g = test::rng(m * 100 + k * 10 + n);
+  Tensor a = Tensor::randn({m, k}, g);
+  Tensor b = Tensor::randn({k, n}, g);
+  Tensor c({m, n});
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  float worst = 0.f;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      worst = std::max(worst, std::abs(acc - c[i * n + j]));
+    }
+  }
+  EXPECT_LT(worst, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GemmSizes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 65, 1},
+                      std::tuple{64, 64, 64}, std::tuple{65, 63, 67},
+                      std::tuple{2, 128, 3}, std::tuple{100, 1, 100}));
+
+}  // namespace
+}  // namespace litho

@@ -1,0 +1,63 @@
+// Shared test helpers: numeric gradient checking and tensor comparisons.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <random>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace litho::test {
+
+/// Maximum absolute elementwise difference.
+inline float max_abs_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_TRUE(a.same_shape(b));
+  float m = 0.f;
+  for (int64_t i = 0; i < a.numel(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+/// Checks analytic gradients of `fn` (mapping leaf inputs to a scalar
+/// Variable) against central finite differences over every element of every
+/// leaf. Uses a relative/absolute mixed tolerance suited to float32.
+///
+/// `fn` must rebuild the graph from the leaves on every call (values are
+/// perturbed in place between calls).
+inline void gradcheck(const std::function<ag::Variable()>& fn,
+                      std::vector<ag::Variable> leaves, float eps = 1e-2f,
+                      float tol = 2e-2f) {
+  // Analytic pass.
+  for (ag::Variable& l : leaves) l.zero_grad();
+  ag::Variable out = fn();
+  ASSERT_EQ(out.value().numel(), 1) << "gradcheck expects a scalar output";
+  out.backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (ag::Variable& l : leaves) analytic.push_back(l.grad().clone());
+
+  // Numeric pass.
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    Tensor& v = leaves[li].mutable_value();
+    for (int64_t i = 0; i < v.numel(); ++i) {
+      const float orig = v[i];
+      v[i] = orig + eps;
+      const float f_plus = fn().value()[0];
+      v[i] = orig - eps;
+      const float f_minus = fn().value()[0];
+      v[i] = orig;
+      const float numeric = (f_plus - f_minus) / (2.f * eps);
+      const float a = analytic[li][i];
+      const float denom = std::max({1.f, std::abs(a), std::abs(numeric)});
+      EXPECT_NEAR(a / denom, numeric / denom, tol)
+          << "leaf " << li << " element " << i << " analytic=" << a
+          << " numeric=" << numeric;
+    }
+  }
+}
+
+inline std::mt19937 rng(uint32_t seed = 42) { return std::mt19937(seed); }
+
+}  // namespace litho::test
