@@ -1,0 +1,74 @@
+// Minimal --flag argv parser shared by the app front ends. A flag may carry
+// a value (`--tile 128`) or stand alone as a boolean (`--once`, stored as
+// "1"); a standalone flag is recognized when the next token is another flag
+// or the arguments end, so a trailing `--flag` is never dropped. Values may
+// legitimately start with '-' (e.g. `--defocus -25`) as long as they are
+// not themselves "--"-prefixed.
+#pragma once
+
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace litho::apps {
+
+class Args {
+ public:
+  /// Parses argv[start..argc); @p start skips the program name and any
+  /// subcommand tokens (doinn_cli passes 2, doinn_serve 1).
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw std::runtime_error(std::string("expected --flag, got ") +
+                                 argv[i]);
+      }
+      const std::string key = argv[i] + 2;
+      if (key.empty()) throw std::runtime_error("empty flag name");
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[i + 1];
+        ++i;
+      } else {
+        values_[key] = "1";  // boolean form
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  /// Required flag: throws when absent.
+  std::string get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::runtime_error("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+  /// Optional flag: returns @p fallback when absent (an empty fallback is a
+  /// legitimate value, not a "required" marker).
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+
+  int64_t get_int(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::stoll(it->second) : fallback;
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::stod(it->second) : fallback;
+  }
+
+  bool get_bool(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it != values_.end() && it->second != "0" && it->second != "false";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace litho::apps

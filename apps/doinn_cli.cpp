@@ -9,61 +9,32 @@
 //   doinn_cli train     --kind via|dense|metal [--count 32] [--tile 128]
 //                       [--epochs 8] --out weights.bin
 //   doinn_cli predict   --weights weights.bin --mask mask.pgm --out contour.pgm
+//                       [--threads N]   (N=0: DOINN_NUM_THREADS / hardware)
 //   doinn_cli mrc       --mask mask.pgm [--pixel 16] [--min-feature 48]
 //                       [--min-gap 48]   (mask rule check; exit 1 on violations)
 //
 // Masks are 8-bit PGM images; clips use the LCLIP text format
 // (src/layout/clip_io.h). Model checkpoints embed the DoinnConfig so
-// `predict` needs no extra flags.
+// `predict` needs no extra flags. For a long-lived serving process over the
+// same checkpoints see apps/doinn_serve.cpp.
 #include <cstdio>
-#include <cstring>
-#include <map>
 #include <string>
 
+#include "args.h"
 #include "core/dataset.h"
 #include "core/doinn.h"
-#include "core/large_tile.h"
 #include "core/trainer.h"
 #include "io/io.h"
 #include "layout/clip_io.h"
 #include "opc/mrc.h"
 #include "opc/opc.h"
+#include "runtime/engine.h"
 
 using namespace litho;
 
 namespace {
 
-/// Minimal --flag value parser.
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        throw std::runtime_error(std::string("expected --flag, got ") + argv[i]);
-      }
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-  }
-  std::string get(const std::string& key, const std::string& fallback = "") const {
-    const auto it = values_.find(key);
-    if (it != values_.end()) return it->second;
-    if (fallback.empty()) {
-      throw std::runtime_error("missing required flag --" + key);
-    }
-    return fallback;
-  }
-  int64_t get_int(const std::string& key, int64_t fallback) const {
-    const auto it = values_.find(key);
-    return it != values_.end() ? std::stoll(it->second) : fallback;
-  }
-  double get_double(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    return it != values_.end() ? std::stod(it->second) : fallback;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+using apps::Args;
 
 core::DatasetKind parse_kind(const std::string& kind) {
   if (kind == "via") return core::DatasetKind::kViaSparse;
@@ -80,35 +51,6 @@ optics::LithoSimulator make_sim(double pixel_nm, double defocus_nm = 0.0) {
       48, static_cast<int64_t>(cfg.optical_diameter_nm() / pixel_nm) + 8);
   cfg.kernel_count = 12;
   return optics::LithoSimulator(cfg, optics::compute_socs_kernels(cfg));
-}
-
-/// Serializes the DoinnConfig alongside the weights so `predict` is
-/// self-contained.
-Tensor encode_config(const core::DoinnConfig& cfg) {
-  return Tensor({10}, {static_cast<float>(cfg.tile),
-                       static_cast<float>(cfg.modes),
-                       static_cast<float>(cfg.gp_channels),
-                       static_cast<float>(cfg.lp1),
-                       static_cast<float>(cfg.lp2),
-                       static_cast<float>(cfg.refine1),
-                       static_cast<float>(cfg.refine2),
-                       cfg.use_ir ? 1.f : 0.f, cfg.use_lp ? 1.f : 0.f,
-                       cfg.use_bypass ? 1.f : 0.f});
-}
-
-core::DoinnConfig decode_config(const Tensor& t) {
-  core::DoinnConfig cfg;
-  cfg.tile = static_cast<int64_t>(t[0]);
-  cfg.modes = static_cast<int64_t>(t[1]);
-  cfg.gp_channels = static_cast<int64_t>(t[2]);
-  cfg.lp1 = static_cast<int64_t>(t[3]);
-  cfg.lp2 = static_cast<int64_t>(t[4]);
-  cfg.refine1 = static_cast<int64_t>(t[5]);
-  cfg.refine2 = static_cast<int64_t>(t[6]);
-  cfg.use_ir = t[7] != 0.f;
-  cfg.use_lp = t[8] != 0.f;
-  cfg.use_bypass = t[9] != 0.f;
-  return cfg;
 }
 
 int cmd_generate(const Args& args) {
@@ -190,36 +132,24 @@ int cmd_train(const Args& args) {
   };
   core::train_model(model, data, tcfg);
 
-  auto dict = model.state_dict();
-  dict.emplace("__doinn_config__", encode_config(cfg));
-  io::save_tensors(args.get("out"), dict);
+  core::save_doinn(args.get("out"), model);
   std::printf("wrote %s\n", args.get("out").c_str());
   return 0;
 }
 
 int cmd_predict(const Args& args) {
-  auto dict = io::load_tensors(args.get("weights"));
-  const auto cfg_it = dict.find("__doinn_config__");
-  if (cfg_it == dict.end()) {
-    throw std::runtime_error("weights file lacks __doinn_config__ metadata");
-  }
-  const core::DoinnConfig cfg = decode_config(cfg_it->second);
-  std::mt19937 rng(0);
-  core::Doinn model(cfg, rng);
-  dict.erase("__doinn_config__");
-  model.load_state_dict(dict);
+  runtime::EngineOptions opts;
+  opts.num_threads = static_cast<int>(args.get_int("threads", 0));
+  runtime::InferenceEngine engine(args.get("weights"), opts);
 
   Tensor mask = io::read_pgm(args.get("mask"));
-  Tensor contour;
-  if (mask.size(0) > cfg.tile || mask.size(1) > cfg.tile) {
-    core::LargeTilePredictor lt(model);
-    contour = lt.predict(mask);
-    contour.apply_([](float v) { return v >= 0.f ? 1.f : 0.f; });
-    std::printf("used the large-tile scheme (%lld px tile model)\n",
-                static_cast<long long>(cfg.tile));
-  } else {
-    contour = core::predict_contour(model, mask);
+  if (mask.size(0) > engine.config().tile ||
+      mask.size(1) > engine.config().tile) {
+    std::printf("using the large-tile scheme (%lld px tile model, %d threads)\n",
+                static_cast<long long>(engine.config().tile),
+                engine.pool().size());
   }
+  const Tensor contour = engine.predict(mask);
   io::write_pgm(args.get("out"), contour);
   std::printf("wrote %s (printed %.0f px)\n", args.get("out").c_str(),
               contour.sum());
@@ -269,7 +199,7 @@ int main(int argc, char** argv) {
   }
   try {
     const std::string cmd = argv[1];
-    const Args args(argc, argv);
+    const Args args(argc, argv, /*start=*/2);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "opc") return cmd_opc(args);

@@ -1,0 +1,238 @@
+// doinn_serve — long-lived serving front end for the DOINN inference
+// runtime (ISSUE 1 tentpole, piece 4).
+//
+//   doinn_serve --weights weights.bin --manifest requests.txt
+//               [--results results.txt] [--threads N] [--poll-ms 50] [--once]
+//
+// The server watches a request manifest: a text file with one request per
+// line, `<mask_path> <out_path>` (masks are 8-bit PGM, outputs are written
+// as binarized contour PGMs). Lines are consumed in order; new lines
+// appended while the server runs are picked up on the next poll, so a
+// producer can stream work in. Only newline-terminated lines are consumed
+// (a line still being appended waits for the next poll).
+//
+// Concurrency model: each request runs on its own dispatcher thread
+// (throttled to the pool size), NOT on a pool worker — dispatcher threads
+// block freely while the engine's pool executes the request's parallel
+// kernels, so up to N requests overlap AND a lone large-tile request still
+// saturates the pool through the clip fan-out.
+//
+// Control:
+//   - a line consisting of `__shutdown__` drains in-flight work and stops;
+//   - `--once` processes the manifest's current contents and exits
+//     (batch mode, no watching).
+//
+// Each completed request appends `<mask> <out> <status> <latency_ms>` to
+// the results file (default: manifest path + ".results"). On shutdown the
+// server prints request count, error count, p50/p99 latency and throughput.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "args.h"
+#include "io/io.h"
+#include "runtime/engine.h"
+
+using namespace litho;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Nearest-rank percentile of an unsorted latency sample; q in [0, 1].
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t rank = static_cast<size_t>(
+      std::max<long long>(0, static_cast<long long>(
+                                 std::ceil(q * static_cast<double>(v.size()))) -
+                                 1));
+  return v[std::min(rank, v.size() - 1)];
+}
+
+struct ServeStats {
+  std::mutex mutex;
+  std::vector<double> latencies_ms;
+  int64_t errors = 0;
+};
+
+/// Caps concurrent request threads and lets the main loop drain them.
+class RequestGate {
+ public:
+  explicit RequestGate(int limit) : limit_(limit) {}
+  void acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return active_ < limit_; });
+    ++active_;
+  }
+  void release() {
+    // Notify under the lock: after unlock the (detached) caller touches the
+    // gate no further, so main can destroy it as soon as wait_all returns.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+    cv_.notify_all();
+  }
+  void wait_all() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return active_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int active_ = 0;
+  int limit_;
+};
+
+void process_request(runtime::InferenceEngine& engine, const std::string& mask_path,
+                     const std::string& out_path, const std::string& results_path,
+                     ServeStats& stats) {
+  const auto t0 = Clock::now();
+  bool ok = true;
+  std::string error;
+  try {
+    const Tensor mask = io::read_pgm(mask_path);
+    const Tensor contour = engine.predict(mask);
+    io::write_pgm(out_path, contour);
+  } catch (const std::exception& e) {
+    ok = false;
+    error = e.what();
+  }
+  const double ms = ms_between(t0, Clock::now());
+  std::lock_guard<std::mutex> lock(stats.mutex);
+  if (ok) {
+    stats.latencies_ms.push_back(ms);
+  } else {
+    ++stats.errors;
+    std::fprintf(stderr, "request %s failed: %s\n", mask_path.c_str(),
+                 error.c_str());
+  }
+  std::ofstream results(results_path, std::ios::app);
+  results << mask_path << ' ' << out_path << ' ' << (ok ? "ok" : "error")
+          << ' ' << ms << '\n';
+}
+
+void usage() {
+  std::printf(
+      "usage: doinn_serve --weights weights.bin --manifest requests.txt\n"
+      "                   [--results out.txt] [--threads N] [--poll-ms 50]\n"
+      "                   [--once]\n"
+      "manifest lines: <mask.pgm> <contour_out.pgm>; `__shutdown__` stops\n"
+      "the server. See the header of apps/doinn_serve.cpp for details.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const apps::Args args(argc, argv, /*start=*/1);
+    if (args.get_bool("help") || !args.has("weights") ||
+        !args.has("manifest")) {
+      usage();
+      return args.get_bool("help") ? 0 : 2;
+    }
+    const std::string manifest_path = args.get("manifest");
+    const std::string results_path =
+        args.get("results", manifest_path + ".results");
+    const bool once = args.get_bool("once");
+    const long poll_ms = std::max<long>(1, args.get_int("poll-ms", 50));
+
+    runtime::EngineOptions opts;
+    opts.num_threads = static_cast<int>(args.get_int("threads", 0));
+    runtime::InferenceEngine engine(args.get("weights"), opts);
+    std::printf("doinn_serve: %d threads, %lld px tile model, watching %s\n",
+                engine.pool().size(),
+                static_cast<long long>(engine.config().tile),
+                manifest_path.c_str());
+    std::fflush(stdout);
+
+    ServeStats stats;
+    RequestGate gate(engine.pool().size());
+    std::streamoff consumed_bytes = 0;  // offset just past the last
+                                        // newline-terminated line consumed
+    size_t consumed_lines = 0;
+    bool shutdown = false;
+    const auto t_start = Clock::now();
+    while (!shutdown) {
+      std::vector<std::pair<std::string, std::string>> fresh;
+      {
+        // Resume from the stored offset (no quadratic re-scan) and only
+        // consume newline-terminated lines: a line the producer is still
+        // appending is left for the next poll instead of being read
+        // truncated and then skipped forever.
+        std::ifstream manifest(manifest_path, std::ios::binary);
+        manifest.seekg(consumed_bytes);
+        std::string tail((std::istreambuf_iterator<char>(manifest)),
+                         std::istreambuf_iterator<char>());
+        // In --once mode there is no next poll, so EOF terminates the final
+        // line even without a newline.
+        if (once && !tail.empty() && tail.back() != '\n') tail += '\n';
+        const size_t complete = tail.rfind('\n');
+        if (complete == std::string::npos) {
+          if (once) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+          continue;
+        }
+        consumed_bytes += static_cast<std::streamoff>(complete + 1);
+        std::istringstream lines(tail.substr(0, complete + 1));
+        std::string line;
+        while (std::getline(lines, line)) {
+          ++consumed_lines;
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          if (line.empty() || line[0] == '#') continue;
+          if (line == "__shutdown__") {
+            shutdown = true;
+            break;
+          }
+          std::istringstream fields(line);
+          std::string mask_path, out_path;
+          if (!(fields >> mask_path >> out_path)) {
+            std::fprintf(stderr, "skipping malformed manifest line %zu: %s\n",
+                         consumed_lines, line.c_str());
+            continue;
+          }
+          fresh.emplace_back(std::move(mask_path), std::move(out_path));
+        }
+      }
+      for (auto& req : fresh) {
+        gate.acquire();  // backpressure: at most pool-size requests in flight
+        std::thread([&engine, &results_path, &stats, &gate,
+                     mask_path = req.first, out_path = req.second] {
+          process_request(engine, mask_path, out_path, results_path, stats);
+          gate.release();
+        }).detach();
+      }
+      if (shutdown || once) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+    gate.wait_all();
+    const double total_s = ms_between(t_start, Clock::now()) / 1e3;
+
+    std::lock_guard<std::mutex> lock(stats.mutex);
+    const size_t n = stats.latencies_ms.size();
+    std::printf("served %zu requests (%lld errors) in %.2f s\n", n,
+                static_cast<long long>(stats.errors), total_s);
+    if (n > 0) {
+      std::printf("latency p50 %.1f ms, p99 %.1f ms; throughput %.2f req/s\n",
+                  percentile(stats.latencies_ms, 0.50),
+                  percentile(stats.latencies_ms, 0.99),
+                  static_cast<double>(n) / std::max(total_s, 1e-9));
+    }
+    return stats.errors == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,5 +1,5 @@
 // Design-choice ablation: spectral truncation (modes) and Fourier-Unit
-// channel width — the two knobs DESIGN.md calls out as the capacity levers
+// channel width — the two knobs that act as the capacity levers
 // of the GP path (the paper fixes them at 50 modes / 16 channels at full
 // scale). Trains compact DOINNs on a small dense-via task and reports
 // accuracy vs parameter count vs train time.

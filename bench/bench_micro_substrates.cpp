@@ -1,6 +1,6 @@
 // Micro-benchmarks of the substrates (google-benchmark): FFT, GEMM,
 // convolution and the golden SOCS simulator. These bound the cost models
-// used to size the experiments (DESIGN.md §6).
+// used to size the experiments.
 #include <benchmark/benchmark.h>
 
 #include "autograd/ops.h"

@@ -1,0 +1,108 @@
+// Serving throughput of the parallel inference runtime (ISSUE 1): masks/sec
+// for the batched no-grad path (InferenceEngine::predict_batch) and the
+// parallel large-tile path (predict_large) at 1, 2 and N threads, where N is
+// ThreadPool::default_num_threads() (DOINN_NUM_THREADS env var, else
+// hardware concurrency).
+//
+// Output is one JSON document on stdout so CI and scripts can track the
+// scaling curve; the acceptance target is >= 2x large-tile speedup at
+// 4 threads on hardware that has them.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/engine.h"
+
+using namespace litho;
+
+namespace {
+
+core::DoinnConfig bench_config() {
+  core::DoinnConfig cfg = core::DoinnConfig::small();  // 128 px tile
+  return cfg;
+}
+
+Tensor random_mask(int64_t side, uint32_t seed) {
+  std::mt19937 rng(seed);
+  Tensor mask = Tensor::rand({side, side}, rng);
+  mask.apply_([](float v) { return v >= 0.6f ? 1.f : 0.f; });
+  return mask;
+}
+
+/// Best-of-3 masks/sec for @p fn processing @p masks_per_run masks.
+template <typename F>
+double masks_per_second(int64_t masks_per_run, F&& fn) {
+  fn();  // warm-up
+  double best = 1e30;
+  for (int i = 0; i < 3; ++i) best = std::min(best, bench::seconds(fn));
+  return static_cast<double>(masks_per_run) / best;
+}
+
+}  // namespace
+
+int main() {
+  const core::DoinnConfig cfg = bench_config();
+  const int hw_threads = runtime::ThreadPool::default_num_threads();
+  std::vector<int> thread_counts = {1, 2, hw_threads};
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+  if (thread_counts.size() > 1 &&
+      thread_counts.back() < thread_counts[thread_counts.size() - 2]) {
+    thread_counts.pop_back();  // hw_threads == 1: already measured
+  }
+
+  constexpr int64_t kBatch = 8;
+  std::vector<Tensor> batch;
+  for (uint32_t s = 0; s < kBatch; ++s) {
+    batch.push_back(random_mask(cfg.tile, s));
+  }
+  const Tensor large = random_mask(2 * cfg.tile, 99);
+
+  struct Row {
+    std::string mode;
+    int threads;
+    double masks_per_s;
+  };
+  std::vector<Row> rows;
+  for (int threads : thread_counts) {
+    runtime::InferenceEngine engine(cfg, /*seed=*/42,
+                                    runtime::EngineOptions{threads});
+    rows.push_back({"predict_batch", threads,
+                    masks_per_second(kBatch, [&] {
+                      (void)engine.predict_batch(batch);
+                    })});
+    rows.push_back({"predict_large", threads, masks_per_second(1, [&] {
+                      (void)engine.predict_large(large);
+                    })});
+    std::fprintf(stderr, "measured %d thread(s)\n", threads);
+  }
+
+  auto baseline = [&rows](const std::string& mode) {
+    for (const Row& r : rows) {
+      if (r.mode == mode && r.threads == 1) return r.masks_per_s;
+    }
+    return 0.0;
+  };
+  std::printf("{\n");
+  std::printf("  \"bench\": \"serve_throughput\",\n");
+  std::printf("  \"tile_px\": %lld,\n", static_cast<long long>(cfg.tile));
+  std::printf("  \"large_tile_px\": %lld,\n",
+              static_cast<long long>(2 * cfg.tile));
+  std::printf("  \"batch_size\": %lld,\n", static_cast<long long>(kBatch));
+  std::printf("  \"hardware_threads\": %d,\n", hw_threads);
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double base = baseline(r.mode);
+    std::printf("    {\"mode\": \"%s\", \"threads\": %d, "
+                "\"masks_per_s\": %.3f, \"speedup_vs_1\": %.2f}%s\n",
+                r.mode.c_str(), r.threads, r.masks_per_s,
+                base > 0.0 ? r.masks_per_s / base : 1.0,
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "autograd/grad_mode.h"
+
+#include <atomic>
+
+namespace litho::ag {
+
+namespace {
+
+thread_local bool grad_mode_enabled = true;
+
+std::atomic<int64_t> tape_node_counter{0};
+
+}  // namespace
+
+bool GradMode::is_enabled() { return grad_mode_enabled; }
+
+void GradMode::set_enabled(bool enabled) { grad_mode_enabled = enabled; }
+
+namespace detail {
+
+int64_t tape_nodes_created() {
+  return tape_node_counter.load(std::memory_order_relaxed);
+}
+
+void count_tape_node() {
+  tape_node_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace litho::ag

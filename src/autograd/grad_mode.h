@@ -1,0 +1,46 @@
+// Thread-local gradient mode, mirroring PyTorch's torch/csrc/autograd
+// grad_mode: when disabled, Variable::make_node produces plain value nodes
+// with no parents and no backward closure, so inference builds no tape and
+// intermediate activations are freed as soon as their consumers finish.
+//
+// The flag is thread-local; runtime::ThreadPool::parallel_for propagates the
+// submitting thread's mode into its workers so a NoGradGuard held around a
+// parallel region applies to every chunk.
+#pragma once
+
+#include <cstdint>
+
+namespace litho::ag {
+
+struct GradMode {
+  /// Whether ops record the autograd tape on this thread (default true).
+  static bool is_enabled();
+  static void set_enabled(bool enabled);
+};
+
+/// RAII guard disabling gradient recording on the current thread for its
+/// lifetime (torch::NoGradGuard). Nests: the previous mode is restored.
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradMode::is_enabled()) { GradMode::set_enabled(false); }
+  ~NoGradGuard() { GradMode::set_enabled(prev_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+namespace detail {
+
+/// Number of tape nodes (nodes with a recorded backward closure) created
+/// process-wide since start. Tests assert this stays flat across a no-grad
+/// forward pass.
+int64_t tape_nodes_created();
+
+/// Internal: bumps the tape-node counter (called by Variable::make_node).
+void count_tape_node();
+
+}  // namespace detail
+
+}  // namespace litho::ag

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace litho::ag {
 namespace {
 
@@ -270,22 +272,24 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
   const int64_t ckk = d.cin * d.kh * d.kw;
   const int64_t l = d.oh * d.ow;
   Tensor out({d.n, d.cout, d.oh, d.ow});
-  std::vector<float> col(static_cast<size_t>(ckk * l));
-  for (int64_t n = 0; n < d.n; ++n) {
-    im2col(x.value().data() + n * d.cin * d.h * d.w, d.cin, d.h, d.w, d.kh,
-           stride, padding, col.data());
-    gemm(w.value().data(), col.data(), out.data() + n * d.cout * l, d.cout,
-         ckk, l);
-  }
-  if (has_bias) {
-    for (int64_t n = 0; n < d.n; ++n) {
-      for (int64_t c = 0; c < d.cout; ++c) {
-        float* p = out.data() + (n * d.cout + c) * l;
-        const float bias = b.value()[c];
-        for (int64_t i = 0; i < l; ++i) p[i] += bias;
+  // Samples are independent and write disjoint output planes; each chunk
+  // reuses one im2col column buffer across its samples.
+  runtime::parallel_for(d.n, [&](int64_t n0, int64_t n1) {
+    std::vector<float> col(static_cast<size_t>(ckk * l));
+    for (int64_t n = n0; n < n1; ++n) {
+      im2col(x.value().data() + n * d.cin * d.h * d.w, d.cin, d.h, d.w, d.kh,
+             stride, padding, col.data());
+      gemm(w.value().data(), col.data(), out.data() + n * d.cout * l, d.cout,
+           ckk, l);
+      if (has_bias) {
+        for (int64_t c = 0; c < d.cout; ++c) {
+          float* p = out.data() + (n * d.cout + c) * l;
+          const float bias = b.value()[c];
+          for (int64_t i = 0; i < l; ++i) p[i] += bias;
+        }
       }
     }
-  }
+  });
 
   std::vector<Variable> parents = {x, w};
   if (has_bias) parents.push_back(b);
@@ -346,24 +350,24 @@ Variable conv_transpose2d(const Variable& x, const Variable& w,
   const int64_t ckk = d.cout * d.kh * d.kw;
   const int64_t l = d.h * d.w;  // input spatial size acts as column count
   Tensor out({d.n, d.cout, d.oh, d.ow});
-  std::vector<float> col(static_cast<size_t>(ckk * l));
-  for (int64_t n = 0; n < d.n; ++n) {
-    // w viewed as (Cin x CoutKK); x sample viewed as (Cin x hw).
-    gemm_at_b(w.value().data(), x.value().data() + n * d.cin * l, col.data(),
-              ckk, d.cin, l);
-    col2im(col.data(), d.cout, d.oh, d.ow, d.kh, stride, padding,
-           out.data() + n * d.cout * d.oh * d.ow);
-  }
-  if (has_bias) {
+  runtime::parallel_for(d.n, [&](int64_t n0, int64_t n1) {
+    std::vector<float> col(static_cast<size_t>(ckk * l));
     const int64_t plane = d.oh * d.ow;
-    for (int64_t n = 0; n < d.n; ++n) {
-      for (int64_t c = 0; c < d.cout; ++c) {
-        float* p = out.data() + (n * d.cout + c) * plane;
-        const float bias = b.value()[c];
-        for (int64_t i = 0; i < plane; ++i) p[i] += bias;
+    for (int64_t n = n0; n < n1; ++n) {
+      // w viewed as (Cin x CoutKK); x sample viewed as (Cin x hw).
+      gemm_at_b(w.value().data(), x.value().data() + n * d.cin * l, col.data(),
+                ckk, d.cin, l);
+      col2im(col.data(), d.cout, d.oh, d.ow, d.kh, stride, padding,
+             out.data() + n * d.cout * d.oh * d.ow);
+      if (has_bias) {
+        for (int64_t c = 0; c < d.cout; ++c) {
+          float* p = out.data() + (n * d.cout + c) * plane;
+          const float bias = b.value()[c];
+          for (int64_t i = 0; i < plane; ++i) p[i] += bias;
+        }
       }
     }
-  }
+  });
 
   std::vector<Variable> parents = {x, w};
   if (has_bias) parents.push_back(b);

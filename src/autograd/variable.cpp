@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "autograd/grad_mode.h"
+
 namespace litho::ag {
 
 namespace detail {
@@ -94,13 +96,20 @@ Variable Variable::make_node(Tensor value, std::vector<Variable> parents,
                              std::function<void(const Tensor&)> backward_fn) {
   Variable v;
   v.state_->value = std::move(value);
+  // Under NoGradGuard the node is a plain value: no parents, no closure, so
+  // intermediate activations die with their consumers instead of living on
+  // the tape until backward().
+  if (!GradMode::is_enabled()) return v;
   bool needs = false;
   for (const Variable& p : parents) {
     needs = needs || p.requires_grad();
     v.state_->parents.push_back(p.state());
   }
   v.state_->requires_grad = needs;
-  if (needs) v.state_->backward_fn = std::move(backward_fn);
+  if (needs) {
+    v.state_->backward_fn = std::move(backward_fn);
+    detail::count_tape_node();
+  }
   return v;
 }
 

@@ -2,8 +2,9 @@
 // golden lithography simulation -> (mask, resist) training pairs.
 //
 // These are the stand-ins for the paper's Table 1 datasets (ICCAD-2013
-// metal, ISPD-2019 via, ISPD-2019-LT 64 um^2 via, N14 dense via); see
-// DESIGN.md §2 for the substitution rationale. Generated datasets are cached
+// metal, ISPD-2019 via, ISPD-2019-LT 64 um^2 via, N14 dense via),
+// synthesized the same way the paper builds its ISPD-2019 training set
+// (see src/layout/layout.h). Generated datasets are cached
 // on disk keyed by the caller-provided path.
 #pragma once
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "io/io.h"
+
 namespace litho::core {
 
 DoinnConfig DoinnConfig::small() { return DoinnConfig{}; }
@@ -153,6 +155,59 @@ ag::Variable Doinn::forward(const ag::Variable& x) {
     throw std::invalid_argument("DOINN input extent must be divisible by 32");
   }
   return forward_from_gp(gp_features(x), x);
+}
+
+Tensor encode_config(const DoinnConfig& cfg) {
+  return Tensor({10}, {static_cast<float>(cfg.tile),
+                       static_cast<float>(cfg.modes),
+                       static_cast<float>(cfg.gp_channels),
+                       static_cast<float>(cfg.lp1),
+                       static_cast<float>(cfg.lp2),
+                       static_cast<float>(cfg.refine1),
+                       static_cast<float>(cfg.refine2),
+                       cfg.use_ir ? 1.f : 0.f, cfg.use_lp ? 1.f : 0.f,
+                       cfg.use_bypass ? 1.f : 0.f});
+}
+
+DoinnConfig decode_config(const Tensor& t) {
+  if (t.numel() != 10) {
+    throw std::runtime_error("malformed " + std::string(kDoinnConfigKey) +
+                             " entry: expected 10 values, got " +
+                             std::to_string(t.numel()));
+  }
+  DoinnConfig cfg;
+  cfg.tile = static_cast<int64_t>(t[0]);
+  cfg.modes = static_cast<int64_t>(t[1]);
+  cfg.gp_channels = static_cast<int64_t>(t[2]);
+  cfg.lp1 = static_cast<int64_t>(t[3]);
+  cfg.lp2 = static_cast<int64_t>(t[4]);
+  cfg.refine1 = static_cast<int64_t>(t[5]);
+  cfg.refine2 = static_cast<int64_t>(t[6]);
+  cfg.use_ir = t[7] != 0.f;
+  cfg.use_lp = t[8] != 0.f;
+  cfg.use_bypass = t[9] != 0.f;
+  return cfg;
+}
+
+void save_doinn(const std::string& path, const Doinn& model) {
+  auto dict = model.state_dict();
+  dict.emplace(kDoinnConfigKey, encode_config(model.config()));
+  io::save_tensors(path, dict);
+}
+
+std::unique_ptr<Doinn> load_doinn(const std::string& path) {
+  auto dict = io::load_tensors(path);
+  const auto cfg_it = dict.find(kDoinnConfigKey);
+  if (cfg_it == dict.end()) {
+    throw std::runtime_error(path + " lacks " + std::string(kDoinnConfigKey) +
+                             " metadata");
+  }
+  const DoinnConfig cfg = decode_config(cfg_it->second);
+  dict.erase(cfg_it);
+  std::mt19937 rng(0);  // init values are overwritten by the checkpoint
+  auto model = std::make_unique<Doinn>(cfg, rng);
+  model->load_state_dict(dict);
+  return model;
 }
 
 }  // namespace litho::core

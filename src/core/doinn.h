@@ -16,8 +16,11 @@
 // The architecture is resolution-parametric: DoinnConfig::paper() builds the
 // exact appendix dimensions (2048^2 tiles, 50x50 modes, 16 channels, ~1.3M
 // parameters), DoinnConfig::small() a proportionally scaled configuration
-// that trains in seconds on one CPU core (DESIGN.md §6).
+// that trains in seconds on one CPU core.
 #pragma once
+
+#include <memory>
+#include <string>
 
 #include "autograd/spectral.h"
 #include "nn/contour_model.h"
@@ -99,5 +102,25 @@ class Doinn : public nn::ContourModel {
   nn::Conv2d convr1_, convr2_, convr3_, convr4_;
   nn::Conv2d head_;  ///< small output head used when use_ir == false
 };
+
+// -- Checkpoints ---------------------------------------------------------------
+// The DoinnConfig rides along in the weights container under
+// kDoinnConfigKey, so a checkpoint is self-contained: loading needs no
+// extra flags. Used by doinn_cli, the serving runtime, and tests.
+
+inline constexpr char kDoinnConfigKey[] = "__doinn_config__";
+
+/// Serializes @p cfg as a small tensor (the kDoinnConfigKey entry).
+Tensor encode_config(const DoinnConfig& cfg);
+
+/// Inverse of encode_config.
+DoinnConfig decode_config(const Tensor& t);
+
+/// Writes weights + embedded config to @p path (io::save_tensors format).
+void save_doinn(const std::string& path, const Doinn& model);
+
+/// Rebuilds a Doinn from a checkpoint written by save_doinn.
+/// Throws std::runtime_error when the config entry is missing.
+std::unique_ptr<Doinn> load_doinn(const std::string& path);
 
 }  // namespace litho::core

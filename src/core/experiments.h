@@ -3,7 +3,7 @@
 // disk cache for SOCS kernels, generated datasets and trained weights so
 // that re-running any bench is fast and benches can run in any order.
 //
-// Scaling note (DESIGN.md §6): tiles keep the paper's PHYSICAL geometry —
+// Scaling note: tiles keep the paper's PHYSICAL geometry —
 // a training tile is 2048 nm x 2048 nm (~4 um^2, as in Table 1) and the
 // large-tile experiment uses 8192 nm (~64 um^2) tiles — but rasterized at
 // 16 nm/px ("L" rows) or 8 nm/px ("H" rows) instead of 1-2 nm/px, so that

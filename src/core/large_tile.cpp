@@ -2,11 +2,14 @@
 
 #include <stdexcept>
 
+#include "autograd/grad_mode.h"
+
 namespace litho::core {
 
 LargeTilePredictor::LargeTilePredictor(Doinn& model) : model_(model) {}
 
-ag::Variable LargeTilePredictor::stitched_gp(const Tensor& mask) const {
+ag::Variable LargeTilePredictor::stitched_gp(const Tensor& mask,
+                                             runtime::ThreadPool* pool) const {
   const DoinnConfig& cfg = model_.config();
   const int64_t tile = cfg.tile;
   const int64_t half = tile / 2;
@@ -15,25 +18,33 @@ ag::Variable LargeTilePredictor::stitched_gp(const Tensor& mask) const {
     throw std::invalid_argument(
         "large tile must be >= training tile and a multiple of tile/2");
   }
-  const int64_t pool = cfg.pool;
-  const int64_t fh = hl / pool, fw = wl / pool;   // large feature grid
-  const int64_t ft = tile / pool;                 // per-clip feature size
+  const int64_t pool_factor = cfg.pool;
+  const int64_t fh = hl / pool_factor, fw = wl / pool_factor;  // feature grid
+  const int64_t ft = tile / pool_factor;  // per-clip feature size
   const int64_t fhalf = ft / 2, fquart = ft / 4;
 
   Tensor stitched({1, cfg.gp_channels, fh, fw});
   const int64_t rows = (hl - tile) / half + 1;
   const int64_t cols = (wl - tile) / half + 1;
-  for (int64_t i = 0; i < rows; ++i) {
-    for (int64_t j = 0; j < cols; ++j) {
+
+  // One task per clip; clips write disjoint core regions of `stitched`, so
+  // the fan-out is race-free and deterministic. Each chunk keeps one clip
+  // scratch tensor alive across its clips. The GP pass is inference-only
+  // here (the stitched result is returned as a constant leaf), so the tape
+  // is suppressed per worker.
+  auto process_clips = [&](int64_t c0, int64_t c1) {
+    ag::NoGradGuard no_grad;
+    Tensor clip({1, 1, tile, tile});
+    for (int64_t idx = c0; idx < c1; ++idx) {
+      const int64_t i = idx / cols, j = idx % cols;
       // Extract the half-overlapped clip.
-      Tensor clip({1, 1, tile, tile});
       const int64_t y0 = i * half, x0 = j * half;
       for (int64_t r = 0; r < tile; ++r) {
         const float* src = mask.data() + (y0 + r) * wl + x0;
         float* dst = clip.data() + r * tile;
         std::copy(src, src + tile, dst);
       }
-      ag::Variable gp = model_.gp_features(ag::Variable(clip, false));
+      ag::Variable gp = model_.gp_features(ag::Variable(clip.clone(), false));
 
       // Core region of this clip in feature space: the central half, except
       // clips on the boundary also own their outer margin.
@@ -51,20 +62,28 @@ ag::Variable LargeTilePredictor::stitched_gp(const Tensor& mask) const {
         }
       }
     }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(rows * cols, process_clips);
+  } else {
+    process_clips(0, rows * cols);
   }
   return ag::Variable(stitched, false);
 }
 
-Tensor LargeTilePredictor::predict(const Tensor& mask) const {
-  model_.set_training(false);
-  ag::Variable gp = stitched_gp(mask);
+Tensor LargeTilePredictor::predict(const Tensor& mask,
+                                   runtime::ThreadPool* pool) const {
+  // Only flip to eval mode when needed: the write is not thread-safe, and
+  // concurrent engine predictions share an already-eval model.
+  if (model_.training()) model_.set_training(false);
+  ag::Variable gp = stitched_gp(mask, pool);
   Tensor x = mask.clone().reshape({1, 1, mask.size(0), mask.size(1)});
   ag::Variable out = model_.forward_from_gp(gp, ag::Variable(x, false));
   return out.value().clone().reshape({mask.size(0), mask.size(1)});
 }
 
 Tensor LargeTilePredictor::predict_plain(const Tensor& mask) const {
-  model_.set_training(false);
+  if (model_.training()) model_.set_training(false);
   Tensor x = mask.clone().reshape({1, 1, mask.size(0), mask.size(1)});
   ag::Variable out = model_.forward(ag::Variable(x, false));
   return out.value().clone().reshape({mask.size(0), mask.size(1)});

@@ -6,9 +6,16 @@
 // overlap, runs the GP path per clip, stitches the CORE region of each
 // clip's feature map back into a large feature grid, and runs the (fully
 // convolutional) LP + IR paths on the full tile.
+//
+// The per-clip GP passes are embarrassingly parallel: every clip reads the
+// shared (eval-mode, hence immutable) model and writes a disjoint core
+// region of the stitched grid. Passing a runtime::ThreadPool fans them out
+// across workers, each with its own clip scratch buffer; the result is
+// bitwise identical to the serial path for any thread count.
 #pragma once
 
 #include "core/doinn.h"
+#include "runtime/thread_pool.h"
 
 namespace litho::core {
 
@@ -19,15 +26,18 @@ class LargeTilePredictor {
 
   /// Large-tile prediction with the stitching scheme ("DOINN-LT").
   /// @p mask is a 2-D raster whose side is a multiple of tile/2 and at
-  /// least tile. Returns the tanh output map (same size).
-  Tensor predict(const Tensor& mask) const;
+  /// least tile. Returns the tanh output map (same size). With @p pool the
+  /// per-clip GP passes run in parallel.
+  Tensor predict(const Tensor& mask, runtime::ThreadPool* pool = nullptr) const;
 
   /// Plain prediction: feeds the whole tile through the default pipeline
   /// ("DOINN" row of Table 4, the degraded baseline).
   Tensor predict_plain(const Tensor& mask) const;
 
-  /// Stitched GP features for a large mask: [1, C, H/8, W/8].
-  ag::Variable stitched_gp(const Tensor& mask) const;
+  /// Stitched GP features for a large mask: [1, C, H/8, W/8]. With @p pool
+  /// the half-overlap clips are processed concurrently.
+  ag::Variable stitched_gp(const Tensor& mask,
+                           runtime::ThreadPool* pool = nullptr) const;
 
  private:
   Doinn& model_;

@@ -22,7 +22,7 @@ struct TrainConfig {
   /// few percent of a tile, and at this reproduction's reduced step count
   /// (10^2 steps vs the paper's 10^3+) unweighted MSE stalls in the
   /// all-background solution; weighting restores the paper's convergence
-  /// behaviour without changing the loss family (DESIGN.md §6).
+  /// behaviour without changing the loss family.
   float fg_weight = 8.f;
   /// Expand the training set with all 8 dihedral transforms (valid because
   /// imaging under a symmetric source is equivariant under them).

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace litho::fft {
 namespace {
 
@@ -85,25 +87,47 @@ Dims2 last_two_dims(const Shape& shape) {
   return d;
 }
 
-// 2-D FFT of a single H x W complex slice held in `buf` (row-major).
+// 2-D FFT of a single H x W complex slice held in `buf` (row-major). Each
+// row / column transform is independent and writes a disjoint range, so with
+// @p parallel the line loops fan out over the runtime pool (used when there
+// is no batch dimension to parallelize over instead); results are bitwise
+// identical for any thread count.
 void fft2_slice(std::vector<std::complex<double>>& buf, int64_t h, int64_t w,
-                bool inverse) {
-  std::vector<std::complex<double>> line;
-  line.reserve(static_cast<size_t>(std::max(h, w)));
+                bool inverse, bool parallel = false) {
+  // A 1-D transform costs O(len log len); only fan out when the slice is
+  // large enough for a line to outweigh the enqueue cost. The free
+  // parallel_for resolves a pool only when the range can actually split, so
+  // serial and small transforms never instantiate the global pool.
+  constexpr int64_t kMinLines = 64;
   // Rows.
-  line.resize(static_cast<size_t>(w));
-  for (int64_t r = 0; r < h; ++r) {
-    std::copy(buf.begin() + r * w, buf.begin() + (r + 1) * w, line.begin());
-    fft1d_unnormalized(line, inverse);
-    std::copy(line.begin(), line.end(), buf.begin() + r * w);
-  }
+  runtime::parallel_for(
+      h,
+      [&](int64_t r0, int64_t r1) {
+        std::vector<std::complex<double>> line(static_cast<size_t>(w));
+        for (int64_t r = r0; r < r1; ++r) {
+          std::copy(buf.begin() + r * w, buf.begin() + (r + 1) * w,
+                    line.begin());
+          fft1d_unnormalized(line, inverse);
+          std::copy(line.begin(), line.end(), buf.begin() + r * w);
+        }
+      },
+      parallel ? kMinLines : h);
   // Columns.
-  line.resize(static_cast<size_t>(h));
-  for (int64_t c = 0; c < w; ++c) {
-    for (int64_t r = 0; r < h; ++r) line[static_cast<size_t>(r)] = buf[r * w + c];
-    fft1d_unnormalized(line, inverse);
-    for (int64_t r = 0; r < h; ++r) buf[r * w + c] = line[static_cast<size_t>(r)];
-  }
+  runtime::parallel_for(
+      w,
+      [&](int64_t c0, int64_t c1) {
+        std::vector<std::complex<double>> line(static_cast<size_t>(h));
+        for (int64_t c = c0; c < c1; ++c) {
+          for (int64_t r = 0; r < h; ++r) {
+            line[static_cast<size_t>(r)] = buf[r * w + c];
+          }
+          fft1d_unnormalized(line, inverse);
+          for (int64_t r = 0; r < h; ++r) {
+            buf[r * w + c] = line[static_cast<size_t>(r)];
+          }
+        }
+      },
+      parallel ? kMinLines : w);
   if (inverse) {
     const double scale = 1.0 / static_cast<double>(h * w);
     for (auto& v : buf) v *= scale;
@@ -135,23 +159,27 @@ void fft1d_unnormalized(std::vector<std::complex<double>>& a, bool inverse) {
 CTensor fft2(const CTensor& x, bool inverse) {
   const Dims2 d = last_two_dims(x.shape());
   CTensor out(x.shape());
-  std::vector<std::complex<double>> buf(static_cast<size_t>(d.h * d.w));
   const float* re = x.re.data();
   const float* im = x.im.data();
   float* ore = out.re.data();
   float* oim = out.im.data();
   const int64_t plane = d.h * d.w;
-  for (int64_t b = 0; b < d.batch; ++b) {
-    const int64_t off = b * plane;
-    for (int64_t i = 0; i < plane; ++i) {
-      buf[static_cast<size_t>(i)] = {re[off + i], im[off + i]};
+  // Batched: one slice per iteration with a per-chunk scratch buffer. A lone
+  // slice parallelizes over its rows/columns instead.
+  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
+    std::vector<std::complex<double>> buf(static_cast<size_t>(plane));
+    for (int64_t b = b0; b < b1; ++b) {
+      const int64_t off = b * plane;
+      for (int64_t i = 0; i < plane; ++i) {
+        buf[static_cast<size_t>(i)] = {re[off + i], im[off + i]};
+      }
+      fft2_slice(buf, d.h, d.w, inverse, /*parallel=*/d.batch == 1);
+      for (int64_t i = 0; i < plane; ++i) {
+        ore[off + i] = static_cast<float>(buf[static_cast<size_t>(i)].real());
+        oim[off + i] = static_cast<float>(buf[static_cast<size_t>(i)].imag());
+      }
     }
-    fft2_slice(buf, d.h, d.w, inverse);
-    for (int64_t i = 0; i < plane; ++i) {
-      ore[off + i] = static_cast<float>(buf[static_cast<size_t>(i)].real());
-      oim[off + i] = static_cast<float>(buf[static_cast<size_t>(i)].imag());
-    }
-  }
+  });
   return out;
 }
 
@@ -162,25 +190,27 @@ CTensor rfft2(const Tensor& x) {
   out_shape[out_shape.size() - 1] = wh;
   CTensor out(out_shape);
 
-  std::vector<std::complex<double>> buf(static_cast<size_t>(d.h * d.w));
   const float* src = x.data();
   float* ore = out.re.data();
   float* oim = out.im.data();
   const int64_t plane = d.h * d.w;
   const int64_t out_plane = d.h * wh;
-  for (int64_t b = 0; b < d.batch; ++b) {
-    for (int64_t i = 0; i < plane; ++i) {
-      buf[static_cast<size_t>(i)] = {src[b * plane + i], 0.0};
-    }
-    fft2_slice(buf, d.h, d.w, false);
-    for (int64_t r = 0; r < d.h; ++r) {
-      for (int64_t c = 0; c < wh; ++c) {
-        const auto v = buf[static_cast<size_t>(r * d.w + c)];
-        ore[b * out_plane + r * wh + c] = static_cast<float>(v.real());
-        oim[b * out_plane + r * wh + c] = static_cast<float>(v.imag());
+  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
+    std::vector<std::complex<double>> buf(static_cast<size_t>(plane));
+    for (int64_t b = b0; b < b1; ++b) {
+      for (int64_t i = 0; i < plane; ++i) {
+        buf[static_cast<size_t>(i)] = {src[b * plane + i], 0.0};
+      }
+      fft2_slice(buf, d.h, d.w, false, /*parallel=*/d.batch == 1);
+      for (int64_t r = 0; r < d.h; ++r) {
+        for (int64_t c = 0; c < wh; ++c) {
+          const auto v = buf[static_cast<size_t>(r * d.w + c)];
+          ore[b * out_plane + r * wh + c] = static_cast<float>(v.real());
+          oim[b * out_plane + r * wh + c] = static_cast<float>(v.imag());
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -196,31 +226,34 @@ Tensor irfft2(const CTensor& x, int64_t w) {
   out_shape[out_shape.size() - 1] = w;
   Tensor out(out_shape);
 
-  std::vector<std::complex<double>> buf(static_cast<size_t>(d.h * w));
   const float* re = x.re.data();
   const float* im = x.im.data();
   float* dst = out.data();
   const int64_t in_plane = d.h * d.w;
   const int64_t out_plane = d.h * w;
-  for (int64_t b = 0; b < d.batch; ++b) {
-    // Hermitian extension along the last dim: full[r][c] = conj(half[(H-r)%H][w-c]).
-    for (int64_t r = 0; r < d.h; ++r) {
-      for (int64_t c = 0; c < d.w; ++c) {
-        const int64_t idx = b * in_plane + r * d.w + c;
-        buf[static_cast<size_t>(r * w + c)] = {re[idx], im[idx]};
+  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
+    std::vector<std::complex<double>> buf(static_cast<size_t>(out_plane));
+    for (int64_t b = b0; b < b1; ++b) {
+      // Hermitian extension along the last dim:
+      // full[r][c] = conj(half[(H-r)%H][w-c]).
+      for (int64_t r = 0; r < d.h; ++r) {
+        for (int64_t c = 0; c < d.w; ++c) {
+          const int64_t idx = b * in_plane + r * d.w + c;
+          buf[static_cast<size_t>(r * w + c)] = {re[idx], im[idx]};
+        }
+        for (int64_t c = d.w; c < w; ++c) {
+          const int64_t rr = (d.h - r) % d.h;
+          const int64_t idx = b * in_plane + rr * d.w + (w - c);
+          buf[static_cast<size_t>(r * w + c)] = {re[idx], -im[idx]};
+        }
       }
-      for (int64_t c = d.w; c < w; ++c) {
-        const int64_t rr = (d.h - r) % d.h;
-        const int64_t idx = b * in_plane + rr * d.w + (w - c);
-        buf[static_cast<size_t>(r * w + c)] = {re[idx], -im[idx]};
+      fft2_slice(buf, d.h, w, true, /*parallel=*/d.batch == 1);
+      for (int64_t i = 0; i < out_plane; ++i) {
+        dst[b * out_plane + i] =
+            static_cast<float>(buf[static_cast<size_t>(i)].real());
       }
     }
-    fft2_slice(buf, d.h, w, true);
-    for (int64_t i = 0; i < out_plane; ++i) {
-      dst[b * out_plane + i] =
-          static_cast<float>(buf[static_cast<size_t>(i)].real());
-    }
-  }
+  });
   return out;
 }
 

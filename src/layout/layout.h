@@ -1,8 +1,8 @@
 // Layout substrate: Manhattan geometry, design-rule-driven clip generators
 // and an area-coverage rasterizer.
 //
-// These generators are the stand-ins for the paper's benchmark layouts
-// (DESIGN.md §2): the paper itself synthesizes its ISPD-2019 training set
+// These generators are the stand-ins for the paper's benchmark layouts:
+// the paper itself synthesizes its ISPD-2019 training set
 // with "an open source layout generator following the same design rules" —
 // we do the same, with via-layer (ISPD-2019 / N14) and metal-layer
 // (ICCAD-2013) flavors.

@@ -11,7 +11,7 @@
 //     (eq. (3)).
 //
 // This is the stand-in for the rigorous engines ("Lithosim" / "Calibre") the
-// paper uses to produce golden contours; see DESIGN.md §2.
+// paper uses to produce golden contours.
 #pragma once
 
 #include <complex>

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "io/io.h"
+#include "runtime/thread_pool.h"
 
 namespace litho::optics {
 
@@ -60,11 +61,26 @@ Tensor LithoSimulator::aerial(const Tensor& mask) const {
   const fft::CTensor mask_spec = fft::fft2(mask_c, false);
 
   Tensor intensity(mask.shape());
+  const int64_t n = intensity.numel();
+  // The per-kernel loop stays serial (each pixel accumulates kernels in a
+  // fixed order, keeping contours bitwise reproducible across thread
+  // counts); the inverse FFT parallelizes internally and the |field|^2
+  // accumulation fans out over disjoint pixel ranges.
   for (size_t k = 0; k < kernels_.size(); ++k) {
     const fft::CTensor filtered = fft::cmul(mask_spec, spectra[k]);
     const fft::CTensor field = fft::fft2(filtered, true);
-    const Tensor mag = fft::cabs2(field);
-    intensity.add_scaled_(mag, static_cast<float>(kernels_[k].alpha));
+    const float alpha = static_cast<float>(kernels_[k].alpha);
+    const float* fre = field.re.data();
+    const float* fim = field.im.data();
+    float* acc = intensity.data();
+    runtime::parallel_for(
+        n,
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            acc[i] += alpha * (fre[i] * fre[i] + fim[i] * fim[i]);
+          }
+        },
+        /*grain=*/16384);
   }
   intensity.mul_(static_cast<float>(1.0 / open_frame_intensity_));
   return intensity;

@@ -1,0 +1,86 @@
+#include "runtime/engine.h"
+
+#include <stdexcept>
+
+#include "autograd/grad_mode.h"
+
+namespace litho::runtime {
+
+namespace {
+
+std::unique_ptr<ThreadPool> make_pool(const EngineOptions& opts) {
+  return std::make_unique<ThreadPool>(
+      opts.num_threads > 0 ? opts.num_threads
+                           : ThreadPool::default_num_threads());
+}
+
+Tensor binarize(Tensor t) {
+  t.apply_([](float v) { return v >= 0.f ? 1.f : 0.f; });
+  return t;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const std::string& checkpoint_path,
+                                 EngineOptions opts)
+    : model_(core::load_doinn(checkpoint_path)),
+      large_(std::make_unique<core::LargeTilePredictor>(*model_)),
+      pool_(make_pool(opts)) {
+  model_->set_training(false);
+}
+
+InferenceEngine::InferenceEngine(core::DoinnConfig cfg, uint32_t seed,
+                                 EngineOptions opts)
+    : pool_(make_pool(opts)) {
+  std::mt19937 rng(seed);
+  model_ = std::make_unique<core::Doinn>(cfg, rng);
+  large_ = std::make_unique<core::LargeTilePredictor>(*model_);
+  model_->set_training(false);
+}
+
+std::vector<Tensor> InferenceEngine::predict_batch(
+    const std::vector<Tensor>& masks) {
+  if (masks.empty()) return {};
+  const int64_t h = masks.front().size(0), w = masks.front().size(1);
+  const int64_t n = static_cast<int64_t>(masks.size());
+  Tensor x({n, 1, h, w});
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor& m = masks[static_cast<size_t>(i)];
+    if (m.dim() != 2 || m.size(0) != h || m.size(1) != w) {
+      throw std::invalid_argument(
+          "predict_batch requires equally-shaped 2-D masks");
+    }
+    std::copy(m.data(), m.data() + h * w, x.data() + i * h * w);
+  }
+
+  ag::NoGradGuard no_grad;
+  ScopedPool scope(pool_.get());
+  ag::Variable out = model_->forward(ag::Variable(std::move(x), false));
+  std::vector<Tensor> contours;
+  contours.reserve(masks.size());
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor c({h, w});
+    std::copy(out.value().data() + i * h * w,
+              out.value().data() + (i + 1) * h * w, c.data());
+    contours.push_back(binarize(std::move(c)));
+  }
+  return contours;
+}
+
+Tensor InferenceEngine::predict_large(const Tensor& mask) {
+  ag::NoGradGuard no_grad;
+  ScopedPool scope(pool_.get());
+  return binarize(large_->predict(mask, pool_.get()));
+}
+
+Tensor InferenceEngine::predict(const Tensor& mask) {
+  if (mask.dim() != 2) {
+    throw std::invalid_argument("predict expects a 2-D mask");
+  }
+  if (mask.size(0) > config().tile || mask.size(1) > config().tile) {
+    return predict_large(mask);
+  }
+  return predict_batch({mask}).front();
+}
+
+}  // namespace litho::runtime

@@ -1,0 +1,64 @@
+// Inference engine (ISSUE 1 tentpole, piece 3): loads a DOINN checkpoint
+// once, owns the thread pool, and serves batched and large-tile predictions
+// on the no-grad fast path. This is the long-lived object behind
+// apps/doinn_serve.cpp and the serve-throughput benchmark.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/doinn.h"
+#include "core/large_tile.h"
+#include "runtime/thread_pool.h"
+
+namespace litho::runtime {
+
+struct EngineOptions {
+  /// Parallelism degree; <= 0 means ThreadPool::default_num_threads()
+  /// (DOINN_NUM_THREADS env var, else hardware concurrency).
+  int num_threads = 0;
+};
+
+/// Thread-safe, inference-only front end over a Doinn model. The model is
+/// switched to eval mode at construction and never trained through the
+/// engine, so concurrent predictions share it without locks.
+class InferenceEngine {
+ public:
+  /// Loads a checkpoint written by core::save_doinn / `doinn_cli train`.
+  explicit InferenceEngine(const std::string& checkpoint_path,
+                           EngineOptions opts = {});
+
+  /// Fresh (untrained) model — used by tests and benchmarks where weight
+  /// values don't matter, only the compute.
+  InferenceEngine(core::DoinnConfig cfg, uint32_t seed,
+                  EngineOptions opts = {});
+
+  const core::DoinnConfig& config() const { return model_->config(); }
+  ThreadPool& pool() { return *pool_; }
+
+  /// Binarized contours for training-tile-sized masks (each [tile, tile]).
+  /// The masks are stacked into one [N,1,H,W] batch and pushed through a
+  /// single no-grad forward pass, so the batched conv / FFT kernels
+  /// parallelize across samples. Per-sample results are bitwise identical
+  /// to core::predict_contour.
+  std::vector<Tensor> predict_batch(const std::vector<Tensor>& masks);
+
+  /// Binarized contour for a mask larger than the training tile: the
+  /// half-overlap clip GP passes of the Section 3.2 scheme fan out across
+  /// the pool, then the stitched LP + IR pass runs on the full tile.
+  /// Bitwise identical to the serial LargeTilePredictor::predict for any
+  /// thread count.
+  Tensor predict_large(const Tensor& mask);
+
+  /// Dispatches on mask size: plain batched path for masks up to the
+  /// training tile, large-tile scheme above it.
+  Tensor predict(const Tensor& mask);
+
+ private:
+  std::unique_ptr<core::Doinn> model_;
+  std::unique_ptr<core::LargeTilePredictor> large_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace litho::runtime

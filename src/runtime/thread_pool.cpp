@@ -1,0 +1,232 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "autograd/grad_mode.h"
+
+namespace litho::runtime {
+
+namespace {
+
+thread_local bool this_thread_is_worker = false;
+/// Pool owning the worker this thread belongs to (nullptr off-pool). A
+/// parallel_for on the SAME pool from one of its workers runs inline
+/// (deadlock safety); a different pool's loop may still fan out.
+thread_local ThreadPool* worker_owner = nullptr;
+thread_local ThreadPool* current_pool_override = nullptr;
+/// Pool whose parallel_for chunk this thread is currently executing (set on
+/// the submitting thread for chunk 0 too, not just workers). A nested loop
+/// on the same pool runs inline rather than queueing behind busy workers.
+thread_local ThreadPool* active_chunk_pool = nullptr;
+
+/// Scoped thread-local state applied around every chunk: nested kernel
+/// loops target the pool executing them (instead of lazily instantiating
+/// the global pool) and recognize it as already-parallel.
+struct ChunkScope {
+  explicit ChunkScope(ThreadPool* pool)
+      : prev_override(current_pool_override), prev_active(active_chunk_pool) {
+    current_pool_override = pool;
+    active_chunk_pool = pool;
+  }
+  ~ChunkScope() {
+    current_pool_override = prev_override;
+    active_chunk_pool = prev_active;
+  }
+  ThreadPool* prev_override;
+  ThreadPool* prev_active;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  size_ = num_threads > 0 ? num_threads : default_num_threads();
+  workers_.reserve(static_cast<size_t>(size_ - 1));
+  for (int i = 0; i < size_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  this_thread_is_worker = true;
+  worker_owner = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    try {
+      ChunkScope chunk_scope(this);  // nested kernel loops target this pool
+      task();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ThreadPool: uncaught task exception: %s\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr, "ThreadPool: uncaught task exception\n");
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (size_ <= 1) {
+    // No workers: run inline so submit() still makes progress.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ThreadPool: uncaught task exception: %s\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr, "ThreadPool: uncaught task exception\n");
+    }
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++in_flight_;
+    tasks_.push(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    int64_t n, const std::function<void(int64_t, int64_t)>& body,
+    int64_t grain) {
+  if (n <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  // Floor division keeps every chunk at >= grain iterations (the documented
+  // contract); ranges below 2*grain run as a single inline chunk.
+  const int64_t max_chunks =
+      std::max<int64_t>(1, std::min<int64_t>(size_, n / grain));
+  if (max_chunks <= 1 || worker_owner == this || active_chunk_pool == this) {
+    body(0, n);
+    return;
+  }
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable done;
+    int64_t remaining;
+    std::exception_ptr error;
+  } shared;
+  shared.remaining = max_chunks - 1;
+  const bool grad_mode = ag::GradMode::is_enabled();
+
+  // Even split with the first (n % chunks) chunks one element longer.
+  const int64_t base = n / max_chunks;
+  const int64_t extra = n % max_chunks;
+  auto chunk_begin = [base, extra](int64_t c) {
+    return c * base + std::min(c, extra);
+  };
+
+  for (int64_t c = 1; c < max_chunks; ++c) {
+    const int64_t begin = chunk_begin(c), end = chunk_begin(c + 1);
+    std::function<void()> task = [this, &shared, &body, begin, end, grad_mode] {
+      const bool prev = ag::GradMode::is_enabled();
+      ag::GradMode::set_enabled(grad_mode);
+      try {
+        ChunkScope chunk_scope(this);
+        body(begin, end);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(shared.mutex);
+        if (!shared.error) shared.error = std::current_exception();
+      }
+      ag::GradMode::set_enabled(prev);
+      std::unique_lock<std::mutex> lock(shared.mutex);
+      if (--shared.remaining == 0) shared.done.notify_all();
+    };
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++in_flight_;
+      tasks_.push(std::move(task));
+    }
+    task_ready_.notify_one();
+  }
+
+  // The submitting thread takes chunk 0 instead of blocking.
+  std::exception_ptr local_error;
+  try {
+    ChunkScope chunk_scope(this);
+    body(0, chunk_begin(1));
+  } catch (...) {
+    local_error = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    shared.done.wait(lock, [&shared] { return shared.remaining == 0; });
+  }
+  if (local_error) std::rethrow_exception(local_error);
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+int ThreadPool::default_num_threads() {
+  if (const char* env = std::getenv("DOINN_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<int>(std::min<long>(v, 256));
+    }
+    std::fprintf(stderr,
+                 "warning: ignoring invalid DOINN_NUM_THREADS=\"%s\"\n", env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+bool ThreadPool::in_worker_thread() { return this_thread_is_worker; }
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(ThreadPool::default_num_threads());
+  return pool;
+}
+
+ThreadPool& current_pool() {
+  return current_pool_override != nullptr ? *current_pool_override
+                                          : global_pool();
+}
+
+ScopedPool::ScopedPool(ThreadPool* pool) : prev_(current_pool_override) {
+  if (pool != nullptr) current_pool_override = pool;
+}
+
+ScopedPool::~ScopedPool() { current_pool_override = prev_; }
+
+void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& body,
+                  int64_t grain) {
+  if (n <= 0) return;
+  if (n < 2 * std::max<int64_t>(1, grain)) {
+    // Ranges below two grains can never split (floor-division chunking), so
+    // they run inline without resolving a pool — a small kernel never
+    // instantiates the global pool as a side effect.
+    body(0, n);
+    return;
+  }
+  current_pool().parallel_for(n, body, grain);
+}
+
+}  // namespace litho::runtime

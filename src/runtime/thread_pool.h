@@ -1,0 +1,112 @@
+// Inference runtime thread pool (ISSUE 1 tentpole, piece 1).
+//
+// A fixed-size pool of workers draining a single locked task queue, plus a
+// chunked static-partition parallel_for built on top of it. Design points:
+//
+//  - Sizing: DOINN_NUM_THREADS env var wins, else
+//    std::thread::hardware_concurrency(). A size of 1 means "no workers":
+//    everything runs inline on the submitting thread.
+//  - parallel_for(n, body) splits [0, n) into at most size() contiguous
+//    chunks and calls body(begin, end) once per chunk, so the body can keep
+//    per-chunk scratch buffers (im2col columns, FFT line buffers) alive
+//    across iterations. Chunk boundaries depend only on (n, size(), grain),
+//    never on scheduling, and chunks write disjoint ranges — results are
+//    bitwise deterministic for any thread count.
+//  - Nesting: a parallel_for issued from inside one of the SAME pool's
+//    workers runs inline (single chunk) instead of re-entering the queue,
+//    so data-level parallelism composes without deadlock. Workers also
+//    propagate their pool as the current_pool() override, so nested kernel
+//    loops target the pool executing them rather than the global pool.
+//  - Exceptions: the first exception thrown by any chunk is captured and
+//    rethrown on the submitting thread after all chunks finish; the pool
+//    stays usable.
+//  - Grad mode: the submitting thread's ag::GradMode flag is propagated
+//    into every chunk (PyTorch's ThreadLocalState idiom), so NoGradGuard
+//    held around a parallel region applies to the workers too.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace litho::runtime {
+
+class ThreadPool {
+ public:
+  /// Creates @p num_threads - 1 workers (the submitting thread acts as the
+  /// remaining lane). num_threads <= 0 means default_num_threads().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallelism degree (worker count + 1 for the submitting thread).
+  int size() const { return size_; }
+
+  /// Enqueues @p task for asynchronous execution. Exceptions escaping the
+  /// task are swallowed after being reported to stderr; use parallel_for
+  /// when propagation matters.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Chunked static-partition loop over [0, n): body(begin, end) is invoked
+  /// for at most min(size(), n / grain) contiguous chunks, each of at least
+  /// @p grain iterations. Runs inline when that bound is one chunk,
+  /// size() == 1, or this thread is already executing this pool's work (a
+  /// worker task or a parallel_for chunk).
+  void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& body,
+                    int64_t grain = 1);
+
+  /// Pool size implied by the environment: DOINN_NUM_THREADS if set to a
+  /// positive integer, else std::thread::hardware_concurrency().
+  static int default_num_threads();
+
+  /// True when called from inside a ThreadPool worker thread.
+  static bool in_worker_thread();
+
+ private:
+  void worker_loop();
+
+  int size_;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  int64_t in_flight_ = 0;  // queued + running tasks
+  bool stopping_ = false;
+};
+
+/// Process-wide pool used by the parallel kernels (FFT batches, conv im2col,
+/// SOCS accumulation). Created on first use with default_num_threads().
+ThreadPool& global_pool();
+
+/// Pool the free parallel_for below dispatches to: the innermost ScopedPool
+/// override on this thread, else the global pool.
+ThreadPool& current_pool();
+
+/// Thread-local RAII override of current_pool(), used by InferenceEngine to
+/// route the parallel kernels through its own pool for the duration of a
+/// prediction. Nests; passing nullptr is a no-op (keeps the previous pool).
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool* pool);
+  ~ScopedPool();
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+/// parallel_for on current_pool().
+void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& body,
+                  int64_t grain = 1);
+
+}  // namespace litho::runtime

@@ -1,6 +1,6 @@
 // Dense N-dimensional float tensor used throughout the DOINN stack.
 //
-// Design notes (see DESIGN.md §1):
+// Design notes:
 //  - Always contiguous, row-major. Views are not supported; `reshape` shares
 //    storage, every other transform copies. This keeps the autograd layer and
 //    the FFT/conv kernels simple and predictable.

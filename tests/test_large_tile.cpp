@@ -1,0 +1,93 @@
+// Large-tile scheme parity (ISSUE 1 satellite): on an exactly-tile-sized
+// mask the stitching scheme must degenerate to the plain pipeline
+// bit-for-bit, and the parallel clip fan-out must be deterministic across
+// thread counts.
+#include <gtest/gtest.h>
+
+#include "core/doinn.h"
+#include "core/large_tile.h"
+#include "runtime/thread_pool.h"
+#include "test_util.h"
+
+namespace litho {
+namespace {
+
+core::DoinnConfig tiny_config() {
+  core::DoinnConfig cfg = core::DoinnConfig::small();
+  cfg.tile = 64;
+  cfg.modes = 4;
+  cfg.gp_channels = 4;
+  return cfg;
+}
+
+Tensor random_mask(int64_t side, uint32_t seed) {
+  auto rng = test::rng(seed);
+  Tensor mask = Tensor::rand({side, side}, rng);
+  mask.apply_([](float v) { return v >= 0.6f ? 1.f : 0.f; });
+  return mask;
+}
+
+TEST(LargeTile, TileSizedMaskMatchesPlainBitForBit) {
+  core::DoinnConfig cfg = tiny_config();
+  auto rng = test::rng(3);
+  core::Doinn model(cfg, rng);
+  core::LargeTilePredictor predictor(model);
+
+  const Tensor mask = random_mask(cfg.tile, 17);
+  // With mask == tile there is exactly one clip owning its full margin, so
+  // the stitched GP grid equals the plain GP features and the two pipelines
+  // must agree exactly.
+  const Tensor stitched = predictor.predict(mask);
+  const Tensor plain = predictor.predict_plain(mask);
+  EXPECT_EQ(test::max_abs_diff(stitched, plain), 0.f);
+}
+
+TEST(LargeTile, StitchedGpParallelMatchesSerial) {
+  core::DoinnConfig cfg = tiny_config();
+  auto rng = test::rng(23);
+  core::Doinn model(cfg, rng);
+  model.set_training(false);
+  core::LargeTilePredictor predictor(model);
+
+  // 2.5x tile in one axis, 2x in the other: 4 x 3 half-overlap clips.
+  auto mask_rng = test::rng(29);
+  Tensor mask = Tensor::rand({5 * cfg.tile / 2, 2 * cfg.tile}, mask_rng);
+  const Tensor serial = predictor.stitched_gp(mask).value();
+  for (int threads : {1, 2, 4}) {
+    runtime::ThreadPool pool(threads);
+    const Tensor parallel = predictor.stitched_gp(mask, &pool).value();
+    EXPECT_EQ(test::max_abs_diff(parallel, serial), 0.f)
+        << "threads=" << threads;
+  }
+}
+
+TEST(LargeTile, PredictParallelMatchesSerialAcrossThreadCounts) {
+  core::DoinnConfig cfg = tiny_config();
+  auto rng = test::rng(41);
+  core::Doinn model(cfg, rng);
+  core::LargeTilePredictor predictor(model);
+
+  const Tensor mask = random_mask(2 * cfg.tile, 43);
+  const Tensor serial = predictor.predict(mask);
+  for (int threads : {2, 4}) {
+    runtime::ThreadPool pool(threads);
+    const Tensor parallel = predictor.predict(mask, &pool);
+    EXPECT_EQ(test::max_abs_diff(parallel, serial), 0.f)
+        << "threads=" << threads;
+  }
+}
+
+TEST(LargeTile, RejectsMasksBelowTileOrOffGrid) {
+  core::DoinnConfig cfg = tiny_config();
+  auto rng = test::rng(2);
+  core::Doinn model(cfg, rng);
+  core::LargeTilePredictor predictor(model);
+  EXPECT_THROW(predictor.predict(Tensor::zeros({cfg.tile / 2, cfg.tile / 2})),
+               std::invalid_argument);
+  EXPECT_THROW(
+      predictor.predict(Tensor::zeros({cfg.tile + 1, cfg.tile + 1})),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace litho
