@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace litho::ag {
 namespace {
 
@@ -26,13 +28,15 @@ Tensor narrow2d(const Tensor& x, int64_t kh, int64_t kw) {
   out_shape[out_shape.size() - 2] = kh;
   out_shape[out_shape.size() - 1] = kw;
   Tensor out(out_shape);
-  for (int64_t b = 0; b < d.batch; ++b) {
-    const float* src = x.data() + b * d.h * d.w;
-    float* dst = out.data() + b * kh * kw;
-    for (int64_t r = 0; r < kh; ++r) {
-      for (int64_t c = 0; c < kw; ++c) dst[r * kw + c] = src[r * d.w + c];
+  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* src = x.data() + b * d.h * d.w;
+      float* dst = out.data() + b * kh * kw;
+      for (int64_t r = 0; r < kh; ++r) {
+        for (int64_t c = 0; c < kw; ++c) dst[r * kw + c] = src[r * d.w + c];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -44,13 +48,15 @@ Tensor pad2d(const Tensor& x, int64_t h, int64_t w) {
   out_shape[out_shape.size() - 2] = h;
   out_shape[out_shape.size() - 1] = w;
   Tensor out(out_shape);  // zero-initialized
-  for (int64_t b = 0; b < d.batch; ++b) {
-    const float* src = x.data() + b * d.h * d.w;
-    float* dst = out.data() + b * h * w;
-    for (int64_t r = 0; r < d.h; ++r) {
-      for (int64_t c = 0; c < d.w; ++c) dst[r * w + c] = src[r * d.w + c];
+  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* src = x.data() + b * d.h * d.w;
+      float* dst = out.data() + b * h * w;
+      for (int64_t r = 0; r < d.h; ++r) {
+        for (int64_t c = 0; c < d.w; ++c) dst[r * w + c] = src[r * d.w + c];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -77,6 +83,10 @@ Variable pad2d_var(const Variable& x, int64_t h, int64_t w) {
 }  // namespace
 
 CVariable rfft2v(const Variable& x) {
+  // Forward rides the two-for-one real fast path. Each backward half embeds
+  // its cotangent into the complex half-spectrum domain and pulls it back
+  // through rfft2_adjoint, which itself runs on the packed inverse kernel
+  // (Hermitian-projection half grid + irfft2) instead of a full fft2.
   const Dims2 d = last_two(x.shape());
   const int64_t w = d.w;
   CTensor spec = litho::fft::rfft2(x.value());
@@ -94,6 +104,9 @@ CVariable rfft2v(const Variable& x) {
 }
 
 Variable irfft2v(const CVariable& x, int64_t w) {
+  // Backward: the cotangent is real, so irfft2_adjoint is a single rfft2
+  // (fast path) with interior columns doubled — both components come out of
+  // the one transform.
   CTensor spec(x.re.value(), x.im.value());
   Tensor out = litho::fft::irfft2(spec, w);
   Variable vre = x.re, vim = x.im;

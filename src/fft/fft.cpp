@@ -3,73 +3,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fft/plan.h"
 #include "runtime/thread_pool.h"
+#include "runtime/workspace.h"
 
 namespace litho::fft {
 namespace {
 
-constexpr double kPi = 3.14159265358979323846;
-
-bool is_pow2(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
-
-size_t next_pow2(size_t n) {
-  size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
-
-// Iterative radix-2 Cooley-Tukey. Unnormalized.
-void fft_pow2(std::vector<std::complex<double>>& a, bool inverse) {
-  const size_t n = a.size();
-  // Bit-reversal permutation.
-  for (size_t i = 1, j = 0; i < n; ++i) {
-    size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
-  for (size_t len = 2; len <= n; len <<= 1) {
-    const double ang = 2.0 * kPi / static_cast<double>(len) * (inverse ? 1 : -1);
-    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
-    for (size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
-      for (size_t j = 0; j < len / 2; ++j) {
-        const std::complex<double> u = a[i + j];
-        const std::complex<double> v = a[i + j + len / 2] * w;
-        a[i + j] = u + v;
-        a[i + j + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-// Bluestein's chirp-z transform for arbitrary n. Unnormalized.
-void fft_bluestein(std::vector<std::complex<double>>& a, bool inverse) {
-  const size_t n = a.size();
-  const double sign = inverse ? 1.0 : -1.0;
-  // Chirp: c_k = exp(sign * i * pi * k^2 / n).
-  std::vector<std::complex<double>> chirp(n);
-  for (size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n avoids precision loss for large k.
-    const double e = kPi * static_cast<double>((k * k) % (2 * n)) /
-                     static_cast<double>(n);
-    chirp[k] = std::complex<double>(std::cos(e), sign * std::sin(e));
-  }
-  const size_t m = next_pow2(2 * n - 1);
-  std::vector<std::complex<double>> fa(m, {0, 0}), fb(m, {0, 0});
-  for (size_t k = 0; k < n; ++k) fa[k] = a[k] * chirp[k];
-  for (size_t k = 0; k < n; ++k) {
-    fb[k] = std::conj(chirp[k]);
-    if (k != 0) fb[m - k] = std::conj(chirp[k]);
-  }
-  fft_pow2(fa, false);
-  fft_pow2(fb, false);
-  for (size_t k = 0; k < m; ++k) fa[k] *= fb[k];
-  fft_pow2(fa, true);
-  const double inv_m = 1.0 / static_cast<double>(m);
-  for (size_t k = 0; k < n; ++k) a[k] = fa[k] * inv_m * chirp[k];
-}
+// Within-slice fan-out thresholds: a 1-D transform costs O(len log len), so
+// lines only go wide when a chunk outweighs the enqueue cost. Batched calls
+// parallelize over planes instead and run the per-slice loops inline.
+constexpr int64_t kMinLines = 64;
+constexpr int64_t kMinPairs = 32;  // packed row-pairs cover two lines each
 
 struct Dims2 {
   int64_t batch;
@@ -87,51 +32,185 @@ Dims2 last_two_dims(const Shape& shape) {
   return d;
 }
 
-// 2-D FFT of a single H x W complex slice held in `buf` (row-major). Each
-// row / column transform is independent and writes a disjoint range, so with
-// @p parallel the line loops fan out over the runtime pool (used when there
-// is no batch dimension to parallelize over instead); results are bitwise
-// identical for any thread count.
-void fft2_slice(std::vector<std::complex<double>>& buf, int64_t h, int64_t w,
-                bool inverse, bool parallel = false) {
-  // A 1-D transform costs O(len log len); only fan out when the slice is
-  // large enough for a line to outweigh the enqueue cost. The free
-  // parallel_for resolves a pool only when the range can actually split, so
-  // serial and small transforms never instantiate the global pool.
-  constexpr int64_t kMinLines = 64;
-  // Rows.
+// 2-D FFT of a single H x W complex slice held in `buf` (row-major), using
+// cached plans. Rows transform in place (contiguous); columns go through a
+// pooled line buffer. With @p parallel the line loops fan out over the
+// runtime pool (used when there is no batch dimension to parallelize over
+// instead); every line is computed independently with identical arithmetic,
+// so results are bitwise identical for any thread count.
+void fft2_slice(std::complex<double>* buf, int64_t h, int64_t w, bool inverse,
+                const FftPlan& pw, const FftPlan& ph, bool parallel) {
   runtime::parallel_for(
       h,
       [&](int64_t r0, int64_t r1) {
-        std::vector<std::complex<double>> line(static_cast<size_t>(w));
+        runtime::Workspace ws(pw.workspace_size());
         for (int64_t r = r0; r < r1; ++r) {
-          std::copy(buf.begin() + r * w, buf.begin() + (r + 1) * w,
-                    line.begin());
-          fft1d_unnormalized(line, inverse);
-          std::copy(line.begin(), line.end(), buf.begin() + r * w);
+          pw.execute(buf + r * w, inverse, ws.data());
         }
       },
       parallel ? kMinLines : h);
-  // Columns.
   runtime::parallel_for(
       w,
       [&](int64_t c0, int64_t c1) {
-        std::vector<std::complex<double>> line(static_cast<size_t>(h));
+        runtime::Workspace ws(static_cast<size_t>(h) + ph.workspace_size());
+        std::complex<double>* line = ws.data();
+        std::complex<double>* work = line + h;
         for (int64_t c = c0; c < c1; ++c) {
-          for (int64_t r = 0; r < h; ++r) {
-            line[static_cast<size_t>(r)] = buf[r * w + c];
-          }
-          fft1d_unnormalized(line, inverse);
-          for (int64_t r = 0; r < h; ++r) {
-            buf[r * w + c] = line[static_cast<size_t>(r)];
-          }
+          for (int64_t r = 0; r < h; ++r) line[r] = buf[r * w + c];
+          ph.execute(line, inverse, work);
+          for (int64_t r = 0; r < h; ++r) buf[r * w + c] = line[r];
         }
       },
       parallel ? kMinLines : w);
   if (inverse) {
     const double scale = 1.0 / static_cast<double>(h * w);
-    for (auto& v : buf) v *= scale;
+    const int64_t n = h * w;
+    for (int64_t i = 0; i < n; ++i) buf[i] *= scale;
   }
+}
+
+// Forward real 2-D FFT of one H x W plane into the H x (W/2+1) half
+// spectrum. Two-for-one row stage: rows 2p and 2p+1 pack into a single
+// complex transform z = x_{2p} + i*x_{2p+1} whose halves separate via
+// Hermitian symmetry; the column stage then only transforms the W/2+1
+// surviving columns. Row pairing depends only on the pair index, never on
+// chunking, so outputs are bitwise identical for any thread count.
+void rfft2_slice(const float* src, float* ore, float* oim, int64_t h,
+                 int64_t w, const FftPlan& pw, const FftPlan& ph,
+                 bool parallel) {
+  const int64_t wh = w / 2 + 1;
+  runtime::Workspace tmp_ws(static_cast<size_t>(h * wh));
+  std::complex<double>* tmp = tmp_ws.data();
+  const int64_t np = (h + 1) / 2;
+  runtime::parallel_for(
+      np,
+      [&](int64_t p0, int64_t p1) {
+        runtime::Workspace ws(static_cast<size_t>(w) + pw.workspace_size());
+        std::complex<double>* line = ws.data();
+        std::complex<double>* work = line + w;
+        for (int64_t p = p0; p < p1; ++p) {
+          const int64_t r0 = 2 * p;
+          const int64_t r1 = r0 + 1;
+          if (r1 < h) {
+            for (int64_t c = 0; c < w; ++c) {
+              line[c] = {static_cast<double>(src[r0 * w + c]),
+                         static_cast<double>(src[r1 * w + c])};
+            }
+            pw.execute(line, /*inverse=*/false, work);
+            // Z[c] = A[c] + i*B[c] with A, B Hermitian:
+            // A[c] = (Z[c] + conj(Z[-c]))/2, B[c] = -i*(Z[c] - conj(Z[-c]))/2.
+            for (int64_t c = 0; c < wh; ++c) {
+              const std::complex<double> zc = line[c];
+              const std::complex<double> zm = std::conj(line[(w - c) % w]);
+              const std::complex<double> a = 0.5 * (zc + zm);
+              const std::complex<double> d = 0.5 * (zc - zm);
+              tmp[r0 * wh + c] = a;
+              tmp[r1 * wh + c] = {d.imag(), -d.real()};
+            }
+          } else {  // odd H: last row rides alone
+            for (int64_t c = 0; c < w; ++c) {
+              line[c] = {static_cast<double>(src[r0 * w + c]), 0.0};
+            }
+            pw.execute(line, /*inverse=*/false, work);
+            for (int64_t c = 0; c < wh; ++c) tmp[r0 * wh + c] = line[c];
+          }
+        }
+      },
+      parallel ? kMinPairs : np);
+  runtime::parallel_for(
+      wh,
+      [&](int64_t c0, int64_t c1) {
+        runtime::Workspace ws(static_cast<size_t>(h) + ph.workspace_size());
+        std::complex<double>* line = ws.data();
+        std::complex<double>* work = line + h;
+        for (int64_t c = c0; c < c1; ++c) {
+          for (int64_t r = 0; r < h; ++r) line[r] = tmp[r * wh + c];
+          ph.execute(line, /*inverse=*/false, work);
+          for (int64_t r = 0; r < h; ++r) {
+            ore[r * wh + c] = static_cast<float>(line[r].real());
+            oim[r * wh + c] = static_cast<float>(line[r].imag());
+          }
+        }
+      },
+      parallel ? kMinLines : wh);
+}
+
+// Inverse of rfft2_slice: column inverse transforms over the half grid,
+// then a packed row stage reconstructing two real rows per complex inverse
+// transform. The imaginary parts at the self-conjugate bins (c = 0, and
+// c = W/2 for even W) are dropped before packing: the real output is
+// invariant to them (Re o IFFT kills them), and zeroing makes the packed
+// spectrum exactly Hermitian so the two rows separate cleanly.
+void irfft2_slice(const float* re, const float* im, float* dst, int64_t h,
+                  int64_t w, const FftPlan& pw, const FftPlan& ph,
+                  bool parallel) {
+  const int64_t wh = w / 2 + 1;
+  runtime::Workspace tmp_ws(static_cast<size_t>(h * wh));
+  std::complex<double>* tmp = tmp_ws.data();
+  runtime::parallel_for(
+      wh,
+      [&](int64_t c0, int64_t c1) {
+        runtime::Workspace ws(static_cast<size_t>(h) + ph.workspace_size());
+        std::complex<double>* line = ws.data();
+        std::complex<double>* work = line + h;
+        for (int64_t c = c0; c < c1; ++c) {
+          for (int64_t r = 0; r < h; ++r) {
+            line[r] = {static_cast<double>(re[r * wh + c]),
+                       static_cast<double>(im[r * wh + c])};
+          }
+          ph.execute(line, /*inverse=*/true, work);  // unnormalized
+          for (int64_t r = 0; r < h; ++r) tmp[r * wh + c] = line[r];
+        }
+      },
+      parallel ? kMinLines : wh);
+  const double scale = 1.0 / static_cast<double>(h * w);
+  const bool even_w = (w % 2 == 0);
+  const int64_t np = (h + 1) / 2;
+  runtime::parallel_for(
+      np,
+      [&](int64_t p0, int64_t p1) {
+        runtime::Workspace ws(static_cast<size_t>(w) + pw.workspace_size());
+        std::complex<double>* line = ws.data();
+        std::complex<double>* work = line + w;
+        const auto half_at = [&](const std::complex<double>* row, int64_t c) {
+          std::complex<double> v = row[c];
+          if (c == 0 || (even_w && c == wh - 1)) v = {v.real(), 0.0};
+          return v;
+        };
+        for (int64_t p = p0; p < p1; ++p) {
+          const int64_t r0 = 2 * p;
+          const int64_t r1 = r0 + 1;
+          const std::complex<double>* a_row = tmp + r0 * wh;
+          if (r1 < h) {
+            const std::complex<double>* b_row = tmp + r1 * wh;
+            for (int64_t c = 0; c < wh; ++c) {
+              const std::complex<double> a = half_at(a_row, c);
+              const std::complex<double> b = half_at(b_row, c);
+              line[c] = {a.real() - b.imag(), a.imag() + b.real()};
+            }
+            for (int64_t c = wh; c < w; ++c) {
+              const std::complex<double> a = half_at(a_row, w - c);
+              const std::complex<double> b = half_at(b_row, w - c);
+              line[c] = {a.real() + b.imag(), b.real() - a.imag()};
+            }
+            pw.execute(line, /*inverse=*/true, work);  // unnormalized
+            for (int64_t c = 0; c < w; ++c) {
+              dst[r0 * w + c] = static_cast<float>(line[c].real() * scale);
+              dst[r1 * w + c] = static_cast<float>(line[c].imag() * scale);
+            }
+          } else {  // odd H: plain Hermitian extension for the last row
+            for (int64_t c = 0; c < wh; ++c) line[c] = a_row[c];
+            for (int64_t c = wh; c < w; ++c) {
+              line[c] = std::conj(a_row[w - c]);
+            }
+            pw.execute(line, /*inverse=*/true, work);
+            for (int64_t c = 0; c < w; ++c) {
+              dst[r0 * w + c] = static_cast<float>(line[c].real() * scale);
+            }
+          }
+        }
+      },
+      parallel ? kMinPairs : np);
 }
 
 }  // namespace
@@ -149,11 +228,9 @@ CTensor::CTensor(Shape shape) : re(shape), im(std::move(shape)) {}
 
 void fft1d_unnormalized(std::vector<std::complex<double>>& a, bool inverse) {
   if (a.size() <= 1) return;
-  if (is_pow2(a.size())) {
-    fft_pow2(a, inverse);
-  } else {
-    fft_bluestein(a, inverse);
-  }
+  const FftPlan& plan = plan_for(a.size());
+  runtime::Workspace ws(plan.workspace_size());
+  plan.execute(a.data(), inverse, ws.data());
 }
 
 CTensor fft2(const CTensor& x, bool inverse) {
@@ -164,19 +241,23 @@ CTensor fft2(const CTensor& x, bool inverse) {
   float* ore = out.re.data();
   float* oim = out.im.data();
   const int64_t plane = d.h * d.w;
-  // Batched: one slice per iteration with a per-chunk scratch buffer. A lone
-  // slice parallelizes over its rows/columns instead.
+  const FftPlan& pw = plan_for(static_cast<size_t>(d.w));
+  const FftPlan& ph = plan_for(static_cast<size_t>(d.h));
+  // Batched: one slice per iteration with a per-chunk pooled plane buffer.
+  // A lone slice parallelizes over its rows/columns instead.
   runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
-    std::vector<std::complex<double>> buf(static_cast<size_t>(plane));
+    runtime::Workspace plane_ws(static_cast<size_t>(plane));
+    std::complex<double>* buf = plane_ws.data();
     for (int64_t b = b0; b < b1; ++b) {
       const int64_t off = b * plane;
       for (int64_t i = 0; i < plane; ++i) {
-        buf[static_cast<size_t>(i)] = {re[off + i], im[off + i]};
+        buf[i] = {static_cast<double>(re[off + i]),
+                  static_cast<double>(im[off + i])};
       }
-      fft2_slice(buf, d.h, d.w, inverse, /*parallel=*/d.batch == 1);
+      fft2_slice(buf, d.h, d.w, inverse, pw, ph, /*parallel=*/d.batch == 1);
       for (int64_t i = 0; i < plane; ++i) {
-        ore[off + i] = static_cast<float>(buf[static_cast<size_t>(i)].real());
-        oim[off + i] = static_cast<float>(buf[static_cast<size_t>(i)].imag());
+        ore[off + i] = static_cast<float>(buf[i].real());
+        oim[off + i] = static_cast<float>(buf[i].imag());
       }
     }
   });
@@ -195,20 +276,12 @@ CTensor rfft2(const Tensor& x) {
   float* oim = out.im.data();
   const int64_t plane = d.h * d.w;
   const int64_t out_plane = d.h * wh;
+  const FftPlan& pw = plan_for(static_cast<size_t>(d.w));
+  const FftPlan& ph = plan_for(static_cast<size_t>(d.h));
   runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
-    std::vector<std::complex<double>> buf(static_cast<size_t>(plane));
     for (int64_t b = b0; b < b1; ++b) {
-      for (int64_t i = 0; i < plane; ++i) {
-        buf[static_cast<size_t>(i)] = {src[b * plane + i], 0.0};
-      }
-      fft2_slice(buf, d.h, d.w, false, /*parallel=*/d.batch == 1);
-      for (int64_t r = 0; r < d.h; ++r) {
-        for (int64_t c = 0; c < wh; ++c) {
-          const auto v = buf[static_cast<size_t>(r * d.w + c)];
-          ore[b * out_plane + r * wh + c] = static_cast<float>(v.real());
-          oim[b * out_plane + r * wh + c] = static_cast<float>(v.imag());
-        }
-      }
+      rfft2_slice(src + b * plane, ore + b * out_plane, oim + b * out_plane,
+                  d.h, d.w, pw, ph, /*parallel=*/d.batch == 1);
     }
   });
   return out;
@@ -231,27 +304,12 @@ Tensor irfft2(const CTensor& x, int64_t w) {
   float* dst = out.data();
   const int64_t in_plane = d.h * d.w;
   const int64_t out_plane = d.h * w;
+  const FftPlan& pw = plan_for(static_cast<size_t>(w));
+  const FftPlan& ph = plan_for(static_cast<size_t>(d.h));
   runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
-    std::vector<std::complex<double>> buf(static_cast<size_t>(out_plane));
     for (int64_t b = b0; b < b1; ++b) {
-      // Hermitian extension along the last dim:
-      // full[r][c] = conj(half[(H-r)%H][w-c]).
-      for (int64_t r = 0; r < d.h; ++r) {
-        for (int64_t c = 0; c < d.w; ++c) {
-          const int64_t idx = b * in_plane + r * d.w + c;
-          buf[static_cast<size_t>(r * w + c)] = {re[idx], im[idx]};
-        }
-        for (int64_t c = d.w; c < w; ++c) {
-          const int64_t rr = (d.h - r) % d.h;
-          const int64_t idx = b * in_plane + rr * d.w + (w - c);
-          buf[static_cast<size_t>(r * w + c)] = {re[idx], -im[idx]};
-        }
-      }
-      fft2_slice(buf, d.h, w, true, /*parallel=*/d.batch == 1);
-      for (int64_t i = 0; i < out_plane; ++i) {
-        dst[b * out_plane + i] =
-            static_cast<float>(buf[static_cast<size_t>(i)].real());
-      }
+      irfft2_slice(re + b * in_plane, im + b * in_plane, dst + b * out_plane,
+                   d.h, w, pw, ph, /*parallel=*/d.batch == 1);
     }
   });
   return out;
@@ -259,63 +317,75 @@ Tensor irfft2(const CTensor& x, int64_t w) {
 
 Tensor rfft2_adjoint(const CTensor& grad, int64_t w) {
   // rfft2 = Select_half o FFT2 o RealEmbed, so the real adjoint is
-  // Re o (H*W * IFFT2) o ZeroPad_full.
+  // Re o (H*W * IFFT2) o ZeroPad_full. Re o IFFT2 equals IFFT2 of the 2-D
+  // Hermitian projection, whose half grid K is cheap to build from the
+  // cotangent: interior columns pair with the zero pad (halve), while c = 0
+  // and (even W) c = W/2 pair with their own row mirror. The whole adjoint
+  // then rides the two-for-one inverse fast path.
   const Dims2 d = last_two_dims(grad.shape());
   if (d.w != w / 2 + 1) throw std::invalid_argument("rfft2_adjoint width");
-  Shape full_shape = grad.shape();
-  full_shape[full_shape.size() - 1] = w;
-  CTensor full(full_shape);
-  const int64_t in_plane = d.h * d.w;
-  const int64_t full_plane = d.h * w;
-  for (int64_t b = 0; b < d.batch; ++b) {
-    for (int64_t r = 0; r < d.h; ++r) {
-      for (int64_t c = 0; c < d.w; ++c) {
-        full.re[b * full_plane + r * w + c] = grad.re[b * in_plane + r * d.w + c];
-        full.im[b * full_plane + r * w + c] = grad.im[b * in_plane + r * d.w + c];
+  const int64_t wh = d.w;
+  const bool even_w = (w % 2 == 0);
+  const int64_t interior_end = even_w ? wh - 1 : wh;
+  CTensor k(grad.shape());
+  const float* gre = grad.re.data();
+  const float* gim = grad.im.data();
+  float* kre = k.re.data();
+  float* kim = k.im.data();
+  const int64_t plane = d.h * wh;
+  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      for (int64_t r = 0; r < d.h; ++r) {
+        const int64_t rr = (d.h - r) % d.h;
+        const int64_t row = b * plane + r * wh;
+        const int64_t mrow = b * plane + rr * wh;
+        kre[row] = 0.5f * (gre[row] + gre[mrow]);
+        kim[row] = 0.5f * (gim[row] - gim[mrow]);
+        for (int64_t c = 1; c < interior_end; ++c) {
+          kre[row + c] = 0.5f * gre[row + c];
+          kim[row + c] = 0.5f * gim[row + c];
+        }
+        if (even_w) {
+          const int64_t c = wh - 1;
+          kre[row + c] = 0.5f * (gre[row + c] + gre[mrow + c]);
+          kim[row + c] = 0.5f * (gim[row + c] - gim[mrow + c]);
+        }
       }
     }
-  }
-  CTensor inv = fft2(full, /*inverse=*/true);
-  Tensor out = inv.re;
+  });
+  Tensor out = irfft2(k, w);
   out.mul_(static_cast<float>(d.h * w));
   return out;
 }
 
 CTensor irfft2_adjoint(const Tensor& grad) {
-  // irfft2 = Re o IFFT2 o HermitianExtend, so the real adjoint is
-  // Fold o ((1/(H*W)) * FFT2) o ComplexEmbed where Fold adds the conjugated
-  // mirror contribution of the extended columns back onto the half grid.
+  // irfft2 = Re o IFFT2 o HermitianExtend. The cotangent is real, so the
+  // forward FFT2 in the adjoint is exactly rfft2(grad), and the fold of the
+  // conjugated mirror columns collapses (by Hermitian symmetry of a real
+  // input's spectrum) to doubling the interior columns.
   const Dims2 d = last_two_dims(grad.shape());
   const int64_t w = d.w;
   const int64_t wh = w / 2 + 1;
-  CTensor embedded(grad.clone(), Tensor(grad.shape()));
-  CTensor spec = fft2(embedded, /*inverse=*/false);
+  CTensor out = rfft2(grad);
   const float scale = 1.f / static_cast<float>(d.h * w);
-
-  Shape out_shape = grad.shape();
-  out_shape[out_shape.size() - 1] = wh;
-  CTensor out(out_shape);
-  const int64_t full_plane = d.h * w;
-  const int64_t out_plane = d.h * wh;
-  for (int64_t b = 0; b < d.batch; ++b) {
-    for (int64_t r = 0; r < d.h; ++r) {
-      for (int64_t c = 0; c < wh; ++c) {
-        const int64_t src = b * full_plane + r * w + c;
-        const int64_t dst = b * out_plane + r * wh + c;
-        out.re[dst] = spec.re[src] * scale;
-        out.im[dst] = spec.im[src] * scale;
-      }
-      // Columns 1 .. ceil(w/2)-1 are duplicated (conjugated) by the
-      // Hermitian extension; fold their cotangent back.
-      for (int64_t c = 1; c < (w + 1) / 2; ++c) {
-        const int64_t rr = (d.h - r) % d.h;
-        const int64_t src = b * full_plane + rr * w + (w - c);
-        const int64_t dst = b * out_plane + r * wh + c;
-        out.re[dst] += spec.re[src] * scale;
-        out.im[dst] -= spec.im[src] * scale;
+  const float scale2 = 2.f * scale;
+  const int64_t interior_end = (w + 1) / 2;  // mirror columns 1..ceil(w/2)-1
+  float* ore = out.re.data();
+  float* oim = out.im.data();
+  const int64_t plane = d.h * wh;
+  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      for (int64_t r = 0; r < d.h; ++r) {
+        float* rrow = ore + b * plane + r * wh;
+        float* irow = oim + b * plane + r * wh;
+        for (int64_t c = 0; c < wh; ++c) {
+          const float s = (c >= 1 && c < interior_end) ? scale2 : scale;
+          rrow[c] *= s;
+          irow[c] *= s;
+        }
       }
     }
-  }
+  });
   return out;
 }
 

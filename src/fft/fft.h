@@ -5,6 +5,14 @@
 // unnormalized, inverse transforms carry the 1/N factor. All 2-D transforms
 // operate on the last two dimensions and are batched over the leading ones.
 //
+// Every 1-D transform runs through the plan cache in fft/plan.h (bit-reversal
+// and twiddle tables per length, Bluestein chirp + kernel FFT for non-powers
+// of two), and scratch comes from the pooled workspaces in runtime/workspace.h
+// instead of per-call heap allocation. rfft2/irfft2 take a two-for-one real
+// fast path: row pairs pack into one complex transform (split by Hermitian
+// symmetry) and the column stage only touches the W/2+1 surviving columns.
+// All kernels are bitwise deterministic across DOINN_NUM_THREADS settings.
+//
 // Complex tensors are represented as a (re, im) pair of equally-shaped real
 // tensors — the autograd layer differentiates through real components only,
 // so this representation keeps every gradient an ordinary real tensor.

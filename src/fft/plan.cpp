@@ -1,0 +1,167 @@
+#include "fft/plan.h"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "runtime/workspace.h"
+
+namespace litho::fft {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+using runtime::next_pow2;
+
+bool is_pow2(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+FftPlan::FftPlan(size_t n) : n_(n), pow2_(is_pow2(n)) {
+  if (n == 0) throw std::invalid_argument("FftPlan: zero length");
+  if (pow2_) {
+    if (n == 1) return;
+    bitrev_.resize(n);
+    for (size_t i = 1, j = 0; i < n; ++i) {
+      size_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      bitrev_[i] = static_cast<uint32_t>(j);
+    }
+    twiddles_.resize(n - 1);
+    for (size_t len = 2; len <= n; len <<= 1) {
+      const size_t half = len / 2;
+      const double ang = -2.0 * kPi / static_cast<double>(len);
+      for (size_t j = 0; j < half; ++j) {
+        const double a = ang * static_cast<double>(j);
+        twiddles_[half - 1 + j] = {std::cos(a), std::sin(a)};
+      }
+    }
+    return;
+  }
+
+  // Bluestein: chirp c_k = exp(-i*pi*k^2/n) (forward sign; k^2 mod 2n keeps
+  // the angle argument small for large k).
+  chirp_.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double e =
+        kPi * static_cast<double>((k * k) % (2 * n)) / static_cast<double>(n);
+    chirp_[k] = {std::cos(e), -std::sin(e)};
+  }
+  m_ = next_pow2(2 * n - 1);
+  sub_ = &plan_for(m_);
+  // Kernel b[k] = conj(chirp[k]) for the forward transform (chirp[k] for the
+  // inverse), wrapped so b[m-k] = b[k]; its FFT is reused by every execute.
+  for (const bool inverse : {false, true}) {
+    std::vector<std::complex<double>> b(m_, {0.0, 0.0});
+    for (size_t k = 0; k < n; ++k) {
+      const std::complex<double> v =
+          inverse ? chirp_[k] : std::conj(chirp_[k]);
+      b[k] = v;
+      if (k != 0) b[m_ - k] = v;
+    }
+    sub_->execute(b.data(), /*inverse=*/false);
+    (inverse ? kernel_fft_inv_ : kernel_fft_fwd_) = std::move(b);
+  }
+}
+
+void FftPlan::execute(std::complex<double>* data, bool inverse,
+                      std::complex<double>* work) const {
+  if (n_ <= 1) return;
+  if (pow2_) {
+    radix2(data, inverse);
+  } else {
+    bluestein(data, inverse, work);
+  }
+}
+
+void FftPlan::radix2(std::complex<double>* a, bool inverse) const {
+  const size_t n = n_;
+  for (size_t i = 1; i < n; ++i) {
+    const size_t j = bitrev_[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const size_t half = len / 2;
+    const std::complex<double>* w = twiddles_.data() + (half - 1);
+    for (size_t i = 0; i < n; i += len) {
+      for (size_t j = 0; j < half; ++j) {
+        const std::complex<double> wj =
+            inverse ? std::conj(w[j]) : w[j];
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + half] * wj;
+        a[i + j] = u + v;
+        a[i + j + half] = u - v;
+      }
+    }
+  }
+}
+
+void FftPlan::bluestein(std::complex<double>* a, bool inverse,
+                        std::complex<double>* work) const {
+  // Chirp-z as a circular convolution of length m_: only the data-dependent
+  // forward/inverse pair of sub-FFTs runs here — the kernel FFT is cached.
+  const size_t n = n_;
+  std::vector<std::complex<double>> local;
+  if (work == nullptr) {
+    local.resize(m_);
+    work = local.data();
+  }
+  for (size_t k = 0; k < n; ++k) {
+    const std::complex<double> c = inverse ? std::conj(chirp_[k]) : chirp_[k];
+    work[k] = a[k] * c;
+  }
+  for (size_t k = n; k < m_; ++k) work[k] = {0.0, 0.0};
+  sub_->execute(work, /*inverse=*/false);
+  const std::vector<std::complex<double>>& kf =
+      inverse ? kernel_fft_inv_ : kernel_fft_fwd_;
+  for (size_t k = 0; k < m_; ++k) work[k] *= kf[k];
+  sub_->execute(work, /*inverse=*/true);
+  const double inv_m = 1.0 / static_cast<double>(m_);
+  for (size_t k = 0; k < n; ++k) {
+    const std::complex<double> c = inverse ? std::conj(chirp_[k]) : chirp_[k];
+    a[k] = work[k] * inv_m * c;
+  }
+}
+
+namespace {
+
+struct PlanRegistry {
+  std::mutex mu;
+  std::unordered_map<size_t, std::unique_ptr<FftPlan>> plans;
+};
+
+PlanRegistry& registry() {
+  // Leaked on purpose: plans may be used by pool workers during shutdown.
+  static PlanRegistry* r = new PlanRegistry;
+  return *r;
+}
+
+}  // namespace
+
+const FftPlan& plan_for(size_t n) {
+  PlanRegistry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.plans.find(n);
+    if (it != r.plans.end()) return *it->second;
+  }
+  // Built outside the lock: Bluestein construction recursively resolves the
+  // padded-length plan through this same registry. A concurrent first use of
+  // the same length builds a duplicate; try_emplace keeps exactly one.
+  auto plan = std::make_unique<FftPlan>(n);
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.plans.try_emplace(n, std::move(plan));
+  (void)inserted;
+  return *it->second;
+}
+
+size_t plan_cache_size() {
+  PlanRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.plans.size();
+}
+
+}  // namespace litho::fft

@@ -1,0 +1,80 @@
+// FFT plan cache (ISSUE 2 tentpole, piece 1).
+//
+// A FftPlan holds everything about a 1-D transform of length n that does not
+// depend on the data: the bit-reversal permutation and per-stage twiddle
+// tables for the radix-2 path, and — for non-power-of-two lengths — the
+// Bluestein chirp together with the FFT of the (zero-padded) chirp kernel in
+// both directions, so the runtime convolution needs two sub-FFTs instead of
+// the three the planless kernel performed.
+//
+// Plans are immutable after construction and live forever in a process-wide
+// registry guarded by a mutex, so parallel_for workers batching over planes
+// share one plan per length instead of re-deriving tables per call. Lookup
+// cost on the hot path is one mutex acquisition per transform length per
+// slice; callers that transform many lines of the same length hoist the
+// lookup out of the loop.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace litho::fft {
+
+class FftPlan {
+ public:
+  /// Builds tables for length @p n (n >= 1). Non-power-of-two lengths
+  /// recursively obtain the radix-2 plan for the Bluestein padded length
+  /// from the registry.
+  explicit FftPlan(size_t n);
+
+  size_t length() const { return n_; }
+  bool is_radix2() const { return pow2_; }
+
+  /// Complex doubles of scratch the Bluestein path needs per concurrent
+  /// execute(); zero for radix-2 plans (they run fully in place).
+  size_t workspace_size() const { return pow2_ ? 0 : m_; }
+
+  /// In-place unnormalized transform of data[0..n). @p inverse conjugates
+  /// twiddles but does NOT apply 1/n (norm="backward" forward convention).
+  /// @p work must point at workspace_size() writable complex doubles (may be
+  /// null for radix-2 plans). Thread-safe: the plan is read-only.
+  void execute(std::complex<double>* data, bool inverse,
+               std::complex<double>* work = nullptr) const;
+
+ private:
+  void radix2(std::complex<double>* a, bool inverse) const;
+  void bluestein(std::complex<double>* a, bool inverse,
+                 std::complex<double>* work) const;
+
+  size_t n_;
+  bool pow2_;
+
+  // Radix-2 tables: bitrev_[i] is the bit-reversed index of i; twiddles_
+  // stores, for each stage len = 2, 4, ..., n, the len/2 forward roots
+  // exp(-2*pi*i*j/len) at offset len/2 - 1 (n - 1 entries total). The
+  // inverse transform conjugates at use.
+  std::vector<uint32_t> bitrev_;
+  std::vector<std::complex<double>> twiddles_;
+
+  // Bluestein tables (empty for radix-2 lengths). chirp_ holds the forward
+  // chirp exp(-i*pi*k^2/n); the inverse chirp is its conjugate.
+  // kernel_fft_fwd_/inv_ are the length-m_ FFTs of the padded chirp kernel
+  // b[k] = conj(chirp[k]) (resp. chirp[k]) — precomputing them removes one
+  // of the three sub-FFTs from every Bluestein execution.
+  size_t m_ = 0;  // next_pow2(2n - 1)
+  std::vector<std::complex<double>> chirp_;
+  std::vector<std::complex<double>> kernel_fft_fwd_;
+  std::vector<std::complex<double>> kernel_fft_inv_;
+  const FftPlan* sub_ = nullptr;  // registry-owned radix-2 plan for m_
+};
+
+/// Registry lookup: returns the (immutable, never-destroyed) plan for
+/// length @p n, constructing it on first use. Thread-safe; concurrent
+/// first-use races construct at most one surviving plan.
+const FftPlan& plan_for(size_t n);
+
+/// Number of plans currently cached (test/diagnostic hook).
+size_t plan_cache_size();
+
+}  // namespace litho::fft

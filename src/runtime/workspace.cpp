@@ -1,0 +1,102 @@
+#include "runtime/workspace.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace litho::runtime {
+namespace {
+
+// Bounded free list: enough for every worker of a wide pool to hold a lease
+// plus a few spares, and a byte budget so plane-sized scratch from a huge
+// tile doesn't stay pinned after the burst that needed it.
+constexpr size_t kMaxPooled = 64;
+constexpr size_t kMaxPooledBytes = 64u << 20;  // 64 MiB across the free list
+
+}  // namespace
+
+struct WorkspacePool::Impl {
+  mutable std::mutex mu;
+  std::vector<std::vector<std::complex<double>>> free_list;
+  size_t free_bytes = 0;  // sum of free_list capacities, in bytes
+  Stats stats;
+};
+
+WorkspacePool::Impl& WorkspacePool::impl() const {
+  // Leaked on purpose: leases held by pool workers may release during
+  // static destruction.
+  static Impl* i = new Impl;
+  return *i;
+}
+
+WorkspacePool& WorkspacePool::instance() {
+  static WorkspacePool pool;
+  return pool;
+}
+
+std::vector<std::complex<double>> WorkspacePool::acquire(size_t min_size) {
+  const size_t want = next_pow2(std::max<size_t>(min_size, 1));
+  Impl& im = impl();
+  std::vector<std::complex<double>> buf;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    ++im.stats.acquires;
+    // Smallest pooled buffer that already fits, so big buffers stay
+    // available for big requests.
+    size_t best = im.free_list.size();
+    for (size_t i = 0; i < im.free_list.size(); ++i) {
+      const size_t cap = im.free_list[i].capacity();
+      if (cap >= want &&
+          (best == im.free_list.size() ||
+           cap < im.free_list[best].capacity())) {
+        best = i;
+      }
+    }
+    if (best != im.free_list.size()) {
+      ++im.stats.reuses;
+      buf = std::move(im.free_list[best]);
+      im.free_bytes -= buf.capacity() * sizeof(std::complex<double>);
+      im.free_list[best] = std::move(im.free_list.back());
+      im.free_list.pop_back();
+    }
+  }
+  // Grow-only resize outside the lock: buffers keep their high-watermark
+  // size across leases, so the value-initializing fill is paid at most once
+  // per size class per buffer, never on steady-state reuse. Lease contents
+  // stay unspecified either way.
+  if (buf.size() < want) buf.resize(want);
+  return buf;
+}
+
+void WorkspacePool::release(std::vector<std::complex<double>> buf) {
+  const size_t bytes = buf.capacity() * sizeof(std::complex<double>);
+  if (bytes == 0) return;
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (im.free_list.size() < kMaxPooled &&
+      im.free_bytes + bytes <= kMaxPooledBytes) {
+    im.free_bytes += bytes;
+    im.free_list.push_back(std::move(buf));
+  }
+}
+
+WorkspacePool::Stats WorkspacePool::stats() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.stats;
+}
+
+void WorkspacePool::clear() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.free_list.clear();
+  im.free_bytes = 0;
+}
+
+Workspace::Workspace(size_t n)
+    : buf_(WorkspacePool::instance().acquire(n)), n_(n) {}
+
+Workspace::~Workspace() {
+  WorkspacePool::instance().release(std::move(buf_));
+}
+
+}  // namespace litho::runtime

@@ -1,0 +1,78 @@
+// Pooled scratch buffers for parallel kernels (ISSUE 2 tentpole, piece 2).
+//
+// The FFT kernels need per-worker complex scratch (line buffers, Bluestein
+// convolution pads, per-plane staging). Before this pool each parallel_for
+// chunk heap-allocated fresh vectors per batch element; a serving process
+// doing thousands of predictions per second spent measurable time in the
+// allocator and fragmented it. The pool keeps a small mutex-guarded free
+// list of previously used buffers, rounded up to power-of-two capacities so
+// nearby request sizes hit the same buffer class. The list is bounded in
+// both count and total bytes, so plane-sized scratch from a huge tile is
+// dropped instead of staying pinned after the burst that needed it.
+//
+// Usage is RAII: a Workspace lease acquires on construction and returns the
+// buffer on destruction. Contents are UNSPECIFIED on acquisition — leases
+// recycle dirty buffers; callers must fully overwrite (or explicitly zero)
+// what they read.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace litho::runtime {
+
+/// Smallest power of two >= n (>= 1). Shared by the workspace pool's buffer
+/// size classes and the FFT plan cache's Bluestein pad length.
+inline size_t next_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Process-wide recycling pool of std::complex<double> buffers.
+class WorkspacePool {
+ public:
+  /// Global instance used by the Workspace lease below.
+  static WorkspacePool& instance();
+
+  /// A buffer with size() >= min_size (capacity rounded up to a power of
+  /// two). Reuses a pooled buffer when one is large enough, else allocates.
+  std::vector<std::complex<double>> acquire(size_t min_size);
+
+  /// Returns a buffer to the free list (dropped if the list is full, by
+  /// count or total bytes).
+  void release(std::vector<std::complex<double>> buf);
+
+  struct Stats {
+    size_t acquires = 0;  // total acquire() calls
+    size_t reuses = 0;    // acquires served from the free list
+  };
+  Stats stats() const;
+
+  /// Drops every pooled buffer (tests / memory-pressure hook).
+  void clear();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII lease of pooled scratch. Not thread-safe itself (one lease per
+/// worker chunk); the underlying pool is.
+class Workspace {
+ public:
+  explicit Workspace(size_t n);
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  std::complex<double>* data() { return buf_.data(); }
+  size_t size() const { return n_; }
+
+ private:
+  std::vector<std::complex<double>> buf_;
+  size_t n_;
+};
+
+}  // namespace litho::runtime

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <thread>
+#include <vector>
 
 #include "fft/fft.h"
+#include "fft/plan.h"
 #include "test_util.h"
 
 namespace litho::fft {
@@ -24,6 +27,24 @@ double rdot(const Tensor& a, const Tensor& b) {
     acc += static_cast<double>(a[i]) * b[i];
   }
   return acc;
+}
+
+// Textbook O(n^2) DFT, same conventions as fft1d_unnormalized (forward
+// exp(-2*pi*i*kj/n), inverse conjugated, neither normalized).
+std::vector<std::complex<double>> naive_dft(
+    const std::vector<std::complex<double>>& x, bool inverse) {
+  const size_t n = x.size();
+  std::vector<std::complex<double>> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> acc = 0;
+    for (size_t j = 0; j < n; ++j) {
+      const double ang = (inverse ? 2.0 : -2.0) * M_PI *
+                         static_cast<double>(k * j) / static_cast<double>(n);
+      acc += x[j] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
 }
 
 TEST(Fft1d, MatchesNaiveDftPow2) {
@@ -168,6 +189,223 @@ TEST(ComplexOps, MulAndConjMul) {
 
 TEST(CTensor, ShapeMismatchThrows) {
   EXPECT_THROW(CTensor(Tensor({2}), Tensor({3})), std::invalid_argument);
+}
+
+// -- Golden parity: plan-cache kernels vs the naive DFT -----------------------
+// Every length 1..32 in both directions, so the radix-2 branch (1, 2, 4, 8,
+// 16, 32) and the Bluestein branch (everything else, including the primes)
+// are each pinned against the textbook transform.
+
+TEST(FftGolden, MatchesNaiveDftForEveryLength1To32) {
+  for (size_t n = 1; n <= 32; ++n) {
+    auto g = test::rng(static_cast<uint32_t>(1000 + n));
+    std::uniform_real_distribution<double> d(-1, 1);
+    std::vector<std::complex<double>> x(n);
+    for (auto& v : x) v = {d(g), d(g)};
+    for (const bool inverse : {false, true}) {
+      auto y = x;
+      fft1d_unnormalized(y, inverse);
+      const auto ref = naive_dft(x, inverse);
+      for (size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(std::abs(y[k] - ref[k]), 0.0, 1e-7)
+            << "n=" << n << " inverse=" << inverse << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(FftGolden, RepeatedCallsBitwiseStable) {
+  // The cached plan must give the exact same bits on every call.
+  const size_t n = 24;  // Bluestein
+  auto g = test::rng(77);
+  std::uniform_real_distribution<double> d(-1, 1);
+  std::vector<std::complex<double>> x(n);
+  for (auto& v : x) v = {d(g), d(g)};
+  auto a = x, b = x;
+  fft1d_unnormalized(a, false);
+  fft1d_unnormalized(b, false);
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(a[k].real(), b[k].real()) << k;
+    EXPECT_EQ(a[k].imag(), b[k].imag()) << k;
+  }
+}
+
+// -- Property-based spectral suite --------------------------------------------
+// Randomized shapes drawn from power-of-two, odd, and prime (Bluestein)
+// extents; each property must hold on every draw.
+
+struct ShapeCase {
+  int64_t batch, h, w;
+};
+
+std::vector<ShapeCase> random_shapes() {
+  // Deterministic draw so failures reproduce. Mixes radix-2 extents with odd
+  // widths and primes to exercise packed-pair edge cases (odd H rides the
+  // single-row path, even/odd W flips the Nyquist handling).
+  const std::vector<int64_t> extents = {1, 2,  3,  4,  5,  7,  8, 9,
+                                        11, 12, 13, 16, 17, 23, 29, 31};
+  auto g = test::rng(2024);
+  std::uniform_int_distribution<size_t> pick(0, extents.size() - 1);
+  std::uniform_int_distribution<int64_t> batch(1, 3);
+  std::vector<ShapeCase> cases;
+  for (int i = 0; i < 24; ++i) {
+    cases.push_back({batch(g), extents[pick(g)], extents[pick(g)]});
+  }
+  cases.push_back({1, 64, 64});  // one bigger radix-2 plane
+  cases.push_back({2, 6, 31});   // even H, prime W
+  cases.push_back({2, 31, 6});   // prime H, even W
+  return cases;
+}
+
+class FftProperty : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(FftProperty, RoundTripRecoversInput) {
+  const auto [b, h, w] = GetParam();
+  auto g = test::rng(static_cast<uint32_t>(b * 1009 + h * 31 + w));
+  Tensor x = Tensor::randn({b, h, w}, g);
+  CTensor spec = rfft2(x);
+  ASSERT_EQ(spec.shape(), (Shape{b, h, w / 2 + 1}));
+  Tensor back = irfft2(spec, w);
+  EXPECT_LT(test::max_abs_diff(back, x), 1e-4f);
+}
+
+TEST_P(FftProperty, RealParsevalWithHalfSpectrumWeights) {
+  // sum x^2 = (1/N) * sum_c weight_c * |X[., c]|^2 with weight 2 on the
+  // interior columns (each stands in for its conjugate mirror) and 1 on the
+  // self-conjugate columns c = 0 and, for even W, c = W/2. Pins both the
+  // transform energy and the half-spectrum layout.
+  const auto [b, h, w] = GetParam();
+  auto g = test::rng(static_cast<uint32_t>(b * 997 + h * 13 + w));
+  Tensor x = Tensor::randn({b, h, w}, g);
+  CTensor spec = rfft2(x);
+  const int64_t wh = w / 2 + 1;
+  const int64_t interior_end = (w + 1) / 2;
+  double spectral = 0;
+  for (int64_t i = 0; i < spec.numel(); ++i) {
+    const int64_t c = i % wh;
+    const double weight = (c >= 1 && c < interior_end) ? 2.0 : 1.0;
+    spectral += weight * (static_cast<double>(spec.re[i]) * spec.re[i] +
+                          static_cast<double>(spec.im[i]) * spec.im[i]);
+  }
+  const double direct = rdot(x, x);
+  EXPECT_NEAR(spectral / static_cast<double>(h * w), direct,
+              1e-3 * std::abs(direct) + 1e-4);
+}
+
+TEST_P(FftProperty, RfftIsLinear) {
+  const auto [b, h, w] = GetParam();
+  auto g = test::rng(static_cast<uint32_t>(b * 701 + h * 7 + w));
+  Tensor x = Tensor::randn({b, h, w}, g);
+  Tensor y = Tensor::randn({b, h, w}, g);
+  const float alpha = 0.75f, beta = -1.25f;
+  Tensor mix = x.clone();
+  mix.mul_(alpha);
+  Tensor ys = y.clone();
+  ys.mul_(beta);
+  mix.add_(ys);
+  CTensor lhs = rfft2(mix);
+  CTensor fx = rfft2(x), fy = rfft2(y);
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.re[i], alpha * fx.re[i] + beta * fy.re[i],
+                1e-3f * (std::abs(lhs.re[i]) + 1.f))
+        << i;
+    EXPECT_NEAR(lhs.im[i], alpha * fx.im[i] + beta * fy.im[i],
+                1e-3f * (std::abs(lhs.im[i]) + 1.f))
+        << i;
+  }
+}
+
+TEST_P(FftProperty, RfftMatchesFullComplexFft) {
+  // The two-for-one packed path must agree with the plain complex transform
+  // of the real embedding on the surviving half spectrum.
+  const auto [b, h, w] = GetParam();
+  auto g = test::rng(static_cast<uint32_t>(b * 499 + h * 3 + w));
+  Tensor x = Tensor::randn({b, h, w}, g);
+  CTensor half = rfft2(x);
+  CTensor full = fft2(CTensor(x.clone(), Tensor(x.shape())), false);
+  const int64_t wh = w / 2 + 1;
+  for (int64_t bb = 0; bb < b; ++bb) {
+    for (int64_t r = 0; r < h; ++r) {
+      for (int64_t c = 0; c < wh; ++c) {
+        const int64_t hi = (bb * h + r) * wh + c;
+        const int64_t fi = (bb * h + r) * w + c;
+        EXPECT_NEAR(half.re[hi], full.re[fi], 1e-3f) << r << "," << c;
+        EXPECT_NEAR(half.im[hi], full.im[fi], 1e-3f) << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST_P(FftProperty, RfftAdjointIdentity) {
+  const auto [b, h, w] = GetParam();
+  auto g = test::rng(static_cast<uint32_t>(b * 211 + h * 3 + w));
+  Tensor x = Tensor::randn({b, h, w}, g);
+  CTensor cot(Tensor::randn({b, h, w / 2 + 1}, g),
+              Tensor::randn({b, h, w / 2 + 1}, g));
+  const double lhs = cdot(rfft2(x), cot);
+  const double rhs = rdot(x, rfft2_adjoint(cot, w));
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST_P(FftProperty, IrfftAdjointIdentity) {
+  const auto [b, h, w] = GetParam();
+  auto g = test::rng(static_cast<uint32_t>(b * 307 + h * 11 + w));
+  CTensor spec(Tensor::randn({b, h, w / 2 + 1}, g),
+               Tensor::randn({b, h, w / 2 + 1}, g));
+  Tensor cot = Tensor::randn({b, h, w}, g);
+  const double lhs = rdot(irfft2(spec, w), cot);
+  const double rhs = cdot(spec, irfft2_adjoint(cot));
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, FftProperty,
+                         ::testing::ValuesIn(random_shapes()));
+
+// -- Plan cache ---------------------------------------------------------------
+
+TEST(FftPlanCache, CachesAndReusesPlans) {
+  const size_t before = plan_cache_size();
+  std::vector<std::complex<double>> x(37, {1.0, 0.0});  // fresh prime length
+  fft1d_unnormalized(x, false);
+  const size_t after_first = plan_cache_size();
+  EXPECT_GT(after_first, before);  // 37 and its Bluestein pad length
+  fft1d_unnormalized(x, true);
+  EXPECT_EQ(plan_cache_size(), after_first);  // reused, not rebuilt
+}
+
+TEST(FftPlanCache, ConcurrentFirstUseIsSafeAndConsistent) {
+  // Many threads race to build the plan for a length nobody has used yet;
+  // all must come back with identical spectra (under ASan this also checks
+  // the registry's publication).
+  const size_t n = 41;
+  auto g = test::rng(41);
+  std::uniform_real_distribution<double> d(-1, 1);
+  std::vector<std::complex<double>> x(n);
+  for (auto& v : x) v = {d(g), d(g)};
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<std::complex<double>>> results(
+      kThreads, std::vector<std::complex<double>>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto y = x;
+      fft1d_unnormalized(y, false);
+      results[static_cast<size_t>(t)] = std::move(y);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    for (size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(results[static_cast<size_t>(t)][k].real(),
+                results[0][k].real())
+          << "t=" << t << " k=" << k;
+      EXPECT_EQ(results[static_cast<size_t>(t)][k].imag(),
+                results[0][k].imag())
+          << "t=" << t << " k=" << k;
+    }
+  }
 }
 
 }  // namespace

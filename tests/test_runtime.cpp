@@ -13,8 +13,10 @@
 #include "core/doinn.h"
 #include "core/large_tile.h"
 #include "core/trainer.h"
+#include "fft/fft.h"
 #include "runtime/engine.h"
 #include "runtime/thread_pool.h"
+#include "runtime/workspace.h"
 #include "test_util.h"
 
 namespace litho {
@@ -276,6 +278,94 @@ TEST(InferenceEngine, CheckpointRoundTrip) {
   const Tensor got = engine.predict(mask);
   EXPECT_EQ(test::max_abs_diff(got, expected), 0.f);
   std::remove(path.c_str());
+}
+
+// -- Workspace pool -----------------------------------------------------------
+
+TEST(WorkspacePool, LeasesRecycleBuffers) {
+  runtime::WorkspacePool& pool = runtime::WorkspacePool::instance();
+  {
+    runtime::Workspace warm(256);  // seed the free list
+    warm.data()[0] = {1.0, 2.0};
+  }
+  const auto before = pool.stats();
+  {
+    runtime::Workspace ws(200);  // rounds up to 256, must reuse
+    ASSERT_GE(ws.size(), 200u);
+    ws.data()[199] = {3.0, 4.0};
+  }
+  const auto after = pool.stats();
+  EXPECT_EQ(after.acquires, before.acquires + 1);
+  EXPECT_GT(after.reuses, before.reuses);
+}
+
+TEST(WorkspacePool, OversizedReleasesAreDroppedNotPinned) {
+  runtime::WorkspacePool& pool = runtime::WorkspacePool::instance();
+  pool.clear();
+  // A buffer past the pool's byte budget must be dropped on release, so the
+  // next acquire of that size allocates fresh instead of reusing.
+  const size_t huge = (80u << 20) / sizeof(std::complex<double>);
+  { runtime::Workspace ws(huge); }
+  const auto before = pool.stats();
+  { runtime::Workspace ws(huge); }
+  const auto after = pool.stats();
+  EXPECT_EQ(after.acquires, before.acquires + 1);
+  EXPECT_EQ(after.reuses, before.reuses);
+  pool.clear();
+}
+
+// -- Cross-thread-count determinism (ISSUE 2) ---------------------------------
+// The FFT kernels and the engine must produce bitwise-equal outputs whether
+// DOINN_NUM_THREADS resolves to 1 or 8. The global pool latches the env var
+// at first use, so the tests pin explicit pools of each size instead —
+// ScopedPool routes the free parallel_for exactly the way the env var would.
+
+TEST(Determinism, FftKernelsBitwiseEqualAcrossThreadCounts) {
+  auto rng = test::rng(91);
+  // Batched and single-slice planes, radix-2 and Bluestein extents, odd H.
+  const std::vector<Shape> shapes = {{4, 32, 32}, {1, 64, 64}, {3, 33, 20},
+                                     {1, 31, 48}};
+  for (const Shape& s : shapes) {
+    const int64_t w = s[s.size() - 1];
+    Tensor x = Tensor::randn(s, rng);
+    fft::CTensor xc(Tensor::randn(s, rng), Tensor::randn(s, rng));
+    fft::CTensor spec_ref, fft_ref;
+    Tensor back_ref;
+    {
+      runtime::ThreadPool serial(1);
+      runtime::ScopedPool sp(&serial);
+      spec_ref = fft::rfft2(x);
+      back_ref = fft::irfft2(spec_ref, w);
+      fft_ref = fft::fft2(xc, false);
+    }
+    runtime::ThreadPool wide(8);
+    runtime::ScopedPool sp(&wide);
+    const fft::CTensor spec = fft::rfft2(x);
+    EXPECT_EQ(test::max_abs_diff(spec.re, spec_ref.re), 0.f);
+    EXPECT_EQ(test::max_abs_diff(spec.im, spec_ref.im), 0.f);
+    EXPECT_EQ(test::max_abs_diff(fft::irfft2(spec, w), back_ref), 0.f);
+    const fft::CTensor full = fft::fft2(xc, false);
+    EXPECT_EQ(test::max_abs_diff(full.re, fft_ref.re), 0.f);
+    EXPECT_EQ(test::max_abs_diff(full.im, fft_ref.im), 0.f);
+  }
+}
+
+TEST(Determinism, PredictBatchBitwiseEqualAcrossThreadCounts) {
+  core::DoinnConfig cfg = tiny_config();
+  std::vector<Tensor> masks;
+  for (uint32_t s = 100; s < 106; ++s) {
+    masks.push_back(random_mask(cfg.tile, s));
+  }
+  runtime::InferenceEngine serial(cfg, /*seed=*/77,
+                                  runtime::EngineOptions{/*num_threads=*/1});
+  runtime::InferenceEngine wide(cfg, /*seed=*/77,
+                                runtime::EngineOptions{/*num_threads=*/8});
+  const std::vector<Tensor> a = serial.predict_batch(masks);
+  const std::vector<Tensor> b = wide.predict_batch(masks);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(test::max_abs_diff(a[i], b[i]), 0.f) << "mask " << i;
+  }
 }
 
 }  // namespace
