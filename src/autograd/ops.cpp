@@ -1,9 +1,12 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "runtime/thread_pool.h"
+#include "runtime/workspace.h"
+#include "tensor/gemm.h"
 
 namespace litho::ag {
 namespace {
@@ -20,6 +23,125 @@ struct ConvDims {
   int64_t n, cin, h, w;       // input
   int64_t cout, kh, kw;       // kernel
   int64_t oh, ow;             // output
+};
+
+// -- Implicit im2col packers --------------------------------------------------
+// The packed GEMM engine pulls B micro-panels through these instead of a
+// materialized column matrix: each pack() gathers the requested window of
+// the logical im2col matrix straight from the (virtually padded) input
+// plane. Gathered values are exact copies, so conv results stay bitwise
+// identical to the explicit im2col + GEMM formulation.
+
+/// Logical B = im2col(x): row k = (channel, ki, kj), column j = (oy, ox).
+class Im2colPacker final : public BPanelPacker {
+ public:
+  Im2colPacker(const float* x, int64_t h, int64_t w, int64_t k,
+               int64_t stride, int64_t padding, int64_t ow)
+      : x_(x), h_(h), w_(w), k_(k), stride_(stride), padding_(padding),
+        ow_(ow) {}
+
+  void pack(int64_t k0, int64_t k1, int64_t j0, int64_t j1,
+            float* dst) const override {
+    const int64_t klen = k1 - k0;
+    const int64_t panels = (j1 - j0 + kGemmNR - 1) / kGemmNR;
+    for (int64_t t = 0; t < panels; ++t) {
+      float* p = dst + t * klen * kGemmNR;
+      const int64_t c0 = j0 + t * kGemmNR;
+      const int64_t nr = std::min(kGemmNR, j1 - c0);
+      // Decode this panel's output pixels once.
+      int64_t oy[kGemmNR], ox[kGemmNR];
+      int64_t y = c0 / ow_, xo = c0 % ow_;
+      for (int64_t j = 0; j < nr; ++j) {
+        oy[j] = y;
+        ox[j] = xo;
+        if (++xo == ow_) {
+          xo = 0;
+          ++y;
+        }
+      }
+      // Panels whose pixels sit on one output row map to a contiguous run
+      // of the input when stride is 1 — the common interior case collapses
+      // to a straight vector copy.
+      const bool one_row = oy[0] == oy[nr - 1];
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        const int64_t kj = kk % k_;
+        const int64_t ki = (kk / k_) % k_;
+        const float* plane = x_ + (kk / (k_ * k_)) * h_ * w_;
+        float* d = p + (kk - k0) * kGemmNR;
+        if (one_row && stride_ == 1) {
+          const int64_t iy = oy[0] + ki - padding_;
+          const int64_t ix0 = ox[0] + kj - padding_;
+          if (iy >= 0 && iy < h_ && ix0 >= 0 && ix0 + nr <= w_) {
+            const float* src = plane + iy * w_ + ix0;
+            for (int64_t j = 0; j < nr; ++j) d[j] = src[j];
+            for (int64_t j = nr; j < kGemmNR; ++j) d[j] = 0.f;
+            continue;
+          }
+        }
+        for (int64_t j = 0; j < nr; ++j) {
+          const int64_t iy = oy[j] * stride_ + ki - padding_;
+          const int64_t ix = ox[j] * stride_ + kj - padding_;
+          d[j] = (iy >= 0 && iy < h_ && ix >= 0 && ix < w_)
+                     ? plane[iy * w_ + ix]
+                     : 0.f;
+        }
+        for (int64_t j = nr; j < kGemmNR; ++j) d[j] = 0.f;
+      }
+    }
+  }
+
+ private:
+  const float* x_;
+  int64_t h_, w_, k_, stride_, padding_, ow_;
+};
+
+/// Logical B = im2col(x)ᵀ: row k = (oy, ox), column j = (channel, ki, kj).
+/// Backs the ABᵀ-shaped weight-gradient GEMM without materializing columns.
+class Im2colTPacker final : public BPanelPacker {
+ public:
+  Im2colTPacker(const float* x, int64_t h, int64_t w, int64_t k,
+                int64_t stride, int64_t padding, int64_t ow)
+      : x_(x), h_(h), w_(w), k_(k), stride_(stride), padding_(padding),
+        ow_(ow) {}
+
+  void pack(int64_t k0, int64_t k1, int64_t j0, int64_t j1,
+            float* dst) const override {
+    const int64_t klen = k1 - k0;
+    const int64_t panels = (j1 - j0 + kGemmNR - 1) / kGemmNR;
+    for (int64_t t = 0; t < panels; ++t) {
+      float* p = dst + t * klen * kGemmNR;
+      const int64_t c0 = j0 + t * kGemmNR;
+      const int64_t nr = std::min(kGemmNR, j1 - c0);
+      // Decode this panel's (channel, ki, kj) columns once.
+      int64_t ch[kGemmNR], ki[kGemmNR], kj[kGemmNR];
+      for (int64_t j = 0; j < nr; ++j) {
+        const int64_t idx = c0 + j;
+        kj[j] = idx % k_;
+        ki[j] = (idx / k_) % k_;
+        ch[j] = idx / (k_ * k_);
+      }
+      int64_t y = k0 / ow_, xo = k0 % ow_;
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        float* d = p + (kk - k0) * kGemmNR;
+        for (int64_t j = 0; j < nr; ++j) {
+          const int64_t iy = y * stride_ + ki[j] - padding_;
+          const int64_t ix = xo * stride_ + kj[j] - padding_;
+          d[j] = (iy >= 0 && iy < h_ && ix >= 0 && ix < w_)
+                     ? x_[(ch[j] * h_ + iy) * w_ + ix]
+                     : 0.f;
+        }
+        for (int64_t j = nr; j < kGemmNR; ++j) d[j] = 0.f;
+        if (++xo == ow_) {
+          xo = 0;
+          ++y;
+        }
+      }
+    }
+  }
+
+ private:
+  const float* x_;
+  int64_t h_, w_, k_, stride_, padding_, ow_;
 };
 
 ConvDims conv_dims(const Variable& x, const Variable& w, int64_t stride,
@@ -244,22 +366,27 @@ void col2im(const float* col, int64_t c, int64_t h, int64_t w, int64_t k,
   const int64_t oh = conv_out_size(h, k, stride, padding);
   const int64_t ow = conv_out_size(w, k, stride, padding);
   const int64_t l = oh * ow;
-  for (int64_t ch = 0; ch < c; ++ch) {
-    for (int64_t ki = 0; ki < k; ++ki) {
-      for (int64_t kj = 0; kj < k; ++kj) {
-        const float* src = col + ((ch * k + ki) * k + kj) * l;
-        for (int64_t oy = 0; oy < oh; ++oy) {
-          const int64_t iy = oy * stride + ki - padding;
-          if (iy < 0 || iy >= h) continue;
-          float* dst_row = x + (ch * h + iy) * w;
-          for (int64_t ox = 0; ox < ow; ++ox) {
-            const int64_t ix = ox * stride + kj - padding;
-            if (ix >= 0 && ix < w) dst_row[ix] += src[oy * ow + ox];
+  // Rows of `col` belonging to channel ch scatter only into channel ch of
+  // x, so channels partition into disjoint write sets: parallel and bitwise
+  // deterministic (the per-channel scatter order is unchanged).
+  runtime::parallel_for(c, [&](int64_t c0, int64_t c1) {
+    for (int64_t ch = c0; ch < c1; ++ch) {
+      for (int64_t ki = 0; ki < k; ++ki) {
+        for (int64_t kj = 0; kj < k; ++kj) {
+          const float* src = col + ((ch * k + ki) * k + kj) * l;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            const int64_t iy = oy * stride + ki - padding;
+            if (iy < 0 || iy >= h) continue;
+            float* dst_row = x + (ch * h + iy) * w;
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              const int64_t ix = ox * stride + kj - padding;
+              if (ix >= 0 && ix < w) dst_row[ix] += src[oy * ow + ox];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
@@ -272,56 +399,87 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
   const int64_t ckk = d.cin * d.kh * d.kw;
   const int64_t l = d.oh * d.ow;
   Tensor out({d.n, d.cout, d.oh, d.ow});
-  // Samples are independent and write disjoint output planes; each chunk
-  // reuses one im2col column buffer across its samples.
-  runtime::parallel_for(d.n, [&](int64_t n0, int64_t n1) {
-    std::vector<float> col(static_cast<size_t>(ckk * l));
-    for (int64_t n = n0; n < n1; ++n) {
-      im2col(x.value().data() + n * d.cin * d.h * d.w, d.cin, d.h, d.w, d.kh,
-             stride, padding, col.data());
-      gemm(w.value().data(), col.data(), out.data() + n * d.cout * l, d.cout,
-           ckk, l);
-      if (has_bias) {
-        for (int64_t c = 0; c < d.cout; ++c) {
-          float* p = out.data() + (n * d.cout + c) * l;
-          const float bias = b.value()[c];
-          for (int64_t i = 0; i < l; ++i) p[i] += bias;
+  {
+    // Implicit im2col: the weights (Cout x CKK) are packed once and shared
+    // by every task; B panels are gathered straight from the padded input,
+    // so the full CKK x L column matrix never exists. Tasks are (sample,
+    // column block) pairs — disjoint output tiles, deterministic for any
+    // thread count. Bias is fused into the micro-kernel epilogue.
+    const PackedA wp(GemmLayout::kNN, w.value().data(), d.cout, ckk);
+    const int64_t blocks = gemm_col_blocks(l);
+    const bool pointwise =
+        d.kh == 1 && d.kw == 1 && stride == 1 && padding == 0;
+    GemmEpilogue ep;
+    ep.bias = has_bias ? b.value().data() : nullptr;
+    runtime::parallel_for(d.n * blocks, [&](int64_t t0, int64_t t1) {
+      for (int64_t t = t0; t < t1; ++t) {
+        const int64_t s = t / blocks;
+        const int64_t blk = t % blocks;
+        const float* xs = x.value().data() + s * d.cin * d.h * d.w;
+        float* cs = out.data() + s * d.cout * l;
+        if (pointwise) {
+          // 1x1 stride-1 fast path: B is the sample itself (Cin x HW).
+          const StridedBPacker bp(xs, l, /*transposed=*/false);
+          gemm_col_block(wp, bp, l, blk, cs, ep);
+        } else {
+          const Im2colPacker bp(xs, d.h, d.w, d.kh, stride, padding, d.ow);
+          gemm_col_block(wp, bp, l, blk, cs, ep);
         }
       }
-    }
-  });
+    });
+  }
 
   std::vector<Variable> parents = {x, w};
   if (has_bias) parents.push_back(b);
   return Variable::make_node(
       std::move(out), std::move(parents),
       [x, w, b, has_bias, d, stride, padding, ckk, l](const Tensor& g) {
-        Tensor gx, gw;
         const bool need_x = x.requires_grad();
         const bool need_w = w.requires_grad();
-        if (need_x) gx = Tensor::zeros(x.value().shape());
-        if (need_w) gw = Tensor::zeros(w.value().shape());
-        std::vector<float> col(static_cast<size_t>(ckk * l));
-        std::vector<float> gcol(static_cast<size_t>(ckk * l));
-        for (int64_t n = 0; n < d.n; ++n) {
-          const float* gout = g.data() + n * d.cout * l;
-          if (need_w) {
-            im2col(x.value().data() + n * d.cin * d.h * d.w, d.cin, d.h, d.w,
-                   d.kh, stride, padding, col.data());
-            // gw (Cout x CKK) += gout (Cout x L) * col^T (L x CKK).
-            gemm_a_bt(gout, col.data(), gcol.data(), d.cout, l, ckk);
-            float* gwp = gw.data();
-            for (int64_t i = 0; i < d.cout * ckk; ++i) gwp[i] += gcol[i];
-          }
-          if (need_x) {
-            // gcol (CKK x L) = w^T (CKK x Cout) * gout (Cout x L).
-            gemm_at_b(w.value().data(), gout, gcol.data(), ckk, d.cout, l);
-            col2im(gcol.data(), d.cin, d.h, d.w, d.kh, stride, padding,
-                   gx.data() + n * d.cin * d.h * d.w);
-          }
+        if (need_w) {
+          // gw (Cout x CKK) = sum_s gout_s (Cout x L) · im2col(x_s)ᵀ — the
+          // ABᵀ shape, with Bᵀ panels gathered straight from x. Parallel
+          // over gw column blocks: each task owns a disjoint gw slice and
+          // walks samples serially, so the accumulation order never
+          // depends on the schedule. (Unlike the forward pass, this order
+          // — one running sum across samples and K steps — differs from
+          // the seed's per-sample-temporary formulation, so weight
+          // gradients are deterministic but not bit-for-bit the seed's.)
+          Tensor gw = Tensor::zeros(w.value().shape());
+          const int64_t blocks = gemm_col_blocks(ckk);
+          GemmEpilogue acc;
+          acc.accumulate = true;
+          runtime::parallel_for(blocks, [&](int64_t b0, int64_t b1) {
+            for (int64_t blk = b0; blk < b1; ++blk) {
+              for (int64_t s = 0; s < d.n; ++s) {
+                const Im2colTPacker bp(x.value().data() + s * d.cin * d.h * d.w,
+                                       d.h, d.w, d.kh, stride, padding, d.ow);
+                gemm_col_block(GemmLayout::kNN, g.data() + s * d.cout * l,
+                               d.cout, l, bp, ckk, blk, gw.data(), acc);
+              }
+            }
+          });
+          w.state()->accumulate(gw);
         }
-        if (need_x) x.state()->accumulate(gx);
-        if (need_w) w.state()->accumulate(gw);
+        if (need_x) {
+          // gcol (CKK x L) = wᵀ · gout_s (TN through the packed engine,
+          // into one pooled scratch buffer), then col2im scatters into gx.
+          Tensor gx = Tensor::zeros(x.value().shape());
+          const PackedA wt(GemmLayout::kTN, w.value().data(), ckk, d.cout);
+          const int64_t blocks = gemm_col_blocks(l);
+          runtime::FloatWorkspace gcol(static_cast<size_t>(ckk * l));
+          for (int64_t s = 0; s < d.n; ++s) {
+            const StridedBPacker bp(g.data() + s * d.cout * l, l, false);
+            runtime::parallel_for(blocks, [&](int64_t b0, int64_t b1) {
+              for (int64_t blk = b0; blk < b1; ++blk) {
+                gemm_col_block(wt, bp, l, blk, gcol.data(), GemmEpilogue{});
+              }
+            });
+            col2im(gcol.data(), d.cin, d.h, d.w, d.kh, stride, padding,
+                   gx.data() + s * d.cin * d.h * d.w);
+          }
+          x.state()->accumulate(gx);
+        }
         if (has_bias && b.requires_grad()) {
           Tensor gb = Tensor::zeros({d.cout});
           for (int64_t n = 0; n < d.n; ++n) {
@@ -350,24 +508,32 @@ Variable conv_transpose2d(const Variable& x, const Variable& w,
   const int64_t ckk = d.cout * d.kh * d.kw;
   const int64_t l = d.h * d.w;  // input spatial size acts as column count
   Tensor out({d.n, d.cout, d.oh, d.ow});
-  runtime::parallel_for(d.n, [&](int64_t n0, int64_t n1) {
-    std::vector<float> col(static_cast<size_t>(ckk * l));
+  {
+    // col (CoutKK x hw) = wᵀ · x_s through the packed engine (one pooled
+    // scratch buffer, GEMM parallel over column blocks), then col2im
+    // scatters — itself parallel over the disjoint output channels.
+    const PackedA wt(GemmLayout::kTN, w.value().data(), ckk, d.cin);
+    const int64_t blocks = gemm_col_blocks(l);
     const int64_t plane = d.oh * d.ow;
-    for (int64_t n = n0; n < n1; ++n) {
-      // w viewed as (Cin x CoutKK); x sample viewed as (Cin x hw).
-      gemm_at_b(w.value().data(), x.value().data() + n * d.cin * l, col.data(),
-                ckk, d.cin, l);
+    runtime::FloatWorkspace col(static_cast<size_t>(ckk * l));
+    for (int64_t s = 0; s < d.n; ++s) {
+      const StridedBPacker bp(x.value().data() + s * d.cin * l, l, false);
+      runtime::parallel_for(blocks, [&](int64_t b0, int64_t b1) {
+        for (int64_t blk = b0; blk < b1; ++blk) {
+          gemm_col_block(wt, bp, l, blk, col.data(), GemmEpilogue{});
+        }
+      });
       col2im(col.data(), d.cout, d.oh, d.ow, d.kh, stride, padding,
-             out.data() + n * d.cout * d.oh * d.ow);
+             out.data() + s * d.cout * plane);
       if (has_bias) {
         for (int64_t c = 0; c < d.cout; ++c) {
-          float* p = out.data() + (n * d.cout + c) * plane;
+          float* p = out.data() + (s * d.cout + c) * plane;
           const float bias = b.value()[c];
           for (int64_t i = 0; i < plane; ++i) p[i] += bias;
         }
       }
     }
-  });
+  }
 
   std::vector<Variable> parents = {x, w};
   if (has_bias) parents.push_back(b);
@@ -376,32 +542,46 @@ Variable conv_transpose2d(const Variable& x, const Variable& w,
       [x, w, b, has_bias, d, stride, padding, ckk, l](const Tensor& g) {
         const bool need_x = x.requires_grad();
         const bool need_w = w.requires_grad();
-        Tensor gx, gw;
-        if (need_x) gx = Tensor::zeros(x.value().shape());
-        if (need_w) gw = Tensor::zeros(w.value().shape());
-        std::vector<float> gcol(static_cast<size_t>(ckk * l));
-        std::vector<float> tmp(static_cast<size_t>(
-            std::max(d.cin * ckk, d.cin * l)));
-        for (int64_t n = 0; n < d.n; ++n) {
-          // Backward mirrors conv2d forward: gcol = im2col(gout).
-          im2col(g.data() + n * d.cout * d.oh * d.ow, d.cout, d.oh, d.ow, d.kh,
-                 stride, padding, gcol.data());
-          if (need_x) {
-            // gx (Cin x hw) = w(Cin x CoutKK) * gcol(CoutKK x hw).
-            gemm(w.value().data(), gcol.data(), tmp.data(), d.cin, ckk, l);
-            float* gxp = gx.data() + n * d.cin * l;
-            for (int64_t i = 0; i < d.cin * l; ++i) gxp[i] += tmp[i];
-          }
-          if (need_w) {
-            // gw (Cin x CoutKK) += x_flat(Cin x hw) * gcol^T(hw x CoutKK).
-            gemm_a_bt(x.value().data() + n * d.cin * l, gcol.data(), tmp.data(),
-                      d.cin, l, ckk);
-            float* gwp = gw.data();
-            for (int64_t i = 0; i < d.cin * ckk; ++i) gwp[i] += tmp[i];
-          }
+        // Backward mirrors conv2d forward: the logical column matrix is
+        // im2col(gout), supplied implicitly by the conv packers — it is
+        // never materialized.
+        if (need_x) {
+          // gx (Cin x hw) = w (Cin x CoutKK) · im2col(gout_s); tasks are
+          // (sample, column block) pairs writing disjoint gx tiles.
+          Tensor gx = Tensor::zeros(x.value().shape());
+          const PackedA wp(GemmLayout::kNN, w.value().data(), d.cin, ckk);
+          const int64_t blocks = gemm_col_blocks(l);
+          runtime::parallel_for(d.n * blocks, [&](int64_t t0, int64_t t1) {
+            for (int64_t t = t0; t < t1; ++t) {
+              const int64_t s = t / blocks;
+              const int64_t blk = t % blocks;
+              const Im2colPacker bp(g.data() + s * d.cout * d.oh * d.ow, d.oh,
+                                    d.ow, d.kh, stride, padding, d.w);
+              gemm_col_block(wp, bp, l, blk, gx.data() + s * d.cin * l,
+                             GemmEpilogue{});
+            }
+          });
+          x.state()->accumulate(gx);
         }
-        if (need_x) x.state()->accumulate(gx);
-        if (need_w) w.state()->accumulate(gw);
+        if (need_w) {
+          // gw (Cin x CoutKK) = sum_s x_s (Cin x hw) · im2col(gout_s)ᵀ;
+          // parallel over gw column blocks, samples walked serially.
+          Tensor gw = Tensor::zeros(w.value().shape());
+          const int64_t blocks = gemm_col_blocks(ckk);
+          GemmEpilogue acc;
+          acc.accumulate = true;
+          runtime::parallel_for(blocks, [&](int64_t b0, int64_t b1) {
+            for (int64_t blk = b0; blk < b1; ++blk) {
+              for (int64_t s = 0; s < d.n; ++s) {
+                const Im2colTPacker bp(g.data() + s * d.cout * d.oh * d.ow,
+                                       d.oh, d.ow, d.kh, stride, padding, d.w);
+                gemm_col_block(GemmLayout::kNN, x.value().data() + s * d.cin * l,
+                               d.cin, l, bp, ckk, blk, gw.data(), acc);
+              }
+            }
+          });
+          w.state()->accumulate(gw);
+        }
         if (has_bias && b.requires_grad()) {
           Tensor gb = Tensor::zeros({d.cout});
           const int64_t plane = d.oh * d.ow;

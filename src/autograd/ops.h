@@ -67,7 +67,11 @@ Variable batch_norm2d(const Variable& x, const Variable& gamma,
                       Tensor& running_var, bool training, float momentum,
                       float eps);
 
-// -- im2col helpers (exposed for tests and the optics engine) ------------------
+// -- im2col helpers ------------------------------------------------------------
+// The conv ops no longer materialize columns (the GEMM engine gathers them
+// implicitly through BPanelPacker); im2col stays as the reference
+// formulation paired with col2im, which the backward passes still use to
+// scatter input gradients.
 
 /// Unfolds one sample plane [C,H,W] into columns [C*k*k, L] with the given
 /// stride/padding; L = out_h*out_w.
@@ -75,6 +79,7 @@ void im2col(const float* x, int64_t c, int64_t h, int64_t w, int64_t k,
             int64_t stride, int64_t padding, float* col);
 
 /// Adjoint of im2col: scatters columns back into (accumulates onto) x.
+/// Parallel over (disjoint) channels, bitwise deterministic.
 void col2im(const float* col, int64_t c, int64_t h, int64_t w, int64_t k,
             int64_t stride, int64_t padding, float* x);
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "runtime/thread_pool.h"
+#include "tensor/gemm.h"
 
 namespace litho::ag {
 namespace {
@@ -233,31 +234,38 @@ CVariable complex_contract(const CVariable& v, const CVariable& w,
     d.o = ws[1];
   }
 
+  // Forward runs on the packed GEMM engine (ISSUE 4): the per-mode matmul
+  // through the mode-blocked cmode_mix kernel (which preserves the naive
+  // loop's per-element accumulation order exactly), the channel lift as
+  // four real GEMMs (z = Wᵀv split into re/im parts). The clift split
+  // reorders the fp32 sum relative to the seed's interleaved
+  // (vr*wr - vi*wi) loop when I > 1 — DOINN's lift has I == 1, where the
+  // two are bitwise equal. Both kernels are deterministic for any thread
+  // count; backward (below) is unchanged.
   Shape out_shape = {d.b, d.o, vs[2], vs[3]};
   Tensor out_re(out_shape), out_im(out_shape);
-  for (int64_t b = 0; b < d.b; ++b) {
-    for (int64_t o = 0; o < d.o; ++o) {
-      float* zr = out_re.data() + (b * d.o + o) * d.xy;
-      float* zi = out_im.data() + (b * d.o + o) * d.xy;
-      for (int64_t i = 0; i < d.i; ++i) {
-        const float* vr = v.re.value().data() + (b * d.i + i) * d.xy;
-        const float* vi = v.im.value().data() + (b * d.i + i) * d.xy;
-        if (per_mode) {
-          const float* wr = w.re.value().data() + (i * d.o + o) * d.xy;
-          const float* wi = w.im.value().data() + (i * d.o + o) * d.xy;
-          for (int64_t p = 0; p < d.xy; ++p) {
-            zr[p] += vr[p] * wr[p] - vi[p] * wi[p];
-            zi[p] += vr[p] * wi[p] + vi[p] * wr[p];
-          }
-        } else {
-          const float wr = w.re.value()[i * d.o + o];
-          const float wi = w.im.value()[i * d.o + o];
-          for (int64_t p = 0; p < d.xy; ++p) {
-            zr[p] += vr[p] * wr - vi[p] * wi;
-            zi[p] += vr[p] * wi + vi[p] * wr;
-          }
-        }
-      }
+  if (per_mode) {
+    cmode_mix(d.b, d.i, d.o, d.xy, v.re.value().data(), v.im.value().data(),
+              w.re.value().data(), w.im.value().data(), out_re.data(),
+              out_im.data());
+  } else {
+    const float* wr = w.re.value().data();
+    const float* wi = w.im.value().data();
+    GemmEpilogue addto;
+    addto.accumulate = true;
+    GemmEpilogue subfrom;
+    subfrom.accumulate = true;
+    subfrom.subtract = true;
+    for (int64_t b = 0; b < d.b; ++b) {
+      const float* vr = v.re.value().data() + b * d.i * d.xy;
+      const float* vi = v.im.value().data() + b * d.i * d.xy;
+      float* zr = out_re.data() + b * d.o * d.xy;
+      float* zi = out_im.data() + b * d.o * d.xy;
+      // zr = wrᵀ·vr - wiᵀ·vi ; zi = wiᵀ·vr + wrᵀ·vi (A stored I x O).
+      packed_gemm(GemmLayout::kTN, wr, vr, zr, d.o, d.i, d.xy);
+      packed_gemm(GemmLayout::kTN, wi, vi, zr, d.o, d.i, d.xy, subfrom);
+      packed_gemm(GemmLayout::kTN, wi, vr, zi, d.o, d.i, d.xy);
+      packed_gemm(GemmLayout::kTN, wr, vi, zi, d.o, d.i, d.xy, addto);
     }
   }
 

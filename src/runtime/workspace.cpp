@@ -14,29 +14,33 @@ constexpr size_t kMaxPooledBytes = 64u << 20;  // 64 MiB across the free list
 
 }  // namespace
 
-struct WorkspacePool::Impl {
+template <typename T>
+struct BasicWorkspacePool<T>::Impl {
   mutable std::mutex mu;
-  std::vector<std::vector<std::complex<double>>> free_list;
+  std::vector<std::vector<T>> free_list;
   size_t free_bytes = 0;  // sum of free_list capacities, in bytes
   Stats stats;
 };
 
-WorkspacePool::Impl& WorkspacePool::impl() const {
+template <typename T>
+typename BasicWorkspacePool<T>::Impl& BasicWorkspacePool<T>::impl() const {
   // Leaked on purpose: leases held by pool workers may release during
   // static destruction.
   static Impl* i = new Impl;
   return *i;
 }
 
-WorkspacePool& WorkspacePool::instance() {
-  static WorkspacePool pool;
+template <typename T>
+BasicWorkspacePool<T>& BasicWorkspacePool<T>::instance() {
+  static BasicWorkspacePool pool;
   return pool;
 }
 
-std::vector<std::complex<double>> WorkspacePool::acquire(size_t min_size) {
+template <typename T>
+std::vector<T> BasicWorkspacePool<T>::acquire(size_t min_size) {
   const size_t want = next_pow2(std::max<size_t>(min_size, 1));
   Impl& im = impl();
-  std::vector<std::complex<double>> buf;
+  std::vector<T> buf;
   {
     std::lock_guard<std::mutex> lock(im.mu);
     ++im.stats.acquires;
@@ -54,7 +58,7 @@ std::vector<std::complex<double>> WorkspacePool::acquire(size_t min_size) {
     if (best != im.free_list.size()) {
       ++im.stats.reuses;
       buf = std::move(im.free_list[best]);
-      im.free_bytes -= buf.capacity() * sizeof(std::complex<double>);
+      im.free_bytes -= buf.capacity() * sizeof(T);
       im.free_list[best] = std::move(im.free_list.back());
       im.free_list.pop_back();
     }
@@ -67,8 +71,9 @@ std::vector<std::complex<double>> WorkspacePool::acquire(size_t min_size) {
   return buf;
 }
 
-void WorkspacePool::release(std::vector<std::complex<double>> buf) {
-  const size_t bytes = buf.capacity() * sizeof(std::complex<double>);
+template <typename T>
+void BasicWorkspacePool<T>::release(std::vector<T> buf) {
+  const size_t bytes = buf.capacity() * sizeof(T);
   if (bytes == 0) return;
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
@@ -79,24 +84,22 @@ void WorkspacePool::release(std::vector<std::complex<double>> buf) {
   }
 }
 
-WorkspacePool::Stats WorkspacePool::stats() const {
+template <typename T>
+typename BasicWorkspacePool<T>::Stats BasicWorkspacePool<T>::stats() const {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
   return im.stats;
 }
 
-void WorkspacePool::clear() {
+template <typename T>
+void BasicWorkspacePool<T>::clear() {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
   im.free_list.clear();
   im.free_bytes = 0;
 }
 
-Workspace::Workspace(size_t n)
-    : buf_(WorkspacePool::instance().acquire(n)), n_(n) {}
-
-Workspace::~Workspace() {
-  WorkspacePool::instance().release(std::move(buf_));
-}
+template class BasicWorkspacePool<std::complex<double>>;
+template class BasicWorkspacePool<float>;
 
 }  // namespace litho::runtime

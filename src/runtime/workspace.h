@@ -1,14 +1,17 @@
-// Pooled scratch buffers for parallel kernels (ISSUE 2 tentpole, piece 2).
+// Pooled scratch buffers for parallel kernels (ISSUE 2 tentpole, piece 2;
+// generalized to float buffers for the GEMM engine in ISSUE 4).
 //
 // The FFT kernels need per-worker complex scratch (line buffers, Bluestein
-// convolution pads, per-plane staging). Before this pool each parallel_for
-// chunk heap-allocated fresh vectors per batch element; a serving process
-// doing thousands of predictions per second spent measurable time in the
-// allocator and fragmented it. The pool keeps a small mutex-guarded free
-// list of previously used buffers, rounded up to power-of-two capacities so
-// nearby request sizes hit the same buffer class. The list is bounded in
-// both count and total bytes, so plane-sized scratch from a huge tile is
-// dropped instead of staying pinned after the burst that needed it.
+// convolution pads, per-plane staging); the packed GEMM engine needs float
+// scratch (A/B panel packing, conv gradient columns). Before this pool each
+// parallel_for chunk heap-allocated fresh vectors per batch element; a
+// serving process doing thousands of predictions per second spent
+// measurable time in the allocator and fragmented it. The pool keeps a
+// small mutex-guarded free list of previously used buffers, rounded up to
+// power-of-two capacities so nearby request sizes hit the same buffer
+// class. The list is bounded in both count and total bytes, so plane-sized
+// scratch from a huge tile is dropped instead of staying pinned after the
+// burst that needed it.
 //
 // Usage is RAII: a Workspace lease acquires on construction and returns the
 // buffer on destruction. Contents are UNSPECIFIED on acquisition — leases
@@ -30,19 +33,21 @@ inline size_t next_pow2(size_t n) {
   return p;
 }
 
-/// Process-wide recycling pool of std::complex<double> buffers.
-class WorkspacePool {
+/// Process-wide recycling pool of T buffers. One independent pool (free
+/// list, byte budget, stats) exists per element type.
+template <typename T>
+class BasicWorkspacePool {
  public:
-  /// Global instance used by the Workspace lease below.
-  static WorkspacePool& instance();
+  /// Global instance used by the BasicWorkspace lease below.
+  static BasicWorkspacePool& instance();
 
   /// A buffer with size() >= min_size (capacity rounded up to a power of
   /// two). Reuses a pooled buffer when one is large enough, else allocates.
-  std::vector<std::complex<double>> acquire(size_t min_size);
+  std::vector<T> acquire(size_t min_size);
 
   /// Returns a buffer to the free list (dropped if the list is full, by
   /// count or total bytes).
-  void release(std::vector<std::complex<double>> buf);
+  void release(std::vector<T> buf);
 
   struct Stats {
     size_t acquires = 0;  // total acquire() calls
@@ -58,21 +63,36 @@ class WorkspacePool {
   Impl& impl() const;
 };
 
+extern template class BasicWorkspacePool<std::complex<double>>;
+extern template class BasicWorkspacePool<float>;
+
+/// Complex scratch pool used by the FFT kernels.
+using WorkspacePool = BasicWorkspacePool<std::complex<double>>;
+/// Float scratch pool used by the GEMM engine and the conv kernels.
+using FloatWorkspacePool = BasicWorkspacePool<float>;
+
 /// RAII lease of pooled scratch. Not thread-safe itself (one lease per
 /// worker chunk); the underlying pool is.
-class Workspace {
+template <typename T>
+class BasicWorkspace {
  public:
-  explicit Workspace(size_t n);
-  ~Workspace();
-  Workspace(const Workspace&) = delete;
-  Workspace& operator=(const Workspace&) = delete;
+  explicit BasicWorkspace(size_t n)
+      : buf_(BasicWorkspacePool<T>::instance().acquire(n)), n_(n) {}
+  ~BasicWorkspace() {
+    BasicWorkspacePool<T>::instance().release(std::move(buf_));
+  }
+  BasicWorkspace(const BasicWorkspace&) = delete;
+  BasicWorkspace& operator=(const BasicWorkspace&) = delete;
 
-  std::complex<double>* data() { return buf_.data(); }
+  T* data() { return buf_.data(); }
   size_t size() const { return n_; }
 
  private:
-  std::vector<std::complex<double>> buf_;
+  std::vector<T> buf_;
   size_t n_;
 };
+
+using Workspace = BasicWorkspace<std::complex<double>>;
+using FloatWorkspace = BasicWorkspace<float>;
 
 }  // namespace litho::runtime

@@ -1,0 +1,199 @@
+// Packed, register-blocked single-precision GEMM engine (ISSUE 4 tentpole).
+//
+// One micro-kernel serves every dense contraction in the stack: the three
+// layout variants the autograd conv kernels need (NN, AᵀB, ABᵀ), the
+// implicit-im2col convolution fast path (ag::conv2d packs B panels straight
+// from the padded input through the BPanelPacker interface below, so the
+// full Cin·K·K × L column buffer is never materialized), and the Fourier
+// Unit's spectral mixing (clift via split real/imaginary GEMMs,
+// cmode_matmul via the mode-blocked kernel at the bottom of this header).
+//
+// Blocking scheme (see README "GEMM & convolution kernels"):
+//  - C is computed in kMR x kNR register tiles; A and B are repacked into
+//    panel buffers leased from runtime::FloatWorkspacePool so the
+//    micro-kernel reads both operands contiguously.
+//  - K is walked in kKC-sized steps; each step packs one B panel
+//    (kKC x kNC) and streams A panels (kMC x kKC) over it. Partial C tiles
+//    are parked in C itself between K steps, and the micro-kernel resumes
+//    accumulation from the parked value, so per-element arithmetic is one
+//    running fp32 sum in strictly increasing k order.
+//  - N is split into fixed kNC-column blocks; parallel_for distributes
+//    whole blocks, so every C element is produced by exactly one task with
+//    a schedule-independent operation order.
+//
+// Determinism contract: results are bitwise identical for any
+// DOINN_NUM_THREADS (K is never split across tasks, block boundaries do not
+// depend on the thread count) and — because the per-element operation
+// sequence above is exactly the seed's naive loop order — each engine call
+// is bitwise identical to the corresponding pre-engine kernel call for
+// finite inputs. Callers that restructured *around* the engine keep the
+// thread-count guarantee but not seed parity: conv2d forward is bitwise
+// the seed's output end-to-end, while the rewritten conv backward
+// accumulates weight gradients in a different (still deterministic) order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace litho {
+
+/// Operand layouts routed through the packed kernel. A and B are always
+/// given as row-major storage; the layout says which side is transposed.
+enum class GemmLayout {
+  kNN,  // C = A(MxK) · B(KxN)
+  kTN,  // C = Aᵀ · B with A stored (KxM), B stored (KxN)
+  kNT,  // C = A · Bᵀ with A stored (MxK), B stored (NxK)
+};
+
+// Blocking parameters. Fixed constants: they define the packed-panel ABI
+// and the parallel block grid, which must not depend on the machine or the
+// thread count (determinism contract above).
+inline constexpr int64_t kGemmMR = 4;    // micro-tile rows
+inline constexpr int64_t kGemmNR = 8;    // micro-tile columns
+inline constexpr int64_t kGemmKC = 512;  // K step per packed panel
+inline constexpr int64_t kGemmMC = 64;   // A panel rows per pack
+inline constexpr int64_t kGemmNC = 256;  // columns per parallel block
+
+/// Epilogue applied by the micro-kernel on write-back.
+struct GemmEpilogue {
+  /// false: C = A·B (beta = 0). true: C += A·B.
+  bool accumulate = false;
+  /// Negates the product: C -= A·B (requires accumulate). Used by the
+  /// complex split (re·re - im·im) so no temporary difference buffer is
+  /// needed.
+  bool subtract = false;
+  /// Optional per-row bias (length M), added once after the final K step —
+  /// the fused bias epilogue of the convolution forward pass.
+  const float* bias = nullptr;
+};
+
+/// Supplies packed B micro-panels to the engine. pack() must fill @p dst
+/// with ceil((j1-j0)/kGemmNR) consecutive micro-panels for logical B rows
+/// [k0,k1) and columns [j0,j1); each micro-panel is (k1-k0) x kGemmNR
+/// floats, k-major, with columns beyond j1 zero-filled. Implementations
+/// must be thread-safe (const pack() is called from parallel workers).
+class BPanelPacker {
+ public:
+  virtual ~BPanelPacker() = default;
+  virtual void pack(int64_t k0, int64_t k1, int64_t j0, int64_t j1,
+                    float* dst) const = 0;
+
+  /// If logical B rows are already contiguous with a fixed stride, report
+  /// the base pointer of B(0,0) and the row stride and return true: the
+  /// engine then streams B in place instead of packing, which matters for
+  /// short-and-wide GEMMs where each B element is reused only m/kGemmMR
+  /// times (reads are the same values in the same order, so the bitwise
+  /// contract is unaffected). Default: false (gather through pack()).
+  virtual bool direct_view(const float** base, int64_t* row_stride) const {
+    (void)base;
+    (void)row_stride;
+    return false;
+  }
+};
+
+/// Packer over plain strided storage: the B side of all three GemmLayout
+/// variants. transposed=false reads B(k,j) = b[k*ld + j] (B stored KxN);
+/// transposed=true reads B(k,j) = b[j*ld + k] (B stored NxK).
+class StridedBPacker final : public BPanelPacker {
+ public:
+  StridedBPacker(const float* b, int64_t ld, bool transposed)
+      : b_(b), ld_(ld), transposed_(transposed) {}
+  void pack(int64_t k0, int64_t k1, int64_t j0, int64_t j1,
+            float* dst) const override;
+  bool direct_view(const float** base, int64_t* row_stride) const override {
+    if (transposed_) return false;
+    *base = b_;
+    *row_stride = ld_;
+    return true;
+  }
+
+ private:
+  const float* b_;
+  int64_t ld_;
+  bool transposed_;
+};
+
+/// A operand pre-packed into kGemmMR row panels, k-major, padded rows
+/// zero-filled. Pack once, reuse across many GEMMs against the same A —
+/// conv2d packs its weights once per call and shares them across every
+/// (sample, column block) task. The panel buffer is leased from the float
+/// workspace pool and returned on destruction.
+class PackedA {
+ public:
+  PackedA(GemmLayout layout, const float* a, int64_t m, int64_t k);
+  ~PackedA();
+  PackedA(const PackedA&) = delete;
+  PackedA& operator=(const PackedA&) = delete;
+
+  int64_t m() const { return m_; }
+  int64_t k() const { return k_; }
+  /// Panel for rows [mtile*kGemmMR, ...), K range starting at k0:
+  /// (k - k0) x kGemmMR floats, k-major.
+  const float* panel(int64_t mtile, int64_t k0) const {
+    return buf_.data() + mtile * k_ * kGemmMR + k0 * kGemmMR;
+  }
+
+ private:
+  std::vector<float> buf_;
+  int64_t m_, k_;
+};
+
+/// Number of fixed-size column blocks the engine splits N into. The
+/// (block index -> column range) map is stable: callers that schedule their
+/// own parallelism (conv2d fans out over samples x blocks) enumerate
+/// [0, gemm_col_blocks(n)) and call gemm_col_block per index.
+int64_t gemm_col_blocks(int64_t n);
+
+/// Runs one column block of C = op(A)·op(B) with a pre-packed A. @p c is
+/// the full M x N output (row stride n); only columns of @p block are
+/// written. Thread-safe for distinct blocks.
+void gemm_col_block(const PackedA& a, const BPanelPacker& b, int64_t n,
+                    int64_t block, float* c, const GemmEpilogue& ep = {});
+
+/// Same, packing A panels on the fly from raw storage (per K step, into
+/// pooled scratch) — for A operands too large or short-lived to pre-pack,
+/// e.g. the Cout x L cotangent in the conv2d weight gradient.
+void gemm_col_block(GemmLayout layout, const float* a, int64_t m, int64_t k,
+                    const BPanelPacker& b, int64_t n, int64_t block, float* c,
+                    const GemmEpilogue& ep = {});
+
+/// Full GEMM: packs A once, then distributes column blocks over
+/// runtime::parallel_for. C(MxN) = op(A)·op(B) per @p layout and @p ep.
+void packed_gemm(GemmLayout layout, const float* a, const float* b, float* c,
+                 int64_t m, int64_t k, int64_t n, const GemmEpilogue& ep = {});
+
+// -- Legacy-compatible entry points -------------------------------------------
+// The seed's three naive kernels, now thin wrappers over the packed engine
+// (same signatures, bitwise-identical results for finite inputs).
+
+/// C = A(MxK) * B(KxN), row-major; beta=0 semantics (C is overwritten).
+/// Sizes are explicit so callers can GEMM into reshaped views.
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n);
+
+/// C += A(MxK) * B(KxN).
+void gemm_accumulate(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n);
+
+/// C = A^T(KxM stored as MxK) * B(KxN)  -> (M x N) where a is (K x M).
+void gemm_at_b(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n);
+
+/// C = A(MxK) * B^T (N x K)  -> (M x N).
+void gemm_a_bt(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n);
+
+// -- Spectral mixing kernel ---------------------------------------------------
+
+/// Per-mode complex contraction (torch.einsum("bixy,ioxy->boxy")):
+///   z[b,o,p] = sum_i v[b,i,p] * w[i,o,p]   (complex, split storage)
+/// for b in [0,bsz), o in [0,co), i in [0,ci), p in [0,xy). Outputs are
+/// overwritten. The per-(b,o) planes are distributed over parallel_for;
+/// within a plane, i is blocked for register reuse but accumulated in
+/// strictly increasing order into one running sum per element, so results
+/// are bitwise identical to the naive serial loop and across thread counts.
+void cmode_mix(int64_t bsz, int64_t ci, int64_t co, int64_t xy,
+               const float* vr, const float* vi, const float* wr,
+               const float* wi, float* zr, float* zi);
+
+}  // namespace litho

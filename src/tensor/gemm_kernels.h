@@ -1,0 +1,61 @@
+// Internal micro-kernel dispatch table for the packed GEMM engine.
+//
+// The register micro-kernel is the only part of the engine whose speed
+// depends on vector width, so its one templated body
+// (gemm_kernels_body.inc) is compiled twice: once at the portable baseline
+// (SSE2 on x86-64) and once with AVX2 enabled — but NOT FMA. That matters:
+// 8-wide vmulps/vaddps round each lane exactly like their scalar/SSE
+// counterparts, so the AVX2 table produces bitwise-identical results and
+// only changes throughput; a fused multiply-add would round differently
+// and break the engine's "bitwise identical to the seed kernels" contract.
+// micro_kernels() picks the widest table the running CPU supports, once.
+#pragma once
+
+#include <cstdint>
+
+namespace litho::detail {
+
+struct MicroKernelTable {
+  // Full MR x NR tile: C directly read/written with row stride ldc.
+  using Fn = void (*)(int64_t klen, const float* ap, const float* bp,
+                      int64_t bstride, float* c, int64_t ldc, bool init,
+                      const float* bias);
+  // Ragged tile: only the mr x nr valid sub-block of C is touched.
+  using EdgeFn = void (*)(int64_t klen, const float* ap, const float* bp,
+                          int64_t bstride, float* c, int64_t ldc, int64_t mr,
+                          int64_t nr, bool init, const float* bias);
+  // Paired tile: MR x 2*NR from two adjacent B micro-panels — wide-ISA
+  // tables only (the register tile would spill at baseline width). Each
+  // half accumulates independently in k order, so results stay bitwise
+  // identical to two single-tile calls.
+  using PairFn = void (*)(int64_t klen, const float* ap, const float* b0,
+                          const float* b1, int64_t bstride, float* c,
+                          int64_t ldc, bool init, const float* bias);
+  // Fused pack+compute: like PairFn, but B is read from its strided source
+  // and each loaded row is also stored to the packed panels pack0/pack1 for
+  // the remaining row tiles — the separate packing pass (and its second
+  // walk of B) disappears.
+  using PairPackFn = void (*)(int64_t klen, const float* ap, const float* b0,
+                              const float* b1, int64_t bstride, float* pack0,
+                              float* pack1, float* c, int64_t ldc, bool init,
+                              const float* bias);
+  Fn add = nullptr;        // C (+)= A·B
+  Fn sub = nullptr;        // C -= A·B
+  EdgeFn add_edge = nullptr;
+  EdgeFn sub_edge = nullptr;
+  PairFn add_pair = nullptr;
+  PairFn sub_pair = nullptr;
+  PairPackFn add_pair_pack = nullptr;
+};
+
+/// Baseline-ISA instantiation (always available).
+const MicroKernelTable& baseline_kernels();
+
+/// AVX2 (no FMA) instantiation; falls back to the baseline body when the
+/// toolchain/target can't build AVX2. Only called after a cpuid check.
+const MicroKernelTable& avx2_kernels();
+
+/// The table for this machine, resolved once per process.
+const MicroKernelTable& micro_kernels();
+
+}  // namespace litho::detail

@@ -1,0 +1,18 @@
+// AVX2 instantiation of the GEMM micro-kernel. CMake compiles this TU with
+// -mavx2 (and ONLY -mavx2 — no FMA, which would change rounding and break
+// the engine's bitwise contract) on x86-64 GNU/Clang toolchains; elsewhere
+// it is built at the baseline ISA and simply duplicates that table. The
+// dispatcher calls avx2_kernels() only after __builtin_cpu_supports("avx2")
+// says the instructions are safe to execute.
+#define DOINN_KERNEL_NS avx2
+#include "tensor/gemm_kernels_body.inc"
+#undef DOINN_KERNEL_NS
+
+namespace litho::detail {
+
+const MicroKernelTable& avx2_kernels() {
+  static const MicroKernelTable t = avx2::make_table();
+  return t;
+}
+
+}  // namespace litho::detail

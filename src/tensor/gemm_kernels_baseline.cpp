@@ -1,0 +1,29 @@
+// Baseline-ISA instantiation of the GEMM micro-kernel plus the runtime
+// dispatcher (see gemm_kernels.h).
+#define DOINN_KERNEL_NS baseline
+#include "tensor/gemm_kernels_body.inc"
+#undef DOINN_KERNEL_NS
+
+namespace litho::detail {
+namespace {
+
+const MicroKernelTable& resolve() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return avx2_kernels();
+#endif
+  return baseline_kernels();
+}
+
+}  // namespace
+
+const MicroKernelTable& baseline_kernels() {
+  static const MicroKernelTable t = baseline::make_table();
+  return t;
+}
+
+const MicroKernelTable& micro_kernels() {
+  static const MicroKernelTable& t = resolve();
+  return t;
+}
+
+}  // namespace litho::detail

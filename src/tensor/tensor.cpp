@@ -302,67 +302,4 @@ float Tensor::abs_max() const {
   return m;
 }
 
-namespace {
-constexpr int64_t kBlock = 64;
-}  // namespace
-
-void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
-          int64_t n) {
-  std::fill(c, c + m * n, 0.f);
-  gemm_accumulate(a, b, c, m, k, n);
-}
-
-void gemm_accumulate(const float* a, const float* b, float* c, int64_t m,
-                     int64_t k, int64_t n) {
-  // i-k-j loop order with blocking: inner loop is a contiguous AXPY over B/C
-  // rows, which the compiler vectorizes.
-  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    const int64_t i1 = std::min(i0 + kBlock, m);
-    for (int64_t k0 = 0; k0 < k; k0 += kBlock) {
-      const int64_t k1 = std::min(k0 + kBlock, k);
-      for (int64_t i = i0; i < i1; ++i) {
-        float* ci = c + i * n;
-        for (int64_t kk = k0; kk < k1; ++kk) {
-          const float aik = a[i * k + kk];
-          if (aik == 0.f) continue;
-          const float* bk = b + kk * n;
-          for (int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
-        }
-      }
-    }
-  }
-}
-
-void gemm_at_b(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n) {
-  // C(MxN) = A^T * B where A is stored (K x M).
-  std::fill(c, c + m * n, 0.f);
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* ak = a + kk * m;
-    const float* bk = b + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float aik = ak[i];
-      if (aik == 0.f) continue;
-      float* ci = c + i * n;
-      for (int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
-    }
-  }
-}
-
-void gemm_a_bt(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n) {
-  // C(MxN) = A * B^T where B is stored (N x K); dot products over contiguous
-  // rows of both operands.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* ai = a + i * k;
-    float* ci = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* bj = b + j * k;
-      float acc = 0.f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
-      ci[j] = acc;
-    }
-  }
-}
-
 }  // namespace litho

@@ -120,21 +120,9 @@ class Tensor {
   int64_t numel_ = 0;
 };
 
-/// C = A(MxK) * B(KxN), row-major blocked GEMM; beta=0 semantics (C is
-/// overwritten). Sizes are explicit so callers can GEMM into reshaped views.
-void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
-          int64_t n);
-
-/// C += A(MxK) * B(KxN).
-void gemm_accumulate(const float* a, const float* b, float* c, int64_t m,
-                     int64_t k, int64_t n);
-
-/// C = A^T(KxM stored as MxK) * B(KxN)  -> (M x N) where a is (K x M).
-void gemm_at_b(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n);
-
-/// C = A(MxK) * B^T (N x K)  -> (M x N).
-void gemm_a_bt(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n);
-
 }  // namespace litho
+
+// The dense matrix kernels (gemm, gemm_accumulate, gemm_at_b, gemm_a_bt)
+// historically declared here now live in the packed GEMM engine; included
+// so existing call sites keep compiling against tensor.h alone.
+#include "tensor/gemm.h"
