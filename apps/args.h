@@ -52,14 +52,55 @@ class Args {
     return it != values_.end() ? it->second : fallback;
   }
 
+  /// Integer flag with strict parsing: the whole value must be a decimal
+  /// integer ("12x", "abc", "" and out-of-range values all throw
+  /// std::runtime_error naming the flag), so a typo'd `--max-batch 8q`
+  /// fails loudly instead of silently truncating.
   int64_t get_int(const std::string& key, int64_t fallback) const {
     const auto it = values_.find(key);
-    return it != values_.end() ? std::stoll(it->second) : fallback;
+    if (it == values_.end()) return fallback;
+    size_t consumed = 0;
+    int64_t parsed = 0;
+    try {
+      parsed = std::stoll(it->second, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed == 0 || consumed != it->second.size()) {
+      throw std::runtime_error("flag --" + key + " expects an integer, got '" +
+                               it->second + "'");
+    }
+    return parsed;
   }
 
+  /// get_int plus a positivity check — for counts and capacities where 0 or
+  /// a negative value can only be a mistake.
+  int64_t get_positive_int(const std::string& key, int64_t fallback) const {
+    const int64_t v = get_int(key, fallback);
+    if (v <= 0) {
+      throw std::runtime_error("flag --" + key + " expects a positive value, got " +
+                               std::to_string(v));
+    }
+    return v;
+  }
+
+  /// Floating-point flag with the same strict full-value parsing as
+  /// get_int.
   double get_double(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it != values_.end() ? std::stod(it->second) : fallback;
+    if (it == values_.end()) return fallback;
+    size_t consumed = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(it->second, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed == 0 || consumed != it->second.size()) {
+      throw std::runtime_error("flag --" + key + " expects a number, got '" +
+                               it->second + "'");
+    }
+    return parsed;
   }
 
   bool get_bool(const std::string& key) const {

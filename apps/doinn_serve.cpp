@@ -1,8 +1,10 @@
 // doinn_serve — long-lived serving front end for the DOINN inference
-// runtime (ISSUE 1 tentpole, piece 4).
+// runtime, built on the dynamic-batching request scheduler.
 //
 //   doinn_serve --weights weights.bin --manifest requests.txt
-//               [--results results.txt] [--threads N] [--poll-ms 50] [--once]
+//               [--results results.txt] [--threads N] [--poll-ms 50]
+//               [--max-batch 8] [--max-delay-us 2000] [--queue-cap 64]
+//               [--once]
 //
 // The server watches a request manifest: a text file with one request per
 // line, `<mask_path> <out_path>` (masks are 8-bit PGM, outputs are written
@@ -11,11 +13,18 @@
 // producer can stream work in. Only newline-terminated lines are consumed
 // (a line still being appended waits for the next poll).
 //
-// Concurrency model: each request runs on its own dispatcher thread
-// (throttled to the pool size), NOT on a pool worker — dispatcher threads
-// block freely while the engine's pool executes the request's parallel
-// kernels, so up to N requests overlap AND a lone large-tile request still
-// saturates the pool through the clip fan-out.
+// Concurrency model: the main thread reads masks and submits them to a
+// runtime::Scheduler, whose dispatcher coalesces queued tile-sized masks
+// into single predict_batch calls (flushing on --max-batch or the
+// --max-delay-us deadline) and routes oversized masks to the parallel
+// large-tile path. Results are bitwise identical to per-request predict
+// regardless of how requests were coalesced. A writer thread consumes
+// completed futures in submission order and appends to the results file.
+//
+// Backpressure: the scheduler's queue is bounded at --queue-cap requests;
+// when a burst fills it, submission (and therefore manifest consumption)
+// blocks until the dispatcher drains, so memory stays bounded no matter how
+// fast the producer appends.
 //
 // Control:
 //   - a line consisting of `__shutdown__` drains in-flight work and stops;
@@ -23,15 +32,19 @@
 //     (batch mode, no watching).
 //
 // Each completed request appends `<mask> <out> <status> <latency_ms>` to
-// the results file (default: manifest path + ".results"). On shutdown the
-// server prints request count, error count, p50/p99 latency and throughput.
+// the results file (latency covers read + queueing + inference + write).
+// On shutdown the server prints request count, error count, p50/p99
+// latency, throughput, and the scheduler's batching stats.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -40,6 +53,8 @@
 #include "args.h"
 #include "io/io.h"
 #include "runtime/engine.h"
+#include "runtime/percentile.h"
+#include "runtime/scheduler.h"
 
 using namespace litho;
 
@@ -51,86 +66,129 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Nearest-rank percentile of an unsorted latency sample; q in [0, 1].
-double percentile(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const size_t rank = static_cast<size_t>(
-      std::max<long long>(0, static_cast<long long>(
-                                 std::ceil(q * static_cast<double>(v.size()))) -
-                                 1));
-  return v[std::min(rank, v.size() - 1)];
-}
-
-struct ServeStats {
-  std::mutex mutex;
-  std::vector<double> latencies_ms;
-  int64_t errors = 0;
+/// A submitted request waiting for its contour: the future resolved by the
+/// scheduler plus everything the writer needs to finish the request.
+struct PendingRequest {
+  std::future<Tensor> contour;
+  std::string mask_path;
+  std::string out_path;
+  Clock::time_point t0;
 };
 
-/// Caps concurrent request threads and lets the main loop drain them.
-class RequestGate {
+/// Bounded FIFO hand-off from the submitting main thread to the writer
+/// thread. Completed futures are consumed in submission order, which
+/// matches the scheduler's dispatch order closely enough that the writer
+/// rarely blocks. push() blocking on a full queue extends the scheduler's
+/// backpressure through the egress stage: resolved contours can't pile up
+/// faster than the writer persists them, so server memory stays bounded
+/// even when the output filesystem is the bottleneck.
+class CompletionQueue {
  public:
-  explicit RequestGate(int limit) : limit_(limit) {}
-  void acquire() {
+  explicit CompletionQueue(size_t cap) : cap_(cap) {}
+  void push(PendingRequest req) {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return active_ < limit_; });
-    ++active_;
+    space_cv_.wait(lock, [this] { return items_.size() < cap_; });
+    items_.push_back(std::move(req));
+    cv_.notify_one();
   }
-  void release() {
-    // Notify under the lock: after unlock the (detached) caller touches the
-    // gate no further, so main can destroy it as soon as wait_all returns.
+  /// Signals that no further push() will happen; pop() returns false once
+  /// the queue is empty.
+  void close() {
     std::lock_guard<std::mutex> lock(mutex_);
-    --active_;
+    closed_ = true;
     cv_.notify_all();
   }
-  void wait_all() {
+  bool pop(PendingRequest& out) {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return active_ == 0; });
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return true;
   }
 
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
-  int active_ = 0;
-  int limit_;
+  std::condition_variable space_cv_;
+  std::deque<PendingRequest> items_;
+  const size_t cap_;
+  bool closed_ = false;
 };
 
-void process_request(runtime::InferenceEngine& engine, const std::string& mask_path,
-                     const std::string& out_path, const std::string& results_path,
-                     ServeStats& stats) {
-  const auto t0 = Clock::now();
-  bool ok = true;
-  std::string error;
-  try {
-    const Tensor mask = io::read_pgm(mask_path);
-    const Tensor contour = engine.predict(mask);
-    io::write_pgm(out_path, contour);
-  } catch (const std::exception& e) {
-    ok = false;
-    error = e.what();
+struct ServeStats {
+  std::mutex mutex;
+  std::vector<double> latencies_ms;  // bounded reservoir sample
+  int64_t served = 0;
+  int64_t errors = 0;
+  std::mt19937_64 reservoir_rng{0x5eedfULL};
+
+  /// Records an end-to-end latency into a bounded reservoir (Vitter's
+  /// algorithm R), so a long-lived server keeps O(1) stats memory. Caller
+  /// holds `mutex`.
+  void record_latency_locked(double ms) {
+    constexpr size_t kReservoir = 4096;
+    ++served;
+    if (latencies_ms.size() < kReservoir) {
+      latencies_ms.push_back(ms);
+    } else {
+      const auto slot = static_cast<size_t>(
+          reservoir_rng() % static_cast<uint64_t>(served));
+      if (slot < kReservoir) latencies_ms[slot] = ms;
+    }
   }
-  const double ms = ms_between(t0, Clock::now());
+};
+
+void record_error(ServeStats& stats, const std::string& results_path,
+                  const std::string& mask_path, const std::string& out_path,
+                  const std::string& error, double ms) {
   std::lock_guard<std::mutex> lock(stats.mutex);
-  if (ok) {
-    stats.latencies_ms.push_back(ms);
-  } else {
-    ++stats.errors;
-    std::fprintf(stderr, "request %s failed: %s\n", mask_path.c_str(),
-                 error.c_str());
-  }
+  ++stats.errors;
+  std::fprintf(stderr, "request %s failed: %s\n", mask_path.c_str(),
+               error.c_str());
   std::ofstream results(results_path, std::ios::app);
-  results << mask_path << ' ' << out_path << ' ' << (ok ? "ok" : "error")
-          << ' ' << ms << '\n';
+  results << mask_path << ' ' << out_path << " error " << ms << '\n';
+}
+
+/// Writer loop: finishes requests in submission order — waits for the
+/// contour, writes the output PGM, appends the results line, records the
+/// end-to-end latency.
+void writer_loop(CompletionQueue& completions, const std::string& results_path,
+                 ServeStats& stats) {
+  PendingRequest req;
+  while (completions.pop(req)) {
+    bool ok = true;
+    std::string error;
+    try {
+      const Tensor contour = req.contour.get();
+      io::write_pgm(req.out_path, contour);
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    }
+    const double ms = ms_between(req.t0, Clock::now());
+    if (!ok) {
+      record_error(stats, results_path, req.mask_path, req.out_path, error, ms);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(stats.mutex);
+    stats.record_latency_locked(ms);
+    std::ofstream results(results_path, std::ios::app);
+    results << req.mask_path << ' ' << req.out_path << " ok " << ms << '\n';
+  }
 }
 
 void usage() {
   std::printf(
       "usage: doinn_serve --weights weights.bin --manifest requests.txt\n"
       "                   [--results out.txt] [--threads N] [--poll-ms 50]\n"
-      "                   [--once]\n"
+      "                   [--max-batch 8] [--max-delay-us 2000]\n"
+      "                   [--queue-cap 64] [--once]\n"
       "manifest lines: <mask.pgm> <contour_out.pgm>; `__shutdown__` stops\n"
-      "the server. See the header of apps/doinn_serve.cpp for details.\n");
+      "the server. --max-batch/--max-delay-us tune request coalescing;\n"
+      "--queue-cap bounds the request queue (submission blocks when full).\n"
+      "See the header of apps/doinn_serve.cpp for details.\n");
 }
 
 }  // namespace
@@ -149,22 +207,48 @@ int main(int argc, char** argv) {
     const bool once = args.get_bool("once");
     const long poll_ms = std::max<long>(1, args.get_int("poll-ms", 50));
 
+    runtime::SchedulerOptions sched_opts;
+    sched_opts.max_batch = static_cast<int>(args.get_positive_int("max-batch", 8));
+    sched_opts.max_delay_us = args.get_int("max-delay-us", 2000);
+    sched_opts.queue_cap = static_cast<int>(args.get_positive_int(
+        "queue-cap", std::max(64, 8 * sched_opts.max_batch)));
+    if (sched_opts.max_delay_us < 0) {
+      std::fprintf(stderr, "error: --max-delay-us must be >= 0\n");
+      return 2;
+    }
+    if (sched_opts.queue_cap < sched_opts.max_batch) {
+      std::fprintf(stderr, "error: --queue-cap must be >= --max-batch\n");
+      return 2;
+    }
+
     runtime::EngineOptions opts;
     opts.num_threads = static_cast<int>(args.get_int("threads", 0));
     runtime::InferenceEngine engine(args.get("weights"), opts);
-    std::printf("doinn_serve: %d threads, %lld px tile model, watching %s\n",
-                engine.pool().size(),
-                static_cast<long long>(engine.config().tile),
-                manifest_path.c_str());
+    runtime::Scheduler scheduler(engine, sched_opts);
+    std::printf(
+        "doinn_serve: %d threads, %lld px tile model, batch<=%d within "
+        "%lld us, queue cap %d, watching %s\n",
+        engine.pool().size(), static_cast<long long>(engine.config().tile),
+        sched_opts.max_batch, static_cast<long long>(sched_opts.max_delay_us),
+        sched_opts.queue_cap, manifest_path.c_str());
     std::fflush(stdout);
 
     ServeStats stats;
-    RequestGate gate(engine.pool().size());
+    CompletionQueue completions(static_cast<size_t>(sched_opts.queue_cap));
+    std::thread writer(
+        [&completions, &results_path, &stats] {
+          writer_loop(completions, results_path, stats);
+        });
+
     std::streamoff consumed_bytes = 0;  // offset just past the last
                                         // newline-terminated line consumed
     size_t consumed_lines = 0;
     bool shutdown = false;
     const auto t_start = Clock::now();
+    // From here until writer.join() an escaping exception must still drain
+    // the scheduler and join the writer — destroying a joinable std::thread
+    // calls std::terminate, turning a reportable error into an abort.
+    try {
     while (!shutdown) {
       std::vector<std::pair<std::string, std::string>> fresh;
       {
@@ -207,28 +291,57 @@ int main(int argc, char** argv) {
         }
       }
       for (auto& req : fresh) {
-        gate.acquire();  // backpressure: at most pool-size requests in flight
-        std::thread([&engine, &results_path, &stats, &gate,
-                     mask_path = req.first, out_path = req.second] {
-          process_request(engine, mask_path, out_path, results_path, stats);
-          gate.release();
-        }).detach();
+        const auto t0 = Clock::now();
+        try {
+          // submit() blocks while the scheduler queue is full, which
+          // propagates backpressure all the way to manifest consumption.
+          PendingRequest pending;
+          pending.contour = scheduler.submit(io::read_pgm(req.first));
+          pending.mask_path = req.first;
+          pending.out_path = req.second;
+          pending.t0 = t0;
+          completions.push(std::move(pending));
+        } catch (const std::exception& e) {
+          record_error(stats, results_path, req.first, req.second, e.what(),
+                       ms_between(t0, Clock::now()));
+        }
       }
       if (shutdown || once) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
     }
-    gate.wait_all();
+    } catch (...) {
+      scheduler.shutdown();
+      completions.close();
+      writer.join();
+      throw;
+    }
+    scheduler.shutdown();  // drain: every pending future resolves
+    completions.close();
+    writer.join();
     const double total_s = ms_between(t_start, Clock::now()) / 1e3;
 
+    const runtime::SchedulerStats sched = scheduler.stats();
     std::lock_guard<std::mutex> lock(stats.mutex);
-    const size_t n = stats.latencies_ms.size();
-    std::printf("served %zu requests (%lld errors) in %.2f s\n", n,
+    const int64_t n = stats.served;
+    std::printf("served %lld requests (%lld errors) in %.2f s\n",
+                static_cast<long long>(n),
                 static_cast<long long>(stats.errors), total_s);
     if (n > 0) {
       std::printf("latency p50 %.1f ms, p99 %.1f ms; throughput %.2f req/s\n",
-                  percentile(stats.latencies_ms, 0.50),
-                  percentile(stats.latencies_ms, 0.99),
+                  runtime::nearest_rank_percentile(stats.latencies_ms, 0.50),
+                  runtime::nearest_rank_percentile(stats.latencies_ms, 0.99),
                   static_cast<double>(n) / std::max(total_s, 1e-9));
+    }
+    if (sched.batches + sched.large > 0) {
+      std::printf(
+          "scheduler: %lld batches (%.2f avg size), %lld large-tile "
+          "dispatches, max queue depth %lld\n",
+          static_cast<long long>(sched.batches),
+          sched.batches > 0 ? static_cast<double>(sched.batched_requests) /
+                                  static_cast<double>(sched.batches)
+                            : 0.0,
+          static_cast<long long>(sched.large),
+          static_cast<long long>(sched.max_queue_depth));
     }
     return stats.errors == 0 ? 0 : 1;
   } catch (const std::exception& e) {

@@ -1,4 +1,4 @@
-// FFT micro-benchmark (ISSUE 2): plan-cache + two-for-one real fast path vs
+// FFT micro-benchmark: plan-cache + two-for-one real fast path vs
 // the pre-PR kernels, which are reproduced verbatim below under `legacy` so
 // the comparison stays honest as the library moves on. The headline number
 // is batched 512x512 rfft2+irfft2 (the DOINN Fourier Unit shape); the table
@@ -210,13 +210,7 @@ namespace {
 using litho::Tensor;
 using litho::fft::CTensor;
 
-double max_abs_diff(const Tensor& a, const Tensor& b) {
-  double m = 0.0;
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    m = std::max(m, static_cast<double>(std::abs(a[i] - b[i])));
-  }
-  return m;
-}
+using litho::bench::max_abs_diff;
 
 template <typename F>
 double best_seconds(int reps, F&& fn) {

@@ -1,4 +1,4 @@
-// GEMM micro-benchmark (ISSUE 4): packed tiled engine + implicit-im2col
+// GEMM micro-benchmark: packed tiled engine + implicit-im2col
 // convolution vs the pre-PR kernels, which are reproduced verbatim below
 // under `legacy` so the comparison stays honest as the library moves on.
 // The headline number is the batched conv-shaped GEMM (Cout x CKK x L of
@@ -181,13 +181,7 @@ struct Row {
 
 std::vector<Row> g_rows;
 
-double max_abs_diff(const Tensor& a, const Tensor& b) {
-  double m = 0.0;
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    m = std::max(m, static_cast<double>(std::abs(a[i] - b[i])));
-  }
-  return m;
-}
+using litho::bench::max_abs_diff;
 
 template <typename F>
 double best_seconds(int reps, F&& fn) {

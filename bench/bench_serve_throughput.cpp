@@ -1,26 +1,57 @@
-// Serving throughput of the parallel inference runtime (ISSUE 1): masks/sec
-// for the batched no-grad path (InferenceEngine::predict_batch) and the
-// parallel large-tile path (predict_large) at 1, 2 and N threads, where N is
-// ThreadPool::default_num_threads() (DOINN_NUM_THREADS env var, else
-// hardware concurrency).
+// Serving throughput: dynamic-batching scheduler vs the serial request
+// loop, plus the engine's thread-scaling curve.
 //
-// Output is one JSON document on stdout so CI and scripts can track the
-// scaling curve; the acceptance target is >= 2x large-tile speedup at
-// 4 threads on hardware that has them.
+//   bench_serve_throughput [--quick]
+//
+// The headline comparison runs 8 closed-loop clients (each submits one
+// request, waits for the contour, submits the next) against the same
+// InferenceEngine two ways:
+//
+//   serial    — every client calls engine.predict() directly, one forward
+//               pass per request: the pre-scheduler doinn_serve model.
+//   scheduled — every client goes through runtime::Scheduler, whose
+//               dispatcher coalesces concurrent requests into
+//               predict_batch calls.
+//
+// Both modes process the same masks; the benchmark verifies the scheduled
+// results are bitwise identical to the serial ones before timing counts.
+//
+// Pass/fail: in full mode with >= 4 hardware threads the batched forward
+// amortizes across the pool and scheduled throughput must be >= 2x serial.
+// On smaller machines (1-2 cores) total compute is the bound and batching
+// can only break even, so the gate is "no regression" (>= 0.85x, leaving
+// margin for timer noise). --quick (the CI smoke mode, which also shrinks
+// the model and request count) always uses the no-regression gate: shared
+// runners have noisy, heterogeneous CPU budgets, and the smoke job's
+// contract is "batching never loses throughput", not a speedup target.
+// The measured ratio and the applied gate are both recorded in
+// BENCH_serve.json for cross-PR tracking.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "runtime/engine.h"
+#include "runtime/scheduler.h"
 
 using namespace litho;
 
 namespace {
 
-core::DoinnConfig bench_config() {
+constexpr int kConcurrency = 8;
+
+core::DoinnConfig bench_config(bool quick) {
   core::DoinnConfig cfg = core::DoinnConfig::small();  // 128 px tile
+  if (quick) {
+    cfg.tile = 64;
+    cfg.modes = 4;
+    cfg.gp_channels = 4;
+  }
   return cfg;
 }
 
@@ -31,78 +62,182 @@ Tensor random_mask(int64_t side, uint32_t seed) {
   return mask;
 }
 
-/// Best-of-3 masks/sec for @p fn processing @p masks_per_run masks.
-template <typename F>
-double masks_per_second(int64_t masks_per_run, F&& fn) {
-  fn();  // warm-up
-  double best = 1e30;
-  for (int i = 0; i < 3; ++i) best = std::min(best, bench::seconds(fn));
-  return static_cast<double>(masks_per_run) / best;
+using bench::max_abs_diff;
+
+/// Runs kConcurrency closed-loop clients over masks[0..R); each client
+/// claims the next unprocessed index, runs process(i), and stores the
+/// result. Returns requests per second.
+template <typename Process>
+double closed_loop(const std::vector<Tensor>& masks,
+                   std::vector<Tensor>& results, Process&& process) {
+  std::atomic<size_t> next{0};
+  const double secs = bench::seconds([&] {
+    std::vector<std::thread> clients;
+    clients.reserve(kConcurrency);
+    for (int c = 0; c < kConcurrency; ++c) {
+      clients.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= masks.size()) return;
+          results[i] = process(i);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  });
+  return static_cast<double>(masks.size()) / secs;
 }
 
 }  // namespace
 
-int main() {
-  const core::DoinnConfig cfg = bench_config();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const core::DoinnConfig cfg = bench_config(quick);
   const int hw_threads = runtime::ThreadPool::default_num_threads();
-  std::vector<int> thread_counts = {1, 2, hw_threads};
-  thread_counts.erase(
-      std::unique(thread_counts.begin(), thread_counts.end()),
-      thread_counts.end());
-  if (thread_counts.size() > 1 &&
-      thread_counts.back() < thread_counts[thread_counts.size() - 2]) {
-    thread_counts.pop_back();  // hw_threads == 1: already measured
+  const size_t requests = quick ? 32 : 64;
+
+  std::vector<Tensor> masks;
+  for (uint32_t s = 0; s < requests; ++s) {
+    masks.push_back(random_mask(cfg.tile, s));
   }
 
-  constexpr int64_t kBatch = 8;
-  std::vector<Tensor> batch;
-  for (uint32_t s = 0; s < kBatch; ++s) {
-    batch.push_back(random_mask(cfg.tile, s));
-  }
-  const Tensor large = random_mask(2 * cfg.tile, 99);
+  runtime::InferenceEngine engine(cfg, /*seed=*/42, runtime::EngineOptions{});
+  (void)engine.predict(masks[0]);  // warm plan cache + workspace pools
 
-  struct Row {
+  // -- serial: one forward per request, clients call the engine directly.
+  std::vector<Tensor> serial_results(requests);
+  const double serial_rps = closed_loop(
+      masks, serial_results, [&](size_t i) { return engine.predict(masks[i]); });
+  std::fprintf(stderr, "serial: %.2f req/s\n", serial_rps);
+
+  // -- scheduled: same clients, coalesced through the dispatcher.
+  runtime::SchedulerOptions sched_opts;
+  sched_opts.max_batch = kConcurrency;
+  sched_opts.max_delay_us = 2000;
+  sched_opts.queue_cap = 4 * kConcurrency;
+  runtime::Scheduler scheduler(engine, sched_opts);
+  std::vector<Tensor> scheduled_results(requests);
+  const double scheduled_rps =
+      closed_loop(masks, scheduled_results,
+                  [&](size_t i) { return scheduler.submit(masks[i]).get(); });
+  const runtime::SchedulerStats sched = scheduler.stats();
+  scheduler.shutdown();
+  std::fprintf(stderr, "scheduled: %.2f req/s (%lld batches, %.2f avg size)\n",
+               scheduled_rps, static_cast<long long>(sched.batches),
+               sched.batches > 0
+                   ? static_cast<double>(sched.batched_requests) /
+                         static_cast<double>(sched.batches)
+                   : 0.0);
+
+  // Bitwise identity: coalescing must not change a single bit.
+  bool identical = true;
+  for (size_t i = 0; i < requests; ++i) {
+    if (max_abs_diff(serial_results[i], scheduled_results[i]) != 0.f) {
+      std::fprintf(stderr, "FAIL: request %zu differs between serial and "
+                           "scheduled\n", i);
+      identical = false;
+    }
+  }
+
+  // -- thread-scaling curve for the two engine entry points (full mode).
+  struct ScaleRow {
     std::string mode;
     int threads;
     double masks_per_s;
   };
-  std::vector<Row> rows;
-  for (int threads : thread_counts) {
-    runtime::InferenceEngine engine(cfg, /*seed=*/42,
-                                    runtime::EngineOptions{threads});
-    rows.push_back({"predict_batch", threads,
-                    masks_per_second(kBatch, [&] {
-                      (void)engine.predict_batch(batch);
-                    })});
-    rows.push_back({"predict_large", threads, masks_per_second(1, [&] {
-                      (void)engine.predict_large(large);
-                    })});
-    std::fprintf(stderr, "measured %d thread(s)\n", threads);
+  std::vector<ScaleRow> scale_rows;
+  if (!quick) {
+    std::vector<int> thread_counts = {1, 2, hw_threads};
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+    std::vector<Tensor> batch(masks.begin(), masks.begin() + kConcurrency);
+    const Tensor large = random_mask(2 * cfg.tile, 99);
+    for (int threads : thread_counts) {
+      runtime::InferenceEngine scaled(cfg, /*seed=*/42,
+                                      runtime::EngineOptions{threads});
+      auto best_of_3 = [](auto&& fn) {
+        fn();  // warm-up
+        double best = 1e30;
+        for (int i = 0; i < 3; ++i) best = std::min(best, bench::seconds(fn));
+        return best;
+      };
+      scale_rows.push_back(
+          {"predict_batch", threads,
+           kConcurrency / best_of_3([&] { (void)scaled.predict_batch(batch); })});
+      scale_rows.push_back(
+          {"predict_large", threads,
+           1.0 / best_of_3([&] { (void)scaled.predict_large(large); })});
+      std::fprintf(stderr, "measured %d thread(s)\n", threads);
+    }
   }
 
-  auto baseline = [&rows](const std::string& mode) {
-    for (const Row& r : rows) {
-      if (r.mode == mode && r.threads == 1) return r.masks_per_s;
-    }
-    return 0.0;
+  // With a real pool the batched forward amortizes across workers and the
+  // scheduler must deliver >= 2x; on 1-2 cores batching can only break
+  // even, so the gate degrades to no-regression — as it does in --quick
+  // mode, where shared-runner noise makes a speedup target flaky.
+  const double required = (!quick && hw_threads >= 4) ? 2.0 : 0.85;
+  const double speedup = scheduled_rps / serial_rps;
+  const bool pass = identical && speedup >= required;
+
+  std::string json;
+  char buf[512];
+  auto emit = [&json, &buf](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    json += buf;
   };
-  std::printf("{\n");
-  std::printf("  \"bench\": \"serve_throughput\",\n");
-  std::printf("  \"tile_px\": %lld,\n", static_cast<long long>(cfg.tile));
-  std::printf("  \"large_tile_px\": %lld,\n",
-              static_cast<long long>(2 * cfg.tile));
-  std::printf("  \"batch_size\": %lld,\n", static_cast<long long>(kBatch));
-  std::printf("  \"hardware_threads\": %d,\n", hw_threads);
-  std::printf("  \"results\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    const double base = baseline(r.mode);
-    std::printf("    {\"mode\": \"%s\", \"threads\": %d, "
-                "\"masks_per_s\": %.3f, \"speedup_vs_1\": %.2f}%s\n",
-                r.mode.c_str(), r.threads, r.masks_per_s,
-                base > 0.0 ? r.masks_per_s / base : 1.0,
-                i + 1 < rows.size() ? "," : "");
+  emit("{\n");
+  emit("  \"bench\": \"serve_throughput\",\n");
+  emit("  \"quick\": %s,\n", quick ? "true" : "false");
+  emit("  \"tile_px\": %lld,\n", static_cast<long long>(cfg.tile));
+  emit("  \"requests\": %zu,\n", requests);
+  emit("  \"concurrency\": %d,\n", kConcurrency);
+  emit("  \"hardware_threads\": %d,\n", hw_threads);
+  emit("  \"max_batch\": %d,\n", sched_opts.max_batch);
+  emit("  \"max_delay_us\": %lld,\n",
+       static_cast<long long>(sched_opts.max_delay_us));
+  emit("  \"serial_reqs_per_s\": %.3f,\n", serial_rps);
+  emit("  \"scheduled_reqs_per_s\": %.3f,\n", scheduled_rps);
+  emit("  \"scheduled_speedup\": %.3f,\n", speedup);
+  emit("  \"scheduled_batches\": %lld,\n",
+       static_cast<long long>(sched.batches));
+  emit("  \"scheduled_avg_batch\": %.3f,\n",
+       sched.batches > 0 ? static_cast<double>(sched.batched_requests) /
+                               static_cast<double>(sched.batches)
+                         : 0.0);
+  emit("  \"max_queue_depth\": %lld,\n",
+       static_cast<long long>(sched.max_queue_depth));
+  emit("  \"latency_ms_p50\": %.3f,\n", sched.latency_ms_p50);
+  emit("  \"latency_ms_p99\": %.3f,\n", sched.latency_ms_p99);
+  emit("  \"bitwise_identical\": %s,\n", identical ? "true" : "false");
+  emit("  \"required_speedup\": %.2f,\n", required);
+  emit("  \"pass\": %s,\n", pass ? "true" : "false");
+  emit("  \"thread_scaling\": [\n");
+  for (size_t i = 0; i < scale_rows.size(); ++i) {
+    const ScaleRow& r = scale_rows[i];
+    emit("    {\"mode\": \"%s\", \"threads\": %d, \"masks_per_s\": %.3f}%s\n",
+         r.mode.c_str(), r.threads, r.masks_per_s,
+         i + 1 < scale_rows.size() ? "," : "");
   }
-  std::printf("  ]\n}\n");
+  emit("  ]\n}\n");
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen("BENCH_serve.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote BENCH_serve.json\n");
+  }
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: scheduled %.2fx vs serial (required >= %.2fx at %d "
+                 "hardware threads)%s\n",
+                 speedup, required, hw_threads,
+                 identical ? "" : " and results differ");
+    return 1;
+  }
   return 0;
 }

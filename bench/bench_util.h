@@ -1,9 +1,15 @@
-// Shared helpers for the benchmark binaries (table formatting, timing).
+// Shared helpers for the benchmark binaries (table formatting, timing,
+// tensor comparison).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
+
+#include "tensor/tensor.h"
 
 namespace litho::bench {
 
@@ -21,6 +27,18 @@ double seconds(F&& fn) {
   fn();
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Maximum absolute elementwise difference, used by the identity gates.
+/// Shape mismatch returns +inf (never bitwise identical) instead of
+/// reading out of bounds.
+inline double max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return std::numeric_limits<double>::infinity();
+  double m = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, static_cast<double>(std::abs(a[i] - b[i])));
+  }
+  return m;
 }
 
 }  // namespace litho::bench

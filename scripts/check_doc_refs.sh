@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Checks that repository paths referenced from the documentation resolve.
+#
+# Extracts path-like tokens (src/..., apps/..., bench/..., tests/...,
+# scripts/..., docs/..., examples/..., plus top-level *.md / *.json /
+# CMakeLists.txt mentions) from the given markdown files and fails listing
+# every token that doesn't exist relative to the repo root. Keeps
+# docs/ARCHITECTURE.md honest as the tree is refactored.
+#
+# Usage: scripts/check_doc_refs.sh [file.md ...]
+#   (defaults to docs/ARCHITECTURE.md README.md)
+set -u
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(docs/ARCHITECTURE.md README.md)
+fi
+
+status=0
+for doc in "${files[@]}"; do
+  if [ ! -f "$doc" ]; then
+    echo "MISSING DOC: $doc"
+    status=1
+    continue
+  fi
+  # Path-like tokens: a known top-level directory followed by /, then a
+  # path ending in a file extension; directory references ending in '/'
+  # are checked as directories.
+  refs=$(grep -oE '(src|apps|bench|tests|scripts|docs|examples)/[A-Za-z0-9_.{},*/-]*' "$doc" \
+         | sed 's/[).,:;]*$//' | sort -u)
+  for ref in $refs; do
+    case "$ref" in
+      *\**|*\{*) continue ;;  # glob / brace shorthand ("gemm.{h,cpp}") — prose, not a path
+      */) [ -d "$ref" ] || { echo "$doc: broken reference: $ref"; status=1; } ;;
+      *)  [ -e "$ref" ] || { echo "$doc: broken reference: $ref"; status=1; } ;;
+    esac
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "doc references OK (${files[*]})"
+fi
+exit "$status"

@@ -234,7 +234,7 @@ CVariable complex_contract(const CVariable& v, const CVariable& w,
     d.o = ws[1];
   }
 
-  // Forward runs on the packed GEMM engine (ISSUE 4): the per-mode matmul
+  // Forward runs on the packed GEMM engine (src/tensor/gemm.h): the per-mode matmul
   // through the mode-blocked cmode_mix kernel (which preserves the naive
   // loop's per-element accumulation order exactly), the channel lift as
   // four real GEMMs (z = Wᵀv split into re/im parts). The clift split

@@ -1,4 +1,4 @@
-// FFT plan cache (ISSUE 2 tentpole, piece 1).
+// FFT plan cache.
 //
 // A FftPlan holds everything about a 1-D transform of length n that does not
 // depend on the data: the bit-reversal permutation and per-stage twiddle

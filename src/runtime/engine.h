@@ -1,4 +1,4 @@
-// Inference engine (ISSUE 1 tentpole, piece 3): loads a DOINN checkpoint
+// Inference engine: loads a DOINN checkpoint
 // once, owns the thread pool, and serves batched and large-tile predictions
 // on the no-grad fast path. This is the long-lived object behind
 // apps/doinn_serve.cpp and the serve-throughput benchmark.
@@ -34,7 +34,10 @@ class InferenceEngine {
   InferenceEngine(core::DoinnConfig cfg, uint32_t seed,
                   EngineOptions opts = {});
 
+  /// Configuration embedded in the loaded checkpoint (tile size, modes,
+  /// channel widths); requests are routed on config().tile.
   const core::DoinnConfig& config() const { return model_->config(); }
+  /// The engine-owned pool every prediction's parallel kernels run on.
   ThreadPool& pool() { return *pool_; }
 
   /// Binarized contours for training-tile-sized masks (each [tile, tile]).

@@ -1,0 +1,23 @@
+// Shared nearest-rank percentile helper for latency summaries (scheduler
+// stats, the serving front end, benches).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace litho::runtime {
+
+/// Nearest-rank percentile of an unsorted sample; q in [0, 1]. Takes the
+/// sample by value (sorts a copy). Returns 0 for an empty sample.
+inline double nearest_rank_percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<size_t>(
+      std::max<long long>(0, static_cast<long long>(std::ceil(
+                                 q * static_cast<double>(v.size()))) -
+                                 1));
+  return v[std::min(rank, v.size() - 1)];
+}
+
+}  // namespace litho::runtime

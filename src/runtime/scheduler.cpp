@@ -1,0 +1,221 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/percentile.h"
+
+namespace litho::runtime {
+
+namespace {
+
+/// Clamps the batch-hold deadline to 60 s: semantically "hold until full",
+/// and small enough that enqueued + microseconds(delay) can never overflow
+/// steady_clock's int64 nanosecond range.
+SchedulerOptions clamp_options(SchedulerOptions opts) {
+  constexpr int64_t kMaxDelayUs = 60'000'000;
+  if (opts.max_delay_us > kMaxDelayUs) opts.max_delay_us = kMaxDelayUs;
+  return opts;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(InferenceEngine& engine, SchedulerOptions opts)
+    : engine_(engine), opts_(clamp_options(opts)), tile_(engine.config().tile) {
+  if (opts_.max_batch < 1) {
+    throw std::invalid_argument("Scheduler: max_batch must be >= 1");
+  }
+  if (opts_.max_delay_us < 0) {
+    throw std::invalid_argument("Scheduler: max_delay_us must be >= 0");
+  }
+  if (opts_.queue_cap < opts_.max_batch) {
+    throw std::invalid_argument(
+        "Scheduler: queue_cap must be >= max_batch (a full batch could "
+        "never form)");
+  }
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+std::future<Tensor> Scheduler::submit(Tensor mask) {
+  if (mask.dim() != 2) {
+    throw std::invalid_argument("Scheduler::submit expects a 2-D mask");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [this] {
+    return draining_ ||
+           queue_.size() < static_cast<size_t>(opts_.queue_cap);
+  });
+  if (draining_) {
+    throw std::runtime_error("Scheduler::submit after shutdown");
+  }
+  Request req;
+  req.mask = std::move(mask);
+  req.enqueued = Clock::now();
+  std::future<Tensor> future = req.promise.get_future();
+  queue_.push_back(std::move(req));
+  ++submitted_;
+  max_queue_depth_ =
+      std::max(max_queue_depth_, static_cast<int64_t>(queue_.size()));
+  work_cv_.notify_one();
+  return future;
+}
+
+void Scheduler::shutdown() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  // Exactly one caller performs the join; every other concurrent caller
+  // (including the destructor) blocks until the dispatcher has actually
+  // exited, so no shutdown() ever returns while dispatch_loop may still
+  // touch this object.
+  if (!join_claimed_) {
+    join_claimed_ = true;
+    lock.unlock();
+    dispatcher_.join();
+    lock.lock();
+    dispatcher_exited_ = true;
+    shutdown_cv_.notify_all();
+  } else {
+    shutdown_cv_.wait(lock, [this] { return dispatcher_exited_; });
+  }
+}
+
+Scheduler::FrontRun Scheduler::front_run_locked() const {
+  FrontRun run;
+  if (queue_.empty()) return run;
+  const Tensor& front = queue_.front().mask;
+  if (front.size(0) > tile_ || front.size(1) > tile_) {
+    run.count = 1;
+    run.large = true;
+    run.closed = true;  // dispatches alone; nothing to wait for
+    return run;
+  }
+  const int64_t h = front.size(0), w = front.size(1);
+  for (const Request& r : queue_) {
+    if (run.count >= opts_.max_batch) break;
+    const bool oversized = r.mask.size(0) > tile_ || r.mask.size(1) > tile_;
+    if (oversized || r.mask.size(0) != h || r.mask.size(1) != w) {
+      // FIFO order is preserved, so a shape break means this batch can
+      // never grow further — flush it without waiting out the deadline.
+      run.closed = true;
+      break;
+    }
+    ++run.count;
+  }
+  return run;
+}
+
+void Scheduler::record_latency_locked(const Request& req, int64_t* counter) {
+  ++*counter;
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - req.enqueued)
+          .count();
+  // Bounded reservoir sample (Vitter's algorithm R) so a long-lived server
+  // keeps O(1) memory and stats() stays cheap: after the reservoir fills,
+  // each new latency replaces a uniformly random slot with probability
+  // capacity / seen.
+  const int64_t seen = completed_ + failed_;
+  if (latencies_ms_.size() < kLatencyReservoir) {
+    latencies_ms_.push_back(ms);
+  } else {
+    const auto slot = static_cast<size_t>(
+        reservoir_rng_() % static_cast<uint64_t>(seen));
+    if (slot < kLatencyReservoir) latencies_ms_[slot] = ms;
+  }
+}
+
+void Scheduler::fulfill(std::vector<Request>& batch, bool large) {
+  std::vector<Tensor> results;
+  std::exception_ptr error;
+  try {
+    if (large) {
+      results.push_back(engine_.predict_large(batch.front().mask));
+    } else {
+      std::vector<Tensor> masks;
+      masks.reserve(batch.size());
+      for (Request& r : batch) masks.push_back(std::move(r.mask));
+      results = engine_.predict_batch(masks);
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (error) {
+      batch[i].promise.set_exception(error);
+      record_latency_locked(batch[i], &failed_);
+    } else {
+      batch[i].promise.set_value(std::move(results[i]));
+      record_latency_locked(batch[i], &completed_);
+    }
+  }
+  if (large) {
+    ++large_;
+  } else {
+    ++batches_;
+    batched_requests_ += static_cast<int64_t>(batch.size());
+  }
+}
+
+void Scheduler::dispatch_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    bool large = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining and nothing left
+      // Hold the batch open until it fills, closes, or the oldest request
+      // hits its deadline. While draining, flush immediately.
+      const auto deadline =
+          queue_.front().enqueued + std::chrono::microseconds(opts_.max_delay_us);
+      work_cv_.wait_until(lock, deadline, [this] {
+        if (draining_) return true;
+        const FrontRun run = front_run_locked();
+        return run.closed || run.count >= opts_.max_batch;
+      });
+      const FrontRun run = front_run_locked();
+      large = run.large;
+      batch.reserve(static_cast<size_t>(run.count));
+      for (int i = 0; i < run.count; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // Queue space freed before the engine runs, so producers refill the
+      // next batch while this one computes.
+      space_cv_.notify_all();
+    }
+    fulfill(batch, large);
+  }
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.batches = batches_;
+    s.batched_requests = batched_requests_;
+    s.large = large_;
+    s.max_queue_depth = max_queue_depth_;
+    s.queue_depth = static_cast<int64_t>(queue_.size());
+    latencies = latencies_ms_;
+  }
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (double v : latencies) sum += v;
+    s.latency_ms_mean = sum / static_cast<double>(latencies.size());
+    s.latency_ms_p50 = nearest_rank_percentile(latencies, 0.50);
+    s.latency_ms_p99 = nearest_rank_percentile(std::move(latencies), 0.99);
+  }
+  return s;
+}
+
+}  // namespace litho::runtime

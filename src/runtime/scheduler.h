@@ -1,0 +1,167 @@
+// Dynamic-batching request scheduler for the serving runtime.
+//
+// The batched conv / FFT / GEMM kernels only pay off when they are fed
+// batches, but a serving front end receives requests one at a time. The
+// Scheduler sits between the two: clients hand it single masks and get a
+// std::future back; a dispatcher thread coalesces queued training-tile-sized
+// masks into InferenceEngine::predict_batch calls, flushing a batch as soon
+// as it is full (`max_batch`) or the oldest queued request has waited
+// `max_delay_us`. Oversized masks are routed to predict_large individually.
+//
+// Determinism: per-sample predict_batch results are bitwise identical to the
+// unbatched path (see InferenceEngine), so every coalescing pattern — any
+// batch composition, any flush timing, any client thread count — yields
+// bitwise identical per-request results.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "tensor/tensor.h"
+
+namespace litho::runtime {
+
+/// Scheduler tuning knobs. Defaults suit an interactive server: small
+/// batches, low added latency, enough queue for one burst.
+struct SchedulerOptions {
+  /// Flush a batch once this many same-shape requests are pending.
+  /// Must be >= 1.
+  int max_batch = 8;
+  /// Flush deadline: a batch is dispatched at the latest this many
+  /// microseconds after its oldest request was queued, even if not full.
+  /// 0 means "never wait": every flush happens as soon as the dispatcher
+  /// sees work. Must be >= 0; values above 60 s are clamped to 60 s (which
+  /// already means "hold until full"), keeping the deadline arithmetic far
+  /// from steady_clock overflow.
+  int64_t max_delay_us = 2000;
+  /// Bounded-queue capacity. submit() blocks (backpressure) while this many
+  /// requests are queued and not yet handed to the engine. Must be
+  /// >= max_batch so a full batch can ever form.
+  int queue_cap = 64;
+};
+
+/// Counters and latency summary exposed by Scheduler::stats(). All values
+/// are a consistent snapshot taken under the scheduler lock.
+struct SchedulerStats {
+  int64_t submitted = 0;        ///< requests accepted by submit()
+  int64_t completed = 0;        ///< futures fulfilled with a contour
+  int64_t failed = 0;           ///< futures fulfilled with an exception
+  int64_t batches = 0;          ///< predict_batch dispatches
+  int64_t batched_requests = 0; ///< requests served through predict_batch
+  int64_t large = 0;            ///< predict_large dispatches (one request each)
+  int64_t max_queue_depth = 0;  ///< high-water mark of the bounded queue
+  int64_t queue_depth = 0;      ///< requests queued right now
+  /// Per-request wall time from submit() to promise fulfillment, including
+  /// queueing delay. Nearest-rank percentiles over a bounded reservoir
+  /// sample of all completed requests; 0 when nothing completed.
+  double latency_ms_p50 = 0.0;
+  double latency_ms_p99 = 0.0;
+  double latency_ms_mean = 0.0;
+};
+
+/// Asynchronous dynamic-batching front end over an InferenceEngine.
+///
+/// Thread-safe: any number of client threads may call submit()
+/// concurrently. A single dispatcher thread owns all engine calls; the
+/// engine's own pool parallelizes each call internally, so the scheduler
+/// adds exactly one thread.
+///
+/// Lifecycle: the dispatcher starts in the constructor and is stopped by
+/// shutdown() (also called by the destructor), which drains every queued
+/// request before the thread exits — pending futures always resolve.
+class Scheduler {
+ public:
+  /// @param engine Engine the dispatcher calls into. Must outlive the
+  ///   scheduler. Masks with height or width above engine.config().tile are
+  ///   routed to predict_large, everything else to predict_batch.
+  /// @param opts Batching knobs; throws std::invalid_argument when
+  ///   max_batch < 1, max_delay_us < 0, or queue_cap < max_batch.
+  explicit Scheduler(InferenceEngine& engine, SchedulerOptions opts = {});
+
+  /// Drains and stops the dispatcher (equivalent to shutdown()).
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Queues a 2-D mask for prediction and returns a future for its
+  /// binarized contour. Blocks while the queue holds queue_cap requests
+  /// (backpressure). Throws std::invalid_argument for non-2-D masks and
+  /// std::runtime_error after shutdown() has begun. The future carries any
+  /// exception the engine threw for this request's dispatch.
+  ///
+  /// Tensor storage is shared, not copied: the caller must not mutate the
+  /// mask's elements until the future resolves.
+  std::future<Tensor> submit(Tensor mask);
+
+  /// Stops accepting new requests, waits until every queued request has
+  /// been dispatched and its promise fulfilled, then joins the dispatcher.
+  /// Idempotent and safe to call concurrently with submit() (late
+  /// submitters get std::runtime_error).
+  void shutdown();
+
+  /// Consistent snapshot of the counters and the latency distribution.
+  SchedulerStats stats() const;
+
+  const SchedulerOptions& options() const { return opts_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    Tensor mask;
+    std::promise<Tensor> promise;
+    Clock::time_point enqueued;
+  };
+
+  /// Front-of-queue dispatch plan, computed under the lock.
+  struct FrontRun {
+    int count = 0;      // requests to pop (>= 1 when queue non-empty)
+    bool large = false; // route to predict_large (count == 1)
+    bool closed = false;// run cannot grow: blocked by a different shape
+  };
+
+  FrontRun front_run_locked() const;
+  void dispatch_loop();
+  void fulfill(std::vector<Request>& batch, bool large);
+  void record_latency_locked(const Request& req, int64_t* counter);
+
+  InferenceEngine& engine_;
+  const SchedulerOptions opts_;
+  const int64_t tile_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;     // dispatcher waits for work / drain
+  std::condition_variable space_cv_;    // submitters wait for queue space
+  std::condition_variable shutdown_cv_; // late shutdown() callers wait here
+  std::deque<Request> queue_;
+  bool draining_ = false;
+  bool join_claimed_ = false;     // a shutdown() caller owns the join
+  bool dispatcher_exited_ = false;
+
+  // Counters + a bounded reservoir sample of completed-request latencies,
+  // guarded by mutex_.
+  static constexpr size_t kLatencyReservoir = 4096;
+  int64_t submitted_ = 0;
+  int64_t completed_ = 0;
+  int64_t failed_ = 0;
+  int64_t batches_ = 0;
+  int64_t batched_requests_ = 0;
+  int64_t large_ = 0;
+  int64_t max_queue_depth_ = 0;
+  std::vector<double> latencies_ms_;
+  std::mt19937_64 reservoir_rng_{0x5eedfULL};  // stats sampling only — never
+                                               // touches prediction results
+
+  std::thread dispatcher_;
+};
+
+}  // namespace litho::runtime

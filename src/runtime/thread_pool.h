@@ -1,4 +1,4 @@
-// Inference runtime thread pool (ISSUE 1 tentpole, piece 1).
+// Inference runtime thread pool.
 //
 // A fixed-size pool of workers draining a single locked task queue, plus a
 // chunked static-partition parallel_for built on top of it. Design points:
@@ -96,7 +96,9 @@ ThreadPool& current_pool();
 /// prediction. Nests; passing nullptr is a no-op (keeps the previous pool).
 class ScopedPool {
  public:
+  /// Makes @p pool the current_pool() for this thread until destruction.
   explicit ScopedPool(ThreadPool* pool);
+  /// Restores the previously current pool.
   ~ScopedPool();
   ScopedPool(const ScopedPool&) = delete;
   ScopedPool& operator=(const ScopedPool&) = delete;

@@ -1,5 +1,5 @@
-// Pooled scratch buffers for parallel kernels (ISSUE 2 tentpole, piece 2;
-// generalized to float buffers for the GEMM engine in ISSUE 4).
+// Pooled scratch buffers for parallel kernels: complex<double> buffers for
+// the FFT kernels, float buffers for the packed GEMM / convolution engine.
 //
 // The FFT kernels need per-worker complex scratch (line buffers, Bluestein
 // convolution pads, per-plane staging); the packed GEMM engine needs float
@@ -84,7 +84,9 @@ class BasicWorkspace {
   BasicWorkspace(const BasicWorkspace&) = delete;
   BasicWorkspace& operator=(const BasicWorkspace&) = delete;
 
+  /// The leased buffer; contents are unspecified on acquisition.
   T* data() { return buf_.data(); }
+  /// The size requested at construction (the buffer may be larger).
   size_t size() const { return n_; }
 
  private:

@@ -1,4 +1,4 @@
-// Packed, register-blocked single-precision GEMM engine (ISSUE 4 tentpole).
+// Packed, register-blocked single-precision GEMM engine.
 //
 // One micro-kernel serves every dense contraction in the stack: the three
 // layout variants the autograd conv kernels need (NN, AᵀB, ABᵀ), the

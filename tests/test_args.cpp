@@ -1,0 +1,106 @@
+// Tests for the shared --flag argv parser, focused on the scheduler options
+// consumed by doinn_serve (--max-batch, --max-delay-us, --queue-cap):
+// value/boolean forms, strict numeric parsing, and invalid-value rejection.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "../apps/args.h"
+
+namespace litho {
+namespace {
+
+/// Builds an Args from a brace list, mimicking main()'s argv (slot 0 is the
+/// program name; parsing starts at 1, as doinn_serve does).
+apps::Args parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "doinn_serve");
+  return apps::Args(static_cast<int>(argv.size()),
+                    const_cast<char**>(argv.data()), /*start=*/1);
+}
+
+TEST(Args, ParsesSchedulerFlags) {
+  const apps::Args args = parse(
+      {"--max-batch", "16", "--max-delay-us", "2500", "--queue-cap", "128"});
+  EXPECT_EQ(args.get_int("max-batch", 8), 16);
+  EXPECT_EQ(args.get_int("max-delay-us", 2000), 2500);
+  EXPECT_EQ(args.get_int("queue-cap", 64), 128);
+}
+
+TEST(Args, AbsentFlagsFallBack) {
+  const apps::Args args = parse({"--weights", "w.bin"});
+  EXPECT_EQ(args.get_int("max-batch", 8), 8);
+  EXPECT_EQ(args.get_int("max-delay-us", 2000), 2000);
+  EXPECT_EQ(args.get_positive_int("queue-cap", 64), 64);
+  EXPECT_FALSE(args.has("max-batch"));
+}
+
+TEST(Args, BooleanAndTrailingFlagForms) {
+  const apps::Args args = parse({"--once", "--max-batch", "4", "--help"});
+  EXPECT_TRUE(args.get_bool("once"));
+  EXPECT_TRUE(args.get_bool("help"));  // trailing flag is not dropped
+  EXPECT_EQ(args.get_int("max-batch", 8), 4);
+  EXPECT_FALSE(args.get_bool("quick"));
+}
+
+TEST(Args, NegativeValuesParse) {
+  // '-'-prefixed values are values, not flags (e.g. `--defocus -25`); range
+  // checks are the caller's job.
+  const apps::Args args = parse({"--max-delay-us", "-5"});
+  EXPECT_EQ(args.get_int("max-delay-us", 2000), -5);
+}
+
+TEST(Args, RejectsNonNumericValues) {
+  const apps::Args args = parse({"--max-batch", "abc"});
+  EXPECT_THROW(args.get_int("max-batch", 8), std::runtime_error);
+  try {
+    (void)args.get_int("max-batch", 8);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("max-batch"), std::string::npos)
+        << "error must name the offending flag: " << e.what();
+  }
+}
+
+TEST(Args, RejectsTrailingGarbage) {
+  // Pre-hardening, std::stoll would silently truncate "12x" to 12.
+  const apps::Args args = parse({"--queue-cap", "12x"});
+  EXPECT_THROW(args.get_int("queue-cap", 64), std::runtime_error);
+}
+
+TEST(Args, RejectsOutOfRangeValues) {
+  const apps::Args args =
+      parse({"--max-delay-us", "99999999999999999999999999"});
+  EXPECT_THROW(args.get_int("max-delay-us", 2000), std::runtime_error);
+}
+
+TEST(Args, RejectsBooleanFormWhereValueExpected) {
+  // `--max-batch --once`: max-batch stores "1" (boolean form), which parses
+  // as 1 — a surprising but valid integer. A *trailing* `--max-batch` does
+  // the same. Document the contract: boolean form yields 1.
+  const apps::Args args = parse({"--max-batch", "--once"});
+  EXPECT_EQ(args.get_int("max-batch", 8), 1);
+}
+
+TEST(Args, PositiveIntRejectsZeroAndNegative) {
+  EXPECT_THROW(parse({"--max-batch", "0"}).get_positive_int("max-batch", 8),
+               std::runtime_error);
+  EXPECT_THROW(parse({"--queue-cap", "-3"}).get_positive_int("queue-cap", 64),
+               std::runtime_error);
+  EXPECT_EQ(parse({"--max-batch", "2"}).get_positive_int("max-batch", 8), 2);
+}
+
+TEST(Args, RejectsNonFlagTokens) {
+  EXPECT_THROW(parse({"stray-token"}), std::runtime_error);
+  EXPECT_THROW(parse({"--"}), std::runtime_error);  // empty flag name
+}
+
+TEST(Args, StrictDoubleParsing) {
+  EXPECT_DOUBLE_EQ(parse({"--defocus", "-25.5"}).get_double("defocus", 0.0),
+                   -25.5);
+  EXPECT_THROW(parse({"--defocus", "1.5q"}).get_double("defocus", 0.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace litho

@@ -1,5 +1,5 @@
 // Tests for the packed tiled GEMM engine and the implicit-im2col
-// convolution path (ISSUE 4): golden parity against naive references over
+// convolution path: golden parity against naive references over
 // randomized shapes (including sub-tile, prime and k=0 extents), epilogue
 // semantics, the spectral mixing kernel, float workspace pooling, and
 // cross-thread-count bitwise determinism of conv2d forward/backward.

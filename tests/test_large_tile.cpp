@@ -1,4 +1,4 @@
-// Large-tile scheme parity (ISSUE 1 satellite): on an exactly-tile-sized
+// Large-tile scheme parity: on an exactly-tile-sized
 // mask the stitching scheme must degenerate to the plain pipeline
 // bit-for-bit, and the parallel clip fan-out must be deterministic across
 // thread counts.

@@ -1,6 +1,6 @@
 // Tests for the parallel inference runtime: thread pool and parallel_for
 // semantics, the thread-local no-grad mode, and serial-vs-parallel parity of
-// the InferenceEngine (ISSUE 1 acceptance criteria).
+// the InferenceEngine.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -314,7 +314,7 @@ TEST(WorkspacePool, OversizedReleasesAreDroppedNotPinned) {
   pool.clear();
 }
 
-// -- Cross-thread-count determinism (ISSUE 2) ---------------------------------
+// -- Cross-thread-count determinism -------------------------------------------
 // The FFT kernels and the engine must produce bitwise-equal outputs whether
 // DOINN_NUM_THREADS resolves to 1 or 8. The global pool latches the env var
 // at first use, so the tests pin explicit pools of each size instead —
