@@ -4,7 +4,7 @@
 //   doinn_serve --weights weights.bin --manifest requests.txt
 //               [--results results.txt] [--threads N] [--poll-ms 50]
 //               [--max-batch 8] [--max-delay-us 2000] [--queue-cap 64]
-//               [--once]
+//               [--once] [--trace-out trace.json] [--metrics-out metrics.json]
 //
 // The server watches a request manifest: a text file with one request per
 // line, `<mask_path> <out_path>` (masks are 8-bit PGM, outputs are written
@@ -35,7 +35,19 @@
 // the results file (latency covers read + queueing + inference + write).
 // On shutdown the server prints request count, error count, p50/p99
 // latency, throughput, and the scheduler's batching stats.
+//
+// Observability (docs/ARCHITECTURE.md "Observability"):
+//   - `--trace-out trace.json` enables per-request tracing and writes a
+//     Chrome Trace Event Format file on shutdown (view in chrome://tracing
+//     or Perfetto; validate/summarize with scripts/trace_summary.py). Each
+//     manifest line gets a request id carried through serve.ingest ->
+//     sched.queue_wait -> sched.dispatch -> serve.write.
+//   - `--metrics-out metrics.json` writes the global metrics registry
+//     (serve.* + scheduler.* namespaces) on shutdown.
+//   - SIGUSR1 dumps both files mid-run without stopping the server
+//     (best-effort snapshots; the shutdown dump is exact).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -43,8 +55,8 @@
 #include <deque>
 #include <fstream>
 #include <future>
+#include <csignal>
 #include <mutex>
-#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -53,8 +65,9 @@
 #include "args.h"
 #include "io/io.h"
 #include "runtime/engine.h"
-#include "runtime/percentile.h"
+#include "runtime/metrics_registry.h"
 #include "runtime/scheduler.h"
+#include "runtime/trace.h"
 
 using namespace litho;
 
@@ -73,6 +86,7 @@ struct PendingRequest {
   std::string mask_path;
   std::string out_path;
   Clock::time_point t0;
+  uint64_t id = 0;  // manifest-order request id, carried through the trace
 };
 
 /// Bounded FIFO hand-off from the submitting main thread to the writer
@@ -117,34 +131,26 @@ class CompletionQueue {
   bool closed_ = false;
 };
 
+/// Serving-layer metrics, resolved once from the global registry (the
+/// scheduler records its scheduler.* metrics into the same registry, so
+/// --metrics-out dumps both in one document). The bounded-reservoir latency
+/// histogram keeps O(1) stats memory in a long-lived server.
 struct ServeStats {
-  std::mutex mutex;
-  std::vector<double> latencies_ms;  // bounded reservoir sample
-  int64_t served = 0;
-  int64_t errors = 0;
-  std::mt19937_64 reservoir_rng{0x5eedfULL};
-
-  /// Records an end-to-end latency into a bounded reservoir (Vitter's
-  /// algorithm R), so a long-lived server keeps O(1) stats memory. Caller
-  /// holds `mutex`.
-  void record_latency_locked(double ms) {
-    constexpr size_t kReservoir = 4096;
-    ++served;
-    if (latencies_ms.size() < kReservoir) {
-      latencies_ms.push_back(ms);
-    } else {
-      const auto slot = static_cast<size_t>(
-          reservoir_rng() % static_cast<uint64_t>(served));
-      if (slot < kReservoir) latencies_ms[slot] = ms;
-    }
-  }
+  std::mutex results_mutex;  // serializes results-file appends
+  runtime::Counter& ok = runtime::MetricsRegistry::global().counter(
+      "serve.requests_ok");
+  runtime::Counter& errors = runtime::MetricsRegistry::global().counter(
+      "serve.requests_error");
+  runtime::Histogram& latency_ms = runtime::MetricsRegistry::global()
+      .histogram("serve.latency_ms");
 };
 
 void record_error(ServeStats& stats, const std::string& results_path,
                   const std::string& mask_path, const std::string& out_path,
                   const std::string& error, double ms) {
-  std::lock_guard<std::mutex> lock(stats.mutex);
-  ++stats.errors;
+  stats.errors.add();
+  stats.latency_ms.record(ms);
+  std::lock_guard<std::mutex> lock(stats.results_mutex);
   std::fprintf(stderr, "request %s failed: %s\n", mask_path.c_str(),
                error.c_str());
   std::ofstream results(results_path, std::ios::app);
@@ -156,26 +162,56 @@ void record_error(ServeStats& stats, const std::string& results_path,
 /// end-to-end latency.
 void writer_loop(CompletionQueue& completions, const std::string& results_path,
                  ServeStats& stats) {
+  runtime::trace::set_thread_name("serve-writer");
   PendingRequest req;
   while (completions.pop(req)) {
     bool ok = true;
     std::string error;
-    try {
-      const Tensor contour = req.contour.get();
-      io::write_pgm(req.out_path, contour);
-    } catch (const std::exception& e) {
-      ok = false;
-      error = e.what();
+    {
+      DOINN_TRACE_SCOPE("serve.write", "serve", "req",
+                        static_cast<int64_t>(req.id));
+      try {
+        const Tensor contour = req.contour.get();
+        io::write_pgm(req.out_path, contour);
+      } catch (const std::exception& e) {
+        ok = false;
+        error = e.what();
+      }
     }
     const double ms = ms_between(req.t0, Clock::now());
     if (!ok) {
       record_error(stats, results_path, req.mask_path, req.out_path, error, ms);
       continue;
     }
-    std::lock_guard<std::mutex> lock(stats.mutex);
-    stats.record_latency_locked(ms);
+    stats.ok.add();
+    stats.latency_ms.record(ms);
+    std::lock_guard<std::mutex> lock(stats.results_mutex);
     std::ofstream results(results_path, std::ios::app);
     results << req.mask_path << ' ' << req.out_path << " ok " << ms << '\n';
+  }
+}
+
+// SIGUSR1 => dump trace + metrics on the next poll iteration. The handler
+// only flips an atomic flag; file I/O happens on the main thread.
+std::atomic<bool> g_dump_requested{false};
+
+#ifdef SIGUSR1
+extern "C" void on_sigusr1(int) {
+  g_dump_requested.store(true, std::memory_order_relaxed);
+}
+#endif
+
+/// Writes trace and/or metrics dumps for whichever outputs were requested.
+void dump_observability(const std::string& trace_out,
+                        const std::string& metrics_out) {
+  if (!trace_out.empty() && runtime::trace::write_json(trace_out)) {
+    std::fprintf(stderr, "doinn_serve: wrote trace to %s\n",
+                 trace_out.c_str());
+  }
+  if (!metrics_out.empty() &&
+      runtime::MetricsRegistry::global().write_json(metrics_out)) {
+    std::fprintf(stderr, "doinn_serve: wrote metrics to %s\n",
+                 metrics_out.c_str());
   }
 }
 
@@ -185,10 +221,13 @@ void usage() {
       "                   [--results out.txt] [--threads N] [--poll-ms 50]\n"
       "                   [--max-batch 8] [--max-delay-us 2000]\n"
       "                   [--queue-cap 64] [--once]\n"
+      "                   [--trace-out trace.json] [--metrics-out m.json]\n"
       "manifest lines: <mask.pgm> <contour_out.pgm>; `__shutdown__` stops\n"
       "the server. --max-batch/--max-delay-us tune request coalescing;\n"
       "--queue-cap bounds the request queue (submission blocks when full).\n"
-      "See the header of apps/doinn_serve.cpp for details.\n");
+      "--trace-out enables tracing and writes Chrome Trace Event JSON on\n"
+      "shutdown; --metrics-out writes a metrics snapshot; SIGUSR1 dumps\n"
+      "both mid-run. See the header of apps/doinn_serve.cpp for details.\n");
 }
 
 }  // namespace
@@ -206,6 +245,20 @@ int main(int argc, char** argv) {
         args.get("results", manifest_path + ".results");
     const bool once = args.get_bool("once");
     const long poll_ms = std::max<long>(1, args.get_int("poll-ms", 50));
+    const std::string trace_out = args.get("trace-out", "");
+    const std::string metrics_out = args.get("metrics-out", "");
+    if (!trace_out.empty()) {
+      runtime::trace::set_enabled(true);
+#if !DOINN_TRACING_ENABLED
+      std::fprintf(stderr,
+                   "warning: --trace-out given but tracing was compiled out "
+                   "(DOINN_TRACING=OFF); the trace will be empty\n");
+#endif
+    }
+    runtime::trace::set_thread_name("serve-main");
+#ifdef SIGUSR1
+    std::signal(SIGUSR1, on_sigusr1);
+#endif
 
     runtime::SchedulerOptions sched_opts;
     sched_opts.max_batch = static_cast<int>(args.get_positive_int("max-batch", 8));
@@ -224,6 +277,7 @@ int main(int argc, char** argv) {
     runtime::EngineOptions opts;
     opts.num_threads = static_cast<int>(args.get_int("threads", 0));
     runtime::InferenceEngine engine(args.get("weights"), opts);
+    sched_opts.metrics = &runtime::MetricsRegistry::global();
     runtime::Scheduler scheduler(engine, sched_opts);
     std::printf(
         "doinn_serve: %d threads, %lld px tile model, batch<=%d within "
@@ -243,6 +297,8 @@ int main(int argc, char** argv) {
     std::streamoff consumed_bytes = 0;  // offset just past the last
                                         // newline-terminated line consumed
     size_t consumed_lines = 0;
+    uint64_t next_request_id = 0;  // manifest order; high bit stays clear,
+                                   // disjoint from scheduler-internal ids
     bool shutdown = false;
     const auto t_start = Clock::now();
     // From here until writer.join() an escaping exception must still drain
@@ -250,6 +306,11 @@ int main(int argc, char** argv) {
     // calls std::terminate, turning a reportable error into an abort.
     try {
     while (!shutdown) {
+      // Checked first so an idle server (no fresh manifest lines) still
+      // honors a SIGUSR1 dump on its next poll.
+      if (g_dump_requested.exchange(false, std::memory_order_relaxed)) {
+        dump_observability(trace_out, metrics_out);
+      }
       std::vector<std::pair<std::string, std::string>> fresh;
       {
         // Resume from the stored offset (no quadratic re-scan) and only
@@ -292,14 +353,19 @@ int main(int argc, char** argv) {
       }
       for (auto& req : fresh) {
         const auto t0 = Clock::now();
+        const uint64_t rid = ++next_request_id;
         try {
           // submit() blocks while the scheduler queue is full, which
           // propagates backpressure all the way to manifest consumption.
+          // The ingest span therefore covers read + any backpressure stall.
+          DOINN_TRACE_SCOPE("serve.ingest", "serve", "req",
+                            static_cast<int64_t>(rid));
           PendingRequest pending;
-          pending.contour = scheduler.submit(io::read_pgm(req.first));
+          pending.contour = scheduler.submit(io::read_pgm(req.first), rid);
           pending.mask_path = req.first;
           pending.out_path = req.second;
           pending.t0 = t0;
+          pending.id = rid;
           completions.push(std::move(pending));
         } catch (const std::exception& e) {
           record_error(stats, results_path, req.first, req.second, e.what(),
@@ -319,17 +385,19 @@ int main(int argc, char** argv) {
     completions.close();
     writer.join();
     const double total_s = ms_between(t_start, Clock::now()) / 1e3;
+    // Quiescent now (dispatcher joined, writer joined): this dump is exact.
+    dump_observability(trace_out, metrics_out);
 
     const runtime::SchedulerStats sched = scheduler.stats();
-    std::lock_guard<std::mutex> lock(stats.mutex);
-    const int64_t n = stats.served;
+    const int64_t n = stats.ok.value();
+    const int64_t errors = stats.errors.value();
     std::printf("served %lld requests (%lld errors) in %.2f s\n",
-                static_cast<long long>(n),
-                static_cast<long long>(stats.errors), total_s);
+                static_cast<long long>(n), static_cast<long long>(errors),
+                total_s);
     if (n > 0) {
+      const runtime::Histogram::Snapshot lat = stats.latency_ms.snapshot();
       std::printf("latency p50 %.1f ms, p99 %.1f ms; throughput %.2f req/s\n",
-                  runtime::nearest_rank_percentile(stats.latencies_ms, 0.50),
-                  runtime::nearest_rank_percentile(stats.latencies_ms, 0.99),
+                  lat.p50, lat.p99,
                   static_cast<double>(n) / std::max(total_s, 1e-9));
     }
     if (sched.batches + sched.large > 0) {
@@ -343,7 +411,7 @@ int main(int argc, char** argv) {
           static_cast<long long>(sched.large),
           static_cast<long long>(sched.max_queue_depth));
     }
-    return stats.errors == 0 ? 0 : 1;
+    return errors == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

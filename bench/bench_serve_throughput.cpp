@@ -1,7 +1,8 @@
 // Serving throughput: dynamic-batching scheduler vs the serial request
-// loop, plus the engine's thread-scaling curve.
+// loop, plus the engine's thread-scaling curve and the tracing-overhead
+// gate.
 //
-//   bench_serve_throughput [--quick]
+//   bench_serve_throughput [--quick] [--trace-out trace.json]
 //
 // The headline comparison runs 8 closed-loop clients (each submits one
 // request, waits for the contour, submits the next) against the same
@@ -26,18 +27,30 @@
 // contract is "batching never loses throughput", not a speedup target.
 // The measured ratio and the applied gate are both recorded in
 // BENCH_serve.json for cross-PR tracking.
+//
+// A third scheduled pass then runs with tracing enabled. It must stay
+// bitwise identical (the determinism contract: tracing only observes
+// timestamps) and its throughput gates the instrumentation overhead:
+// >= 0.95x the untraced scheduled pass in full mode, >= 0.85x in --quick
+// (timer noise dominates tiny runs). The recorded spans also yield the
+// per-stage latency breakdown (count/p50/p99 per span name) written to
+// BENCH_serve.json and, with --trace-out, the full Chrome Trace Event
+// file that CI feeds through scripts/trace_summary.py.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "runtime/engine.h"
+#include "runtime/percentile.h"
 #include "runtime/scheduler.h"
+#include "runtime/trace.h"
 
 using namespace litho;
 
@@ -63,6 +76,46 @@ Tensor random_mask(int64_t side, uint32_t seed) {
 }
 
 using bench::max_abs_diff;
+
+/// Per-span-name latency summary aggregated from the recorded trace.
+struct StageRow {
+  std::string name;
+  int64_t count = 0;
+  double total_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Groups every recorded span (complete and async) by name and summarizes
+/// durations. Sorted by total time descending, so the breakdown reads as
+/// "where did the wall clock go". @p dropped returns how many events ring
+/// wrap overwrote — nonzero means the breakdown covers a trailing window,
+/// not the whole pass.
+std::vector<StageRow> stage_breakdown(uint64_t& dropped) {
+  std::map<std::string, std::vector<double>> by_name;
+  dropped = 0;
+  for (const runtime::trace::ThreadEvents& te : runtime::trace::snapshot()) {
+    dropped += te.dropped;
+    for (const runtime::trace::Event& ev : te.events) {
+      if (ev.kind == runtime::trace::Kind::kInstant) continue;
+      by_name[ev.name].push_back(static_cast<double>(ev.dur_ns) / 1e6);
+    }
+  }
+  std::vector<StageRow> rows;
+  for (auto& [name, durs] : by_name) {
+    StageRow row;
+    row.name = name;
+    row.count = static_cast<int64_t>(durs.size());
+    for (double d : durs) row.total_ms += d;
+    row.p50_ms = runtime::nearest_rank_percentile(durs, 0.50);
+    row.p99_ms = runtime::nearest_rank_percentile(durs, 0.99);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const StageRow& a, const StageRow& b) {
+    return a.total_ms > b.total_ms;
+  });
+  return rows;
+}
 
 /// Runs kConcurrency closed-loop clients over masks[0..R); each client
 /// claims the next unprocessed index, runs process(i), and stores the
@@ -92,8 +145,12 @@ double closed_loop(const std::vector<Tensor>& masks,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
   }
   const core::DoinnConfig cfg = bench_config(quick);
   const int hw_threads = runtime::ThreadPool::default_num_threads();
@@ -142,6 +199,51 @@ int main(int argc, char** argv) {
     }
   }
 
+  // -- traced: the scheduled pass again with span recording on. Gates the
+  // instrumentation overhead and yields the per-stage breakdown.
+  runtime::trace::reset();
+  runtime::trace::set_enabled(true);
+  double traced_rps;
+  std::vector<StageRow> stages;
+  uint64_t trace_dropped = 0;
+  {
+    runtime::Scheduler traced_scheduler(engine, sched_opts);
+    std::vector<Tensor> traced_results(requests);
+    traced_rps = closed_loop(masks, traced_results, [&](size_t i) {
+      return traced_scheduler.submit(masks[i]).get();
+    });
+    traced_scheduler.shutdown();  // quiesce before reading the rings
+    runtime::trace::set_enabled(false);
+    stages = stage_breakdown(trace_dropped);
+    for (size_t i = 0; i < requests; ++i) {
+      if (max_abs_diff(serial_results[i], traced_results[i]) != 0.f) {
+        std::fprintf(stderr, "FAIL: request %zu differs with tracing "
+                             "enabled\n", i);
+        identical = false;
+      }
+    }
+  }
+  const double tracing_overhead = traced_rps / scheduled_rps;
+  std::fprintf(stderr, "traced: %.2f req/s (%.3fx of untraced)\n", traced_rps,
+               tracing_overhead);
+  if (!stages.empty()) {
+    std::fprintf(stderr, "%-24s %8s %10s %10s %10s\n", "stage", "count",
+                 "p50 ms", "p99 ms", "total ms");
+    for (const StageRow& s : stages) {
+      std::fprintf(stderr, "%-24s %8lld %10.3f %10.3f %10.1f\n",
+                   s.name.c_str(), static_cast<long long>(s.count), s.p50_ms,
+                   s.p99_ms, s.total_ms);
+    }
+  }
+  if (trace_dropped > 0) {
+    std::fprintf(stderr,
+                 "note: ring wrap dropped %llu events — the breakdown covers "
+                 "a trailing window (raise DOINN_TRACE_BUFFER for full "
+                 "coverage)\n",
+                 static_cast<unsigned long long>(trace_dropped));
+  }
+  if (!trace_out.empty()) runtime::trace::write_json(trace_out);
+
   // -- thread-scaling curve for the two engine entry points (full mode).
   struct ScaleRow {
     std::string mode;
@@ -182,7 +284,11 @@ int main(int argc, char** argv) {
   // mode, where shared-runner noise makes a speedup target flaky.
   const double required = (!quick && hw_threads >= 4) ? 2.0 : 0.85;
   const double speedup = scheduled_rps / serial_rps;
-  const bool pass = identical && speedup >= required;
+  // Tracing must cost <= 5% throughput; --quick loosens to 15% because a
+  // 32-request run on a shared runner has that much timer noise untraced.
+  const double required_overhead = quick ? 0.85 : 0.95;
+  const bool pass = identical && speedup >= required &&
+                    tracing_overhead >= required_overhead;
 
   std::string json;
   char buf[512];
@@ -213,9 +319,23 @@ int main(int argc, char** argv) {
        static_cast<long long>(sched.max_queue_depth));
   emit("  \"latency_ms_p50\": %.3f,\n", sched.latency_ms_p50);
   emit("  \"latency_ms_p99\": %.3f,\n", sched.latency_ms_p99);
+  emit("  \"traced_reqs_per_s\": %.3f,\n", traced_rps);
+  emit("  \"trace_dropped_events\": %llu,\n",
+       static_cast<unsigned long long>(trace_dropped));
+  emit("  \"tracing_overhead\": %.3f,\n", tracing_overhead);
+  emit("  \"required_tracing_overhead\": %.2f,\n", required_overhead);
   emit("  \"bitwise_identical\": %s,\n", identical ? "true" : "false");
   emit("  \"required_speedup\": %.2f,\n", required);
   emit("  \"pass\": %s,\n", pass ? "true" : "false");
+  emit("  \"stage_breakdown\": [\n");
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageRow& s = stages[i];
+    emit("    {\"stage\": \"%s\", \"count\": %lld, \"p50_ms\": %.3f, "
+         "\"p99_ms\": %.3f, \"total_ms\": %.1f}%s\n",
+         s.name.c_str(), static_cast<long long>(s.count), s.p50_ms, s.p99_ms,
+         s.total_ms, i + 1 < stages.size() ? "," : "");
+  }
+  emit("  ],\n");
   emit("  \"thread_scaling\": [\n");
   for (size_t i = 0; i < scale_rows.size(); ++i) {
     const ScaleRow& r = scale_rows[i];
@@ -234,9 +354,10 @@ int main(int argc, char** argv) {
   if (!pass) {
     std::fprintf(stderr,
                  "FAIL: scheduled %.2fx vs serial (required >= %.2fx at %d "
-                 "hardware threads)%s\n",
-                 speedup, required, hw_threads,
-                 identical ? "" : " and results differ");
+                 "hardware threads), traced %.3fx of untraced (required >= "
+                 "%.2fx)%s\n",
+                 speedup, required, hw_threads, tracing_overhead,
+                 required_overhead, identical ? "" : "; results differ");
     return 1;
   }
   return 0;

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate and summarize a DOINN Chrome Trace Event Format file.
+
+    python3 scripts/trace_summary.py trace.json
+
+Checks the structural invariants the trace recorder promises
+(src/runtime/trace.h), then prints a per-stage latency table:
+
+  - the document is a JSON object with a "traceEvents" array;
+  - every event carries the keys its phase requires (name/cat/ph/pid/tid/ts
+    for spans and instants, plus dur for "X", id for "b"/"e", s for "i");
+  - complete spans ("X") nest properly per (pid, tid): spans on one thread
+    form a stack — a span that overlaps another without containing it (or
+    being contained by it) means the recorder emitted garbage;
+  - async spans pair up: every "b" has exactly one "e" with the same
+    (cat, id, name) and a timestamp >= the begin's.
+
+Exit status: 0 valid, 1 malformed trace, 2 usage error. CI pipes the
+serve-smoke bench trace through this, so a recorder regression that still
+produces superficially-loadable JSON fails the build.
+"""
+
+import json
+import sys
+
+# Timestamps are microseconds with ns precision (%.3f); two adjacent spans
+# may round to boundaries this far apart and still be well-nested.
+EPS_US = 0.002
+
+REQUIRED_BY_PHASE = {
+    "X": ("name", "cat", "ph", "pid", "tid", "ts", "dur"),
+    "b": ("name", "cat", "ph", "pid", "tid", "ts", "id"),
+    "e": ("name", "cat", "ph", "pid", "tid", "ts", "id"),
+    "i": ("name", "cat", "ph", "pid", "tid", "ts", "s"),
+    "M": ("name", "ph", "pid"),
+}
+
+
+def fail(msg):
+    print(f"trace_summary: MALFORMED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_required_keys(events):
+    for n, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None:
+            fail(f"event {n} has no ph")
+        required = REQUIRED_BY_PHASE.get(ph)
+        if required is None:
+            fail(f"event {n} has unknown ph {ph!r}")
+        missing = [k for k in required if k not in ev]
+        if missing:
+            fail(f"event {n} (ph {ph!r} {ev.get('name')!r}) missing {missing}")
+        if ph == "X" and ev["dur"] < 0:
+            fail(f"event {n} ({ev['name']!r}) has negative dur {ev['dur']}")
+
+
+def check_span_nesting(events):
+    """X-spans on one thread must form a stack when sorted by begin time."""
+    by_tid = {}
+    for ev in events:
+        if ev["ph"] == "X":
+            by_tid.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    for (pid, tid), spans in sorted(by_tid.items()):
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (name, end_ts) of currently-open enclosing spans
+        for ev in spans:
+            begin, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and begin >= stack[-1][1] - EPS_US:
+                stack.pop()
+            if stack and end > stack[-1][1] + EPS_US:
+                fail(
+                    f"tid {tid}: span {ev['name']!r} [{begin:.3f},"
+                    f" {end:.3f}] overlaps enclosing {stack[-1][0]!r}"
+                    f" ending at {stack[-1][1]:.3f}"
+                )
+            stack.append((ev["name"], end))
+
+
+def check_async_pairing(events):
+    begins = {}
+    for n, ev in enumerate(events):
+        if ev["ph"] not in ("b", "e"):
+            continue
+        key = (ev["cat"], ev["id"], ev["name"])
+        if ev["ph"] == "b":
+            if key in begins:
+                fail(f"duplicate async begin for {key}")
+            begins[key] = ev
+        else:
+            begin = begins.pop(key, None)
+            if begin is None:
+                fail(f"event {n}: async end without begin for {key}")
+            if ev["ts"] < begin["ts"] - EPS_US:
+                fail(f"async span {key} ends before it begins")
+    if begins:
+        fail(f"{len(begins)} async begin(s) without an end, e.g. "
+             f"{next(iter(begins))}")
+
+
+def percentile(sorted_vals, q):
+    """Nearest-rank percentile, matching src/runtime/percentile.h."""
+    import math
+
+    rank = max(0, math.ceil(q * len(sorted_vals)) - 1)
+    return sorted_vals[min(rank, len(sorted_vals) - 1)]
+
+
+def summarize(events):
+    durs_ms = {}
+    for ev in events:
+        if ev["ph"] == "X":
+            durs_ms.setdefault(ev["name"], []).append(ev["dur"] / 1e3)
+    # Async spans: duration = matching end ts - begin ts.
+    begins = {}
+    for ev in events:
+        if ev["ph"] == "b":
+            begins[(ev["cat"], ev["id"], ev["name"])] = ev["ts"]
+        elif ev["ph"] == "e":
+            ts0 = begins.get((ev["cat"], ev["id"], ev["name"]))
+            if ts0 is not None:
+                durs_ms.setdefault(ev["name"], []).append((ev["ts"] - ts0) / 1e3)
+
+    rows = []
+    for name, durs in durs_ms.items():
+        durs.sort()
+        rows.append((sum(durs), name, len(durs),
+                     percentile(durs, 0.50), percentile(durs, 0.99)))
+    rows.sort(reverse=True)
+    print(f"{'stage':<28}{'count':>8}{'p50 ms':>12}{'p99 ms':>12}"
+          f"{'total ms':>12}")
+    for total, name, count, p50, p99 in rows:
+        print(f"{name:<28}{count:>8}{p50:>12.3f}{p99:>12.3f}{total:>12.1f}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"trace_summary: cannot read {sys.argv[1]}: {e}",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail('document is not an object with a "traceEvents" array')
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail('"traceEvents" is not an array')
+
+    check_required_keys(events)
+    check_span_nesting(events)
+    check_async_pairing(events)
+
+    n_spans = sum(1 for e in events if e["ph"] == "X")
+    n_async = sum(1 for e in events if e["ph"] == "b")
+    n_instants = sum(1 for e in events if e["ph"] == "i")
+    tids = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
+    print(f"{sys.argv[1]}: valid — {n_spans} spans, {n_async} async spans, "
+          f"{n_instants} instants across {len(tids)} thread(s)")
+    if n_spans or n_async:
+        summarize(events)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped through `head`
+        sys.exit(0)

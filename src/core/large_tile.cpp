@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "autograd/grad_mode.h"
+#include "runtime/trace.h"
 
 namespace litho::core {
 
@@ -34,6 +35,8 @@ ag::Variable LargeTilePredictor::stitched_gp(const Tensor& mask,
   // is suppressed per worker.
   auto process_clips = [&](int64_t c0, int64_t c1) {
     ag::NoGradGuard no_grad;
+    DOINN_TRACE_SCOPE("large_tile.clips", "large_tile", "first", c0, "count",
+                      c1 - c0);
     Tensor clip({1, 1, tile, tile});
     for (int64_t idx = c0; idx < c1; ++idx) {
       const int64_t i = idx / cols, j = idx % cols;
@@ -63,10 +66,14 @@ ag::Variable LargeTilePredictor::stitched_gp(const Tensor& mask,
       }
     }
   };
-  if (pool != nullptr) {
-    pool->parallel_for(rows * cols, process_clips);
-  } else {
-    process_clips(0, rows * cols);
+  {
+    DOINN_TRACE_SCOPE("large_tile.gp_fanout", "large_tile", "clips",
+                      rows * cols);
+    if (pool != nullptr) {
+      pool->parallel_for(rows * cols, process_clips);
+    } else {
+      process_clips(0, rows * cols);
+    }
   }
   return ag::Variable(stitched, false);
 }
@@ -77,6 +84,8 @@ Tensor LargeTilePredictor::predict(const Tensor& mask,
   // concurrent engine predictions share an already-eval model.
   if (model_.training()) model_.set_training(false);
   ag::Variable gp = stitched_gp(mask, pool);
+  DOINN_TRACE_SCOPE("large_tile.lp_ir", "large_tile", "h", mask.size(0), "w",
+                    mask.size(1));
   Tensor x = mask.clone().reshape({1, 1, mask.size(0), mask.size(1)});
   ag::Variable out = model_.forward_from_gp(gp, ag::Variable(x, false));
   return out.value().clone().reshape({mask.size(0), mask.size(1)});

@@ -5,6 +5,7 @@
 
 #include "fft/plan.h"
 #include "runtime/thread_pool.h"
+#include "runtime/trace.h"
 #include "runtime/workspace.h"
 
 namespace litho::fft {
@@ -235,6 +236,7 @@ void fft1d_unnormalized(std::vector<std::complex<double>>& a, bool inverse) {
 
 CTensor fft2(const CTensor& x, bool inverse) {
   const Dims2 d = last_two_dims(x.shape());
+  DOINN_TRACE_SCOPE("fft.fft2", "fft", "batch", d.batch, "h", d.h, "w", d.w);
   CTensor out(x.shape());
   const float* re = x.re.data();
   const float* im = x.im.data();
@@ -266,6 +268,7 @@ CTensor fft2(const CTensor& x, bool inverse) {
 
 CTensor rfft2(const Tensor& x) {
   const Dims2 d = last_two_dims(x.shape());
+  DOINN_TRACE_SCOPE("fft.rfft2", "fft", "batch", d.batch, "h", d.h, "w", d.w);
   const int64_t wh = d.w / 2 + 1;
   Shape out_shape = x.shape();
   out_shape[out_shape.size() - 1] = wh;
@@ -289,6 +292,7 @@ CTensor rfft2(const Tensor& x) {
 
 Tensor irfft2(const CTensor& x, int64_t w) {
   const Dims2 d = last_two_dims(x.shape());
+  DOINN_TRACE_SCOPE("fft.irfft2", "fft", "batch", d.batch, "h", d.h, "w", w);
   if (d.w != w / 2 + 1) {
     throw std::invalid_argument("irfft2: half-spectrum width " +
                                 std::to_string(d.w) +

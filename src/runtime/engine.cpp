@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "autograd/grad_mode.h"
+#include "runtime/trace.h"
 
 namespace litho::runtime {
 
@@ -43,6 +44,8 @@ std::vector<Tensor> InferenceEngine::predict_batch(
   if (masks.empty()) return {};
   const int64_t h = masks.front().size(0), w = masks.front().size(1);
   const int64_t n = static_cast<int64_t>(masks.size());
+  DOINN_TRACE_SCOPE("engine.predict_batch", "engine", "batch_size", n, "h", h,
+                    "w", w);
   Tensor x({n, 1, h, w});
   for (int64_t i = 0; i < n; ++i) {
     const Tensor& m = masks[static_cast<size_t>(i)];
@@ -55,7 +58,10 @@ std::vector<Tensor> InferenceEngine::predict_batch(
 
   ag::NoGradGuard no_grad;
   ScopedPool scope(pool_.get());
-  ag::Variable out = model_->forward(ag::Variable(std::move(x), false));
+  ag::Variable out = [&] {
+    DOINN_TRACE_SCOPE("engine.forward", "engine", "batch_size", n);
+    return model_->forward(ag::Variable(std::move(x), false));
+  }();
   std::vector<Tensor> contours;
   contours.reserve(masks.size());
   for (int64_t i = 0; i < n; ++i) {
@@ -68,6 +74,8 @@ std::vector<Tensor> InferenceEngine::predict_batch(
 }
 
 Tensor InferenceEngine::predict_large(const Tensor& mask) {
+  DOINN_TRACE_SCOPE("engine.predict_large", "engine", "h", mask.size(0), "w",
+                    mask.size(1));
   ag::NoGradGuard no_grad;
   ScopedPool scope(pool_.get());
   return binarize(large_->predict(mask, pool_.get()));

@@ -1,0 +1,201 @@
+#include "runtime/metrics_registry.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "runtime/percentile.h"
+
+namespace litho::runtime {
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  // Bounded reservoir (Vitter's algorithm R): after the reservoir fills,
+  // each new value replaces a uniformly random slot with probability
+  // capacity / count.
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(v);
+  } else {
+    const auto slot =
+        static_cast<size_t>(rng_() % static_cast<uint64_t>(count_));
+    if (slot < capacity_) reservoir_[slot] = v;
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  std::vector<double> sample;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    sample = reservoir_;
+  }
+  if (s.count > 0) s.mean = s.sum / static_cast<double>(s.count);
+  if (!sample.empty()) {
+    std::sort(sample.begin(), sample.end());
+    auto rank = [&sample](double q) {
+      const auto r = static_cast<size_t>(
+          std::max<long long>(0, static_cast<long long>(std::ceil(
+                                     q * static_cast<double>(sample.size()))) -
+                                     1));
+      return sample[std::min(r, sample.size() - 1)];
+    };
+    s.p50 = rank(0.50);
+    s.p90 = rank(0.90);
+    s.p99 = rank(0.99);
+  }
+  return s;
+}
+
+double Histogram::percentile(double q) const {
+  std::vector<double> sample;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sample = reservoir_;
+  }
+  return nearest_rank_percentile(std::move(sample), q);
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reservoir_.clear();
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  rng_.seed(0x5eedfULL);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry;  // leaked: metrics may
+                                                      // be read at exit
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      size_t reservoir_capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(reservoir_capacity);
+  return *slot;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::dump_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + std::to_string(g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": " + std::to_string(s.count);
+    out += ", \"sum\": ";
+    append_number(out, s.sum);
+    out += ", \"mean\": ";
+    append_number(out, s.mean);
+    out += ", \"min\": ";
+    append_number(out, s.min);
+    out += ", \"max\": ";
+    append_number(out, s.max);
+    out += ", \"p50\": ";
+    append_number(out, s.p50);
+    out += ", \"p90\": ";
+    append_number(out, s.p90);
+    out += ", \"p99\": ";
+    append_number(out, s.p99);
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "metrics: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string json = dump_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "metrics: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace litho::runtime

@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "runtime/percentile.h"
+#include "runtime/trace.h"
 
 namespace litho::runtime {
 
@@ -22,7 +22,20 @@ SchedulerOptions clamp_options(SchedulerOptions opts) {
 }  // namespace
 
 Scheduler::Scheduler(InferenceEngine& engine, SchedulerOptions opts)
-    : engine_(engine), opts_(clamp_options(opts)), tile_(engine.config().tile) {
+    : engine_(engine),
+      opts_(clamp_options(opts)),
+      tile_(engine.config().tile),
+      owned_metrics_(opts.metrics != nullptr ? nullptr
+                                             : new MetricsRegistry),
+      metrics_(opts.metrics != nullptr ? opts.metrics : owned_metrics_.get()),
+      m_submitted_(metrics_->counter("scheduler.requests_submitted")),
+      m_completed_(metrics_->counter("scheduler.requests_completed")),
+      m_failed_(metrics_->counter("scheduler.requests_failed")),
+      m_batches_(metrics_->counter("scheduler.batches_dispatched")),
+      m_batched_requests_(metrics_->counter("scheduler.batched_requests")),
+      m_large_(metrics_->counter("scheduler.large_dispatches")),
+      m_max_queue_depth_(metrics_->gauge("scheduler.queue_depth_max")),
+      m_latency_ms_(metrics_->histogram("scheduler.request_latency_ms")) {
   if (opts_.max_batch < 1) {
     throw std::invalid_argument("Scheduler: max_batch must be >= 1");
   }
@@ -40,6 +53,15 @@ Scheduler::Scheduler(InferenceEngine& engine, SchedulerOptions opts)
 Scheduler::~Scheduler() { shutdown(); }
 
 std::future<Tensor> Scheduler::submit(Tensor mask) {
+  // Internal ids share the u64 space with doinn_serve's small external
+  // ids; the high bit keeps traces mixing both unambiguous.
+  return submit(std::move(mask),
+                (uint64_t{1} << 63) |
+                    (next_request_id_.fetch_add(1, std::memory_order_relaxed) +
+                     1));
+}
+
+std::future<Tensor> Scheduler::submit(Tensor mask, uint64_t request_id) {
   if (mask.dim() != 2) {
     throw std::invalid_argument("Scheduler::submit expects a 2-D mask");
   }
@@ -54,11 +76,17 @@ std::future<Tensor> Scheduler::submit(Tensor mask) {
   Request req;
   req.mask = std::move(mask);
   req.enqueued = Clock::now();
+  req.id = request_id;
   std::future<Tensor> future = req.promise.get_future();
   queue_.push_back(std::move(req));
-  ++submitted_;
-  max_queue_depth_ =
-      std::max(max_queue_depth_, static_cast<int64_t>(queue_.size()));
+  m_submitted_.add();
+  m_max_queue_depth_.update_max(static_cast<int64_t>(queue_.size()));
+  if (trace::enabled()) {
+    trace::emit_instant(
+        "sched.enqueue", "sched",
+        {{"req", static_cast<int64_t>(request_id)},
+         {"queue_depth", static_cast<int64_t>(queue_.size())}});
+  }
   work_cv_.notify_one();
   return future;
 }
@@ -109,23 +137,11 @@ Scheduler::FrontRun Scheduler::front_run_locked() const {
   return run;
 }
 
-void Scheduler::record_latency_locked(const Request& req, int64_t* counter) {
-  ++*counter;
-  const double ms =
+void Scheduler::record_outcome(const Request& req, Counter& counter) {
+  counter.add();
+  m_latency_ms_.record(
       std::chrono::duration<double, std::milli>(Clock::now() - req.enqueued)
-          .count();
-  // Bounded reservoir sample (Vitter's algorithm R) so a long-lived server
-  // keeps O(1) memory and stats() stays cheap: after the reservoir fills,
-  // each new latency replaces a uniformly random slot with probability
-  // capacity / seen.
-  const int64_t seen = completed_ + failed_;
-  if (latencies_ms_.size() < kLatencyReservoir) {
-    latencies_ms_.push_back(ms);
-  } else {
-    const auto slot = static_cast<size_t>(
-        reservoir_rng_() % static_cast<uint64_t>(seen));
-    if (slot < kLatencyReservoir) latencies_ms_[slot] = ms;
-  }
+          .count());
 }
 
 void Scheduler::fulfill(std::vector<Request>& batch, bool large) {
@@ -143,28 +159,34 @@ void Scheduler::fulfill(std::vector<Request>& batch, bool large) {
   } catch (...) {
     error = std::current_exception();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  // All metrics land before any promise resolves: a caller that wakes on
+  // future.get() and immediately reads stats() must already see this batch
+  // (the counters are lock-free, so resolution order is the only fence).
+  for (const Request& r : batch) {
+    record_outcome(r, error ? m_failed_ : m_completed_);
+  }
+  if (large) {
+    m_large_.add();
+  } else {
+    m_batches_.add();
+    m_batched_requests_.add(static_cast<int64_t>(batch.size()));
+  }
   for (size_t i = 0; i < batch.size(); ++i) {
     if (error) {
       batch[i].promise.set_exception(error);
-      record_latency_locked(batch[i], &failed_);
     } else {
       batch[i].promise.set_value(std::move(results[i]));
-      record_latency_locked(batch[i], &completed_);
     }
-  }
-  if (large) {
-    ++large_;
-  } else {
-    ++batches_;
-    batched_requests_ += static_cast<int64_t>(batch.size());
   }
 }
 
 void Scheduler::dispatch_loop() {
+  trace::set_thread_name("sched-dispatcher");
   for (;;) {
     std::vector<Request> batch;
     bool large = false;
+    const char* flush_reason = "deadline";
+    uint64_t batch_id = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
@@ -180,6 +202,16 @@ void Scheduler::dispatch_loop() {
       });
       const FrontRun run = front_run_locked();
       large = run.large;
+      if (run.large) {
+        flush_reason = "large";
+      } else if (run.count >= opts_.max_batch) {
+        flush_reason = "full";
+      } else if (run.closed) {
+        flush_reason = "shape_break";
+      } else if (draining_) {
+        flush_reason = "drain";
+      }
+      batch_id = ++batch_seq_;
       batch.reserve(static_cast<size_t>(run.count));
       for (int i = 0; i < run.count; ++i) {
         batch.push_back(std::move(queue_.front()));
@@ -189,32 +221,46 @@ void Scheduler::dispatch_loop() {
       // next batch while this one computes.
       space_cv_.notify_all();
     }
-    fulfill(batch, large);
+    if (trace::enabled()) {
+      // Per-request queue-wait intervals overlap within a batch, so they go
+      // out as async spans correlated by request id rather than nested
+      // stack spans on the dispatcher tid.
+      const int64_t popped_ns = trace::now_ns();
+      for (const Request& r : batch) {
+        const int64_t enq_ns = trace::to_trace_ns(r.enqueued);
+        trace::emit_async("sched.queue_wait", "sched", r.id, enq_ns,
+                          popped_ns - enq_ns,
+                          {{"req", static_cast<int64_t>(r.id)},
+                           {"batch", static_cast<int64_t>(batch_id)}});
+      }
+    }
+    {
+      trace::ScopedSpan span("sched.dispatch", "sched", "batch",
+                             static_cast<int64_t>(batch_id), "batch_size",
+                             static_cast<int64_t>(batch.size()));
+      span.sarg("flush", flush_reason);
+      fulfill(batch, large);
+    }
   }
 }
 
 SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
-  std::vector<double> latencies;
+  s.submitted = m_submitted_.value();
+  s.completed = m_completed_.value();
+  s.failed = m_failed_.value();
+  s.batches = m_batches_.value();
+  s.batched_requests = m_batched_requests_.value();
+  s.large = m_large_.value();
+  s.max_queue_depth = m_max_queue_depth_.value();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    s.submitted = submitted_;
-    s.completed = completed_;
-    s.failed = failed_;
-    s.batches = batches_;
-    s.batched_requests = batched_requests_;
-    s.large = large_;
-    s.max_queue_depth = max_queue_depth_;
     s.queue_depth = static_cast<int64_t>(queue_.size());
-    latencies = latencies_ms_;
   }
-  if (!latencies.empty()) {
-    double sum = 0.0;
-    for (double v : latencies) sum += v;
-    s.latency_ms_mean = sum / static_cast<double>(latencies.size());
-    s.latency_ms_p50 = nearest_rank_percentile(latencies, 0.50);
-    s.latency_ms_p99 = nearest_rank_percentile(std::move(latencies), 0.99);
-  }
+  const Histogram::Snapshot lat = m_latency_ms_.snapshot();
+  s.latency_ms_p50 = lat.p50;
+  s.latency_ms_p99 = lat.p99;
+  s.latency_ms_mean = lat.mean;
   return s;
 }
 

@@ -12,19 +12,28 @@
 // unbatched path (see InferenceEngine), so every coalescing pattern — any
 // batch composition, any flush timing, any client thread count — yields
 // bitwise identical per-request results.
+//
+// Observability: all counters and the latency distribution live in a
+// MetricsRegistry (scheduler.* names; private to this scheduler unless
+// SchedulerOptions.metrics points at a shared registry), and when runtime
+// tracing is on (src/runtime/trace.h) the dispatcher records per-request
+// queue-wait spans (async, correlated by request id), per-batch dispatch
+// spans carrying batch id / size / flush reason, and enqueue instants.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <random>
 #include <thread>
 #include <vector>
 
 #include "runtime/engine.h"
+#include "runtime/metrics_registry.h"
 #include "tensor/tensor.h"
 
 namespace litho::runtime {
@@ -46,10 +55,15 @@ struct SchedulerOptions {
   /// requests are queued and not yet handed to the engine. Must be
   /// >= max_batch so a full batch can ever form.
   int queue_cap = 64;
+  /// Registry the scheduler.* metrics are registered in. nullptr (the
+  /// default) gives the scheduler a private registry, so concurrently
+  /// live schedulers never mix counts; doinn_serve passes
+  /// &MetricsRegistry::global() so one dump covers the whole process.
+  MetricsRegistry* metrics = nullptr;
 };
 
-/// Counters and latency summary exposed by Scheduler::stats(). All values
-/// are a consistent snapshot taken under the scheduler lock.
+/// Counters and latency summary exposed by Scheduler::stats(), snapshotted
+/// from the scheduler's metrics registry.
 struct SchedulerStats {
   int64_t submitted = 0;        ///< requests accepted by submit()
   int64_t completed = 0;        ///< futures fulfilled with a contour
@@ -60,8 +74,9 @@ struct SchedulerStats {
   int64_t max_queue_depth = 0;  ///< high-water mark of the bounded queue
   int64_t queue_depth = 0;      ///< requests queued right now
   /// Per-request wall time from submit() to promise fulfillment, including
-  /// queueing delay. Nearest-rank percentiles over a bounded reservoir
-  /// sample of all completed requests; 0 when nothing completed.
+  /// queueing delay. Percentiles are nearest-rank over the histogram's
+  /// bounded reservoir; mean is exact over all completed requests. 0 when
+  /// nothing completed.
   double latency_ms_p50 = 0.0;
   double latency_ms_p99 = 0.0;
   double latency_ms_mean = 0.0;
@@ -100,7 +115,12 @@ class Scheduler {
   ///
   /// Tensor storage is shared, not copied: the caller must not mutate the
   /// mask's elements until the future resolves.
+  ///
+  /// The two-argument form threads an externally assigned correlation id
+  /// (doinn_serve's per-request id) through the trace spans; the
+  /// single-argument form assigns ids from an internal counter.
   std::future<Tensor> submit(Tensor mask);
+  std::future<Tensor> submit(Tensor mask, uint64_t request_id);
 
   /// Stops accepting new requests, waits until every queued request has
   /// been dispatched and its promise fulfilled, then joins the dispatcher.
@@ -108,8 +128,12 @@ class Scheduler {
   /// submitters get std::runtime_error).
   void shutdown();
 
-  /// Consistent snapshot of the counters and the latency distribution.
+  /// Snapshot of the counters and the latency distribution.
   SchedulerStats stats() const;
+
+  /// Registry holding the scheduler.* metrics (the options-provided one,
+  /// else the scheduler's private registry).
+  MetricsRegistry& metrics() const { return *metrics_; }
 
   const SchedulerOptions& options() const { return opts_; }
 
@@ -120,6 +144,7 @@ class Scheduler {
     Tensor mask;
     std::promise<Tensor> promise;
     Clock::time_point enqueued;
+    uint64_t id = 0;  // trace correlation id
   };
 
   /// Front-of-queue dispatch plan, computed under the lock.
@@ -132,11 +157,24 @@ class Scheduler {
   FrontRun front_run_locked() const;
   void dispatch_loop();
   void fulfill(std::vector<Request>& batch, bool large);
-  void record_latency_locked(const Request& req, int64_t* counter);
+  void record_outcome(const Request& req, Counter& counter);
 
   InferenceEngine& engine_;
   const SchedulerOptions opts_;
   const int64_t tile_;
+
+  // Metrics live in *metrics_ (owned unless SchedulerOptions.metrics was
+  // set); the references below are resolved once at construction.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  Counter& m_submitted_;
+  Counter& m_completed_;
+  Counter& m_failed_;
+  Counter& m_batches_;
+  Counter& m_batched_requests_;
+  Counter& m_large_;
+  Gauge& m_max_queue_depth_;
+  Histogram& m_latency_ms_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;     // dispatcher waits for work / drain
@@ -146,20 +184,8 @@ class Scheduler {
   bool draining_ = false;
   bool join_claimed_ = false;     // a shutdown() caller owns the join
   bool dispatcher_exited_ = false;
-
-  // Counters + a bounded reservoir sample of completed-request latencies,
-  // guarded by mutex_.
-  static constexpr size_t kLatencyReservoir = 4096;
-  int64_t submitted_ = 0;
-  int64_t completed_ = 0;
-  int64_t failed_ = 0;
-  int64_t batches_ = 0;
-  int64_t batched_requests_ = 0;
-  int64_t large_ = 0;
-  int64_t max_queue_depth_ = 0;
-  std::vector<double> latencies_ms_;
-  std::mt19937_64 reservoir_rng_{0x5eedfULL};  // stats sampling only — never
-                                               // touches prediction results
+  std::atomic<uint64_t> next_request_id_{0};  // ids for the 1-arg submit()
+  uint64_t batch_seq_ = 0;  // trace batch correlation ids (dispatcher only)
 
   std::thread dispatcher_;
 };

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "autograd/grad_mode.h"
+#include "runtime/trace.h"
 
 namespace litho::runtime {
 
@@ -63,6 +64,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop() {
   this_thread_is_worker = true;
   worker_owner = this;
+  trace::set_thread_name("pool-worker");
   for (;;) {
     std::function<void()> task;
     {

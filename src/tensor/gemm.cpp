@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "runtime/thread_pool.h"
+#include "runtime/trace.h"
 #include "runtime/workspace.h"
 #include "tensor/gemm_kernels.h"
 
@@ -60,6 +61,10 @@ void run_col_block(const PackedA* pa, GemmLayout layout, const float* a_raw,
   const int64_t j0 = block * kGemmNC;
   const int64_t j1 = std::min(j0 + kGemmNC, n);
   if (m <= 0 || j0 >= j1) return;
+  // Coarse pack+compute span per column block; runs on whichever pool
+  // worker owns the block, so traces show the GEMM fan-out.
+  DOINN_TRACE_SCOPE("gemm.col_block", "gemm", "m", m, "k", k, "cols",
+                    j1 - j0);
   if (k <= 0) {
     // beta=0 with an empty contraction: C is the bias (or zero), exactly as
     // the legacy kernels' std::fill produced.
@@ -266,6 +271,7 @@ void gemm_col_block(GemmLayout layout, const float* a, int64_t m, int64_t k,
 void packed_gemm(GemmLayout layout, const float* a, const float* b, float* c,
                  int64_t m, int64_t k, int64_t n, const GemmEpilogue& ep) {
   if (m <= 0 || n <= 0) return;
+  DOINN_TRACE_SCOPE("gemm.packed", "gemm", "m", m, "k", k, "n", n);
   const StridedBPacker bp(b, layout == GemmLayout::kNT ? k : n,
                           layout == GemmLayout::kNT);
   const int64_t blocks = gemm_col_blocks(n);
