@@ -1,0 +1,275 @@
+// doinn_client — command-line client and load generator for doinn_serve's
+// socket mode (--listen), speaking the framed protocol of
+// src/net/protocol.h.
+//
+//   doinn_client --connect <host:port> --mask mask.pgm --out contour.pgm
+//   doinn_client --connect <host:port> --manifest requests.txt
+//               [--concurrency 4] [--repeat 1] [--busy-retry-ms 5]
+//   doinn_client --connect <host:port> --shutdown
+//
+// Single-request mode sends one mask and writes the contour PGM — the
+// output is byte-identical to what manifest mode would have written for
+// the same mask, because the wire format quantizes exactly like
+// io::write_pgm and the server decodes exactly like io::read_pgm.
+//
+// Manifest mode reads the same `<mask.pgm> <out.pgm>` lines doinn_serve's
+// --manifest mode consumes and replays them closed-loop over
+// --concurrency connections (each worker thread owns one connection and
+// keeps exactly one request in flight). A BUSY reply — the server's
+// reject-based backpressure — is retried after --busy-retry-ms, so the
+// generator measures sustainable throughput rather than wedging the
+// server's queue. --repeat N cycles the request list N times. On
+// completion it prints request counts, BUSY retries, throughput, and
+// latency percentiles.
+//
+// --shutdown sends a SHUTDOWN frame: the server drains in-flight work and
+// exits.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "args.h"
+#include "io/io.h"
+#include "net/client.h"
+
+using namespace litho;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+Endpoint parse_endpoint(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    throw std::runtime_error("--connect expects <host:port>, got '" + spec +
+                             "'");
+  }
+  const long port = std::stol(spec.substr(colon + 1));
+  if (port <= 0 || port > 65535) {
+    throw std::runtime_error("--connect port out of range in '" + spec + "'");
+  }
+  return {spec.substr(0, colon), static_cast<uint16_t>(port)};
+}
+
+struct Request {
+  std::string mask_path;
+  std::string out_path;
+};
+
+std::vector<Request> load_manifest(const std::string& path) {
+  std::ifstream manifest(path);
+  if (!manifest) {
+    throw std::runtime_error("cannot open manifest " + path);
+  }
+  std::vector<Request> requests;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(manifest, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#' || line == "__shutdown__") continue;
+    std::istringstream fields(line);
+    Request req;
+    if (!(fields >> req.mask_path >> req.out_path)) {
+      std::fprintf(stderr, "skipping malformed manifest line %zu: %s\n",
+                   lineno, line.c_str());
+      continue;
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+/// Closed-loop worker: one connection, one request in flight, BUSY retried
+/// after a fixed backoff. Workers pull the next request index from a
+/// shared atomic so the load is balanced regardless of per-mask cost.
+struct WorkerResult {
+  int64_t ok = 0;
+  int64_t errors = 0;
+  int64_t busy_retries = 0;
+  std::vector<double> latencies_ms;
+};
+
+WorkerResult run_worker(const Endpoint& endpoint,
+                        const std::vector<Request>& requests,
+                        std::atomic<size_t>& next, size_t total,
+                        long busy_retry_ms) {
+  WorkerResult result;
+  net::Client client(endpoint.host, endpoint.port);
+  for (;;) {
+    const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total) break;
+    const Request& req = requests[i % requests.size()];
+    try {
+      const Tensor mask = io::read_pgm(req.mask_path);
+      const auto t0 = Clock::now();
+      for (;;) {
+        client.send_predict(i + 1, mask);
+        net::Reply reply = client.read_reply();
+        if (reply.type == net::FrameType::kBusy) {
+          ++result.busy_retries;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(busy_retry_ms));
+          continue;
+        }
+        if (reply.type == net::FrameType::kError) {
+          throw std::runtime_error(reply.error);
+        }
+        if (reply.type != net::FrameType::kContour ||
+            reply.request_id != i + 1) {
+          throw std::runtime_error("unexpected reply frame");
+        }
+        io::write_pgm(req.out_path, reply.contour);
+        break;
+      }
+      result.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count());
+      ++result.ok;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "request %s failed: %s\n", req.mask_path.c_str(),
+                   e.what());
+      ++result.errors;
+    }
+  }
+  return result;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void usage() {
+  std::printf(
+      "usage: doinn_client --connect <host:port> --mask m.pgm --out c.pgm\n"
+      "       doinn_client --connect <host:port> --manifest requests.txt\n"
+      "                    [--concurrency 4] [--repeat 1]\n"
+      "                    [--busy-retry-ms 5]\n"
+      "       doinn_client --connect <host:port> --shutdown\n"
+      "Drives doinn_serve --listen over the framed TCP protocol. Manifest\n"
+      "mode replays <mask.pgm> <out.pgm> lines closed-loop over\n"
+      "--concurrency connections, retrying BUSY replies; --shutdown asks\n"
+      "the server to drain and exit.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const apps::Args args(argc, argv, /*start=*/1);
+    if (args.get_bool("help") || !args.has("connect")) {
+      usage();
+      return args.get_bool("help") ? 0 : 2;
+    }
+    const Endpoint endpoint = parse_endpoint(args.get("connect"));
+
+    if (args.get_bool("shutdown")) {
+      net::Client client(endpoint.host, endpoint.port);
+      client.send_shutdown();
+      std::printf("doinn_client: shutdown sent to %s:%u\n",
+                  endpoint.host.c_str(),
+                  static_cast<unsigned>(endpoint.port));
+      return 0;
+    }
+
+    if (args.has("mask")) {
+      if (!args.has("out")) {
+        std::fprintf(stderr, "error: --mask requires --out\n");
+        return 2;
+      }
+      net::Client client(endpoint.host, endpoint.port);
+      const Tensor mask = io::read_pgm(args.get("mask"));
+      const auto t0 = Clock::now();
+      const Tensor contour = client.predict(1, mask);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      io::write_pgm(args.get("out"), contour);
+      std::printf("doinn_client: %s -> %s in %.1f ms\n",
+                  args.get("mask").c_str(), args.get("out").c_str(), ms);
+      return 0;
+    }
+
+    if (!args.has("manifest")) {
+      usage();
+      return 2;
+    }
+    const std::vector<Request> requests = load_manifest(args.get("manifest"));
+    if (requests.empty()) {
+      std::fprintf(stderr, "error: manifest has no requests\n");
+      return 1;
+    }
+    const size_t concurrency =
+        static_cast<size_t>(args.get_positive_int("concurrency", 4));
+    const size_t repeat =
+        static_cast<size_t>(args.get_positive_int("repeat", 1));
+    const long busy_retry_ms =
+        std::max<long>(0, args.get_int("busy-retry-ms", 5));
+    const size_t total = requests.size() * repeat;
+
+    std::atomic<size_t> next{0};
+    std::vector<WorkerResult> results(concurrency);
+    const auto t_start = Clock::now();
+    {
+      std::vector<std::thread> workers;
+      workers.reserve(concurrency);
+      for (size_t w = 0; w < concurrency; ++w) {
+        workers.emplace_back([&, w] {
+          try {
+            results[w] = run_worker(endpoint, requests, next, total,
+                                    busy_retry_ms);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "worker %zu died: %s\n", w, e.what());
+            results[w].errors += 1;
+          }
+        });
+      }
+      for (std::thread& t : workers) t.join();
+    }
+    const double total_s =
+        std::chrono::duration<double>(Clock::now() - t_start).count();
+
+    int64_t ok = 0, errors = 0, busy_retries = 0;
+    std::vector<double> latencies;
+    for (WorkerResult& r : results) {
+      ok += r.ok;
+      errors += r.errors;
+      busy_retries += r.busy_retries;
+      latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                       r.latencies_ms.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    std::printf(
+        "doinn_client: %lld ok, %lld errors, %lld busy retries over %zu "
+        "connections in %.2f s\n",
+        static_cast<long long>(ok), static_cast<long long>(errors),
+        static_cast<long long>(busy_retries), concurrency, total_s);
+    if (!latencies.empty()) {
+      std::printf(
+          "latency p50 %.1f ms, p99 %.1f ms; throughput %.2f req/s\n",
+          percentile(latencies, 0.50), percentile(latencies, 0.99),
+          static_cast<double>(ok) / std::max(total_s, 1e-9));
+    }
+    return errors == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -4,14 +4,28 @@
 //   doinn_serve --weights weights.bin --manifest requests.txt
 //               [--results results.txt] [--threads N] [--poll-ms 50]
 //               [--max-batch 8] [--max-delay-us 2000] [--queue-cap 64]
-//               [--once] [--trace-out trace.json] [--metrics-out metrics.json]
+//               [--adaptive-delay] [--once]
+//               [--trace-out trace.json] [--metrics-out metrics.json]
+//   doinn_serve --weights weights.bin --listen <port> [same tuning flags]
 //
-// The server watches a request manifest: a text file with one request per
-// line, `<mask_path> <out_path>` (masks are 8-bit PGM, outputs are written
-// as binarized contour PGMs). Lines are consumed in order; new lines
-// appended while the server runs are picked up on the next poll, so a
-// producer can stream work in. Only newline-terminated lines are consumed
-// (a line still being appended waits for the next poll).
+// Two front ends share the scheduler-backed serving core:
+//
+//   manifest mode (--manifest) watches a request manifest: a text file
+//   with one request per line, `<mask_path> <out_path>` (masks are 8-bit
+//   PGM, outputs are written as binarized contour PGMs). Lines are
+//   consumed in order; new lines appended while the server runs are
+//   picked up on the next poll, so a producer can stream work in. Only
+//   newline-terminated lines are consumed (a line still being appended
+//   waits for the next poll), and a truncated/rotated manifest is
+//   detected and reprocessed from the start (apps/manifest_tail.h).
+//
+//   socket mode (--listen <port>, 0 for an ephemeral port printed on
+//   startup) runs the epoll TCP front end of src/net/server.h: clients
+//   send framed mask images and receive framed contours (see
+//   src/net/protocol.h; apps/doinn_client.cpp is a ready-made client).
+//   Backpressure is reject-based — a full scheduler queue yields an
+//   immediate BUSY reply instead of blocking the event loop. SIGINT/
+//   SIGTERM (or a client SHUTDOWN frame) drain and stop.
 //
 // Concurrency model: the main thread reads masks and submits them to a
 // runtime::Scheduler, whose dispatcher coalesces queued tile-sized masks
@@ -64,6 +78,8 @@
 
 #include "args.h"
 #include "io/io.h"
+#include "manifest_tail.h"
+#include "net/server.h"
 #include "runtime/engine.h"
 #include "runtime/metrics_registry.h"
 #include "runtime/scheduler.h"
@@ -143,13 +159,19 @@ struct ServeStats {
       "serve.requests_error");
   runtime::Histogram& latency_ms = runtime::MetricsRegistry::global()
       .histogram("serve.latency_ms");
+  // Failed requests get their own histogram: errors resolve on a different
+  // timescale than successes (an unreadable mask fails in microseconds, a
+  // failed inference after the full queue wait), and mixing them into
+  // serve.latency_ms skewed the p50/p99 the SLO gate watches.
+  runtime::Histogram& error_latency_ms = runtime::MetricsRegistry::global()
+      .histogram("serve.error_latency_ms");
 };
 
 void record_error(ServeStats& stats, const std::string& results_path,
                   const std::string& mask_path, const std::string& out_path,
                   const std::string& error, double ms) {
   stats.errors.add();
-  stats.latency_ms.record(ms);
+  stats.error_latency_ms.record(ms);
   std::lock_guard<std::mutex> lock(stats.results_mutex);
   std::fprintf(stderr, "request %s failed: %s\n", mask_path.c_str(),
                error.c_str());
@@ -167,11 +189,25 @@ void writer_loop(CompletionQueue& completions, const std::string& results_path,
   while (completions.pop(req)) {
     bool ok = true;
     std::string error;
+    // Waiting for the contour and persisting it are separate spans: the
+    // wait measures scheduler lag, the write measures output I/O. Folding
+    // both into serve.write made every batch's non-first request look like
+    // a slow filesystem.
+    Tensor contour;
     {
+      DOINN_TRACE_SCOPE("serve.wait", "serve", "req",
+                        static_cast<int64_t>(req.id));
+      try {
+        contour = req.contour.get();
+      } catch (const std::exception& e) {
+        ok = false;
+        error = e.what();
+      }
+    }
+    if (ok) {
       DOINN_TRACE_SCOPE("serve.write", "serve", "req",
                         static_cast<int64_t>(req.id));
       try {
-        const Tensor contour = req.contour.get();
         io::write_pgm(req.out_path, contour);
       } catch (const std::exception& e) {
         ok = false;
@@ -201,6 +237,15 @@ extern "C" void on_sigusr1(int) {
 }
 #endif
 
+// SIGINT/SIGTERM in --listen mode => stop and drain the socket server.
+// Set before the handlers are installed; Server::stop() is
+// async-signal-safe.
+net::Server* g_server = nullptr;
+
+extern "C" void on_terminate(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
 /// Writes trace and/or metrics dumps for whichever outputs were requested.
 void dump_observability(const std::string& trace_out,
                         const std::string& metrics_out) {
@@ -220,14 +265,84 @@ void usage() {
       "usage: doinn_serve --weights weights.bin --manifest requests.txt\n"
       "                   [--results out.txt] [--threads N] [--poll-ms 50]\n"
       "                   [--max-batch 8] [--max-delay-us 2000]\n"
-      "                   [--queue-cap 64] [--once]\n"
+      "                   [--queue-cap 64] [--adaptive-delay] [--once]\n"
       "                   [--trace-out trace.json] [--metrics-out m.json]\n"
+      "       doinn_serve --weights weights.bin --listen <port>\n"
+      "                   [same tuning/observability flags]\n"
       "manifest lines: <mask.pgm> <contour_out.pgm>; `__shutdown__` stops\n"
-      "the server. --max-batch/--max-delay-us tune request coalescing;\n"
-      "--queue-cap bounds the request queue (submission blocks when full).\n"
-      "--trace-out enables tracing and writes Chrome Trace Event JSON on\n"
-      "shutdown; --metrics-out writes a metrics snapshot; SIGUSR1 dumps\n"
-      "both mid-run. See the header of apps/doinn_serve.cpp for details.\n");
+      "the server. --listen serves the framed TCP protocol instead (port 0\n"
+      "binds an ephemeral port, printed on startup; drive it with\n"
+      "doinn_client; SIGINT/SIGTERM drain and stop).\n"
+      "--max-batch/--max-delay-us tune request coalescing; --adaptive-delay\n"
+      "derives the flush delay from the observed arrival rate; --queue-cap\n"
+      "bounds the request queue (manifest submission blocks when full;\n"
+      "socket clients get a BUSY reply). --trace-out enables tracing and\n"
+      "writes Chrome Trace Event JSON on shutdown; --metrics-out writes a\n"
+      "metrics snapshot; SIGUSR1 dumps both mid-run. See the header of\n"
+      "apps/doinn_serve.cpp for details.\n");
+}
+
+/// Runs the epoll TCP front end until SIGINT/SIGTERM or a client SHUTDOWN
+/// frame, then drains and prints a summary. Returns the process exit code.
+int run_listen_mode(runtime::Scheduler& scheduler, uint16_t port,
+                    long poll_ms, const std::string& trace_out,
+                    const std::string& metrics_out) {
+  net::ServerOptions server_opts;
+  server_opts.port = port;
+  net::Server server(scheduler, server_opts,
+                     &runtime::MetricsRegistry::global());
+  g_server = &server;
+  std::signal(SIGINT, on_terminate);
+  std::signal(SIGTERM, on_terminate);
+  server.set_poll_handler(static_cast<int>(poll_ms), [&] {
+    if (g_dump_requested.exchange(false, std::memory_order_relaxed)) {
+      dump_observability(trace_out, metrics_out);
+    }
+  });
+  // The net-smoke script and the tests parse this line for the bound port.
+  std::printf("doinn_serve: listening on port %u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  const auto t_start = Clock::now();
+  server.run();
+  scheduler.shutdown();  // server.run() drained its own pending futures
+  const double total_s = ms_between(t_start, Clock::now()) / 1e3;
+  dump_observability(trace_out, metrics_out);
+
+  const net::ServerStats stats = server.stats();
+  std::printf(
+      "served %lld requests (%lld errors, %lld busy-rejected, %lld "
+      "protocol errors) over %lld connections in %.2f s\n",
+      static_cast<long long>(stats.requests_ok),
+      static_cast<long long>(stats.requests_error),
+      static_cast<long long>(stats.busy_rejected),
+      static_cast<long long>(stats.protocol_errors),
+      static_cast<long long>(stats.connections_accepted), total_s);
+  if (stats.requests_ok > 0) {
+    const runtime::Histogram::Snapshot lat =
+        runtime::MetricsRegistry::global()
+            .histogram("serve.latency_ms")
+            .snapshot();
+    std::printf("latency p50 %.1f ms, p99 %.1f ms; throughput %.2f req/s\n",
+                lat.p50, lat.p99,
+                static_cast<double>(stats.requests_ok) /
+                    std::max(total_s, 1e-9));
+  }
+  const runtime::SchedulerStats sched = scheduler.stats();
+  if (sched.batches + sched.large > 0) {
+    std::printf(
+        "scheduler: %lld batches (%.2f avg size), %lld large-tile "
+        "dispatches, %lld rejected, max queue depth %lld\n",
+        static_cast<long long>(sched.batches),
+        sched.batches > 0 ? static_cast<double>(sched.batched_requests) /
+                                static_cast<double>(sched.batches)
+                          : 0.0,
+        static_cast<long long>(sched.large),
+        static_cast<long long>(sched.rejected),
+        static_cast<long long>(sched.max_queue_depth));
+  }
+  return stats.requests_error == 0 && stats.protocol_errors == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -235,12 +350,18 @@ void usage() {
 int main(int argc, char** argv) {
   try {
     const apps::Args args(argc, argv, /*start=*/1);
+    const bool listen_mode = args.has("listen");
     if (args.get_bool("help") || !args.has("weights") ||
-        !args.has("manifest")) {
+        (!args.has("manifest") && !listen_mode)) {
       usage();
       return args.get_bool("help") ? 0 : 2;
     }
-    const std::string manifest_path = args.get("manifest");
+    if (listen_mode && args.has("manifest")) {
+      std::fprintf(stderr,
+                   "error: --listen and --manifest are mutually exclusive\n");
+      return 2;
+    }
+    const std::string manifest_path = args.get("manifest", "");
     const std::string results_path =
         args.get("results", manifest_path + ".results");
     const bool once = args.get_bool("once");
@@ -263,6 +384,7 @@ int main(int argc, char** argv) {
     runtime::SchedulerOptions sched_opts;
     sched_opts.max_batch = static_cast<int>(args.get_positive_int("max-batch", 8));
     sched_opts.max_delay_us = args.get_int("max-delay-us", 2000);
+    sched_opts.adaptive_delay = args.get_bool("adaptive-delay");
     sched_opts.queue_cap = static_cast<int>(args.get_positive_int(
         "queue-cap", std::max(64, 8 * sched_opts.max_batch)));
     if (sched_opts.max_delay_us < 0) {
@@ -281,11 +403,23 @@ int main(int argc, char** argv) {
     runtime::Scheduler scheduler(engine, sched_opts);
     std::printf(
         "doinn_serve: %d threads, %lld px tile model, batch<=%d within "
-        "%lld us, queue cap %d, watching %s\n",
+        "%lld us%s, queue cap %d, %s %s\n",
         engine.pool().size(), static_cast<long long>(engine.config().tile),
         sched_opts.max_batch, static_cast<long long>(sched_opts.max_delay_us),
-        sched_opts.queue_cap, manifest_path.c_str());
+        sched_opts.adaptive_delay ? " (adaptive)" : "", sched_opts.queue_cap,
+        listen_mode ? "serving TCP on port" : "watching",
+        listen_mode ? args.get("listen").c_str() : manifest_path.c_str());
     std::fflush(stdout);
+
+    if (listen_mode) {
+      const long port = args.get_int("listen", 0);
+      if (port < 0 || port > 65535) {
+        std::fprintf(stderr, "error: --listen port must be in [0, 65535]\n");
+        return 2;
+      }
+      return run_listen_mode(scheduler, static_cast<uint16_t>(port), poll_ms,
+                             trace_out, metrics_out);
+    }
 
     ServeStats stats;
     CompletionQueue completions(static_cast<size_t>(sched_opts.queue_cap));
@@ -313,29 +447,24 @@ int main(int argc, char** argv) {
       }
       std::vector<std::pair<std::string, std::string>> fresh;
       {
-        // Resume from the stored offset (no quadratic re-scan) and only
-        // consume newline-terminated lines: a line the producer is still
-        // appending is left for the next poll instead of being read
-        // truncated and then skipped forever.
-        std::ifstream manifest(manifest_path, std::ios::binary);
-        manifest.seekg(consumed_bytes);
-        std::string tail((std::istreambuf_iterator<char>(manifest)),
-                         std::istreambuf_iterator<char>());
         // In --once mode there is no next poll, so EOF terminates the final
         // line even without a newline.
-        if (once && !tail.empty() && tail.back() != '\n') tail += '\n';
-        const size_t complete = tail.rfind('\n');
-        if (complete == std::string::npos) {
+        apps::ManifestTail tail = apps::read_manifest_tail(
+            manifest_path, consumed_bytes, /*eof_ends_last_line=*/once);
+        if (tail.restarted) {
+          std::fprintf(stderr,
+                       "doinn_serve: manifest %s shrank (truncated or "
+                       "rotated); reprocessing from the start\n",
+                       manifest_path.c_str());
+          consumed_lines = 0;
+        }
+        if (tail.lines.empty()) {
           if (once) break;
           std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
           continue;
         }
-        consumed_bytes += static_cast<std::streamoff>(complete + 1);
-        std::istringstream lines(tail.substr(0, complete + 1));
-        std::string line;
-        while (std::getline(lines, line)) {
+        for (std::string& line : tail.lines) {
           ++consumed_lines;
-          if (!line.empty() && line.back() == '\r') line.pop_back();
           if (line.empty() || line[0] == '#') continue;
           if (line == "__shutdown__") {
             shutdown = true;

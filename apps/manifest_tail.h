@@ -1,0 +1,71 @@
+// Incremental manifest tailing for doinn_serve's watch loop, extracted so
+// tests/test_serve_manifest.cpp can exercise it directly (the same pattern
+// as apps/args.h).
+//
+// The manifest is an append-mostly text file consumed in one direction: a
+// byte offset tracks how far the server has read, each poll resumes there
+// (no quadratic re-scan), and only newline-terminated lines are consumed —
+// a line the producer is still appending waits for the next poll instead
+// of being read truncated and then skipped forever.
+//
+// Rotation/truncation: when the file is now *smaller* than the stored
+// offset, the producer truncated or rotated it. Seeking to the stale
+// offset would land past EOF and every subsequent poll would read nothing
+// — the server idles forever while new lines accumulate below the offset.
+// read_manifest_tail() detects the shrink, resets the offset to zero, and
+// reports it so the caller can log that the file restarted.
+#pragma once
+
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace litho::apps {
+
+/// One poll's worth of freshly consumed manifest lines.
+struct ManifestTail {
+  /// Complete lines in file order, newline (and a trailing CR) stripped.
+  std::vector<std::string> lines;
+  /// The file shrank below the consumed offset (truncation/rotation); the
+  /// offset was reset and `lines` holds the file's content from the start.
+  bool restarted = false;
+};
+
+/// Reads the newline-terminated lines past @p consumed_bytes and advances
+/// the offset past them. @p eof_ends_last_line treats EOF as terminating
+/// an unterminated final line (--once mode, where no next poll exists).
+/// A missing/unreadable file yields an empty tail.
+inline ManifestTail read_manifest_tail(const std::string& path,
+                                       std::streamoff& consumed_bytes,
+                                       bool eof_ends_last_line = false) {
+  ManifestTail result;
+  std::ifstream manifest(path, std::ios::binary);
+  if (!manifest) return result;
+  manifest.seekg(0, std::ios::end);
+  const std::streamoff size = manifest.tellg();
+  if (size >= 0 && size < consumed_bytes) {
+    consumed_bytes = 0;
+    result.restarted = true;
+  }
+  manifest.seekg(consumed_bytes);
+  std::string tail((std::istreambuf_iterator<char>(manifest)),
+                   std::istreambuf_iterator<char>());
+  if (eof_ends_last_line && !tail.empty() && tail.back() != '\n') {
+    tail += '\n';
+  }
+  const size_t complete = tail.rfind('\n');
+  if (complete == std::string::npos) return result;
+  consumed_bytes += static_cast<std::streamoff>(complete + 1);
+  size_t start = 0;
+  while (start <= complete) {
+    const size_t nl = tail.find('\n', start);
+    std::string line = tail.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    result.lines.push_back(std::move(line));
+    start = nl + 1;
+  }
+  return result;
+}
+
+}  // namespace litho::apps

@@ -36,8 +36,17 @@
 // per-stage latency breakdown (count/p50/p99 per span name) written to
 // BENCH_serve.json and, with --trace-out, the full Chrome Trace Event
 // file that CI feeds through scripts/trace_summary.py.
+//
+// A fourth pass runs the same closed-loop clients through the TCP front
+// end (src/net/server.h over loopback, adaptive batching on): every
+// contour must be byte-identical on the wire to the quantized serial
+// result, throughput must hold >= 0.5x serial (framing + loopback on top
+// of the same compute), and the closed-loop p99 latency gates against an
+// SLO of 5x the ideal closed-loop round trip (kConcurrency / serial rate)
+// with a 100 ms floor for tiny quick-mode runs.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -47,6 +56,9 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
 #include "runtime/engine.h"
 #include "runtime/percentile.h"
 #include "runtime/scheduler.h"
@@ -244,6 +256,87 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty()) runtime::trace::write_json(trace_out);
 
+  // -- socket: the same closed loop through the TCP front end. Measures
+  // the full ingest -> scheduler -> completion -> write path plus framing
+  // and loopback TCP, and gates the closed-loop p99 against the SLO.
+  double socket_rps = 0.0;
+  double socket_p99_ms = 0.0;
+  bool socket_identical = true;
+  int64_t socket_busy = 0;
+  {
+    runtime::SchedulerOptions sock_opts = sched_opts;
+    sock_opts.adaptive_delay = true;
+    runtime::Scheduler sock_scheduler(engine, sock_opts);
+    net::Server server(sock_scheduler, net::ServerOptions{});
+    std::thread loop([&] { server.run(); });
+
+    std::vector<Tensor> socket_results(requests);
+    std::vector<double> latencies_ms(requests, 0.0);
+    std::atomic<size_t> next{0};
+    std::atomic<int64_t> busy{0};
+    const double secs = bench::seconds([&] {
+      std::vector<std::thread> clients;
+      clients.reserve(kConcurrency);
+      for (int c = 0; c < kConcurrency; ++c) {
+        clients.emplace_back([&] {
+          net::Client client("127.0.0.1", server.port());
+          for (;;) {
+            const size_t i = next.fetch_add(1);
+            if (i >= masks.size()) return;
+            const auto t0 = std::chrono::steady_clock::now();
+            for (;;) {
+              client.send_predict(i + 1, masks[i]);
+              net::Reply reply = client.read_reply();
+              if (reply.type == net::FrameType::kBusy) {
+                // Closed-loop in-flight fits the queue, so BUSY is rare
+                // (a dispatch racing the burst); retry after a beat.
+                busy.fetch_add(1);
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                continue;
+              }
+              socket_results[i] = std::move(reply.contour);
+              break;
+            }
+            latencies_ms[i] =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+    });
+    server.stop();
+    loop.join();
+    sock_scheduler.shutdown();
+    socket_rps = static_cast<double>(requests) / secs;
+    socket_busy = busy.load();
+    socket_p99_ms = runtime::nearest_rank_percentile(latencies_ms, 0.99);
+
+    // Wire identity: the socket contour re-encodes to exactly the bytes
+    // the serial result would produce — the PGM a socket client writes is
+    // byte-identical to manifest mode's output file.
+    for (size_t i = 0; i < requests; ++i) {
+      std::vector<uint8_t> socket_wire, serial_wire;
+      net::encode_image(socket_results[i], socket_wire);
+      net::encode_image(serial_results[i], serial_wire);
+      if (socket_wire != serial_wire) {
+        std::fprintf(stderr, "FAIL: request %zu differs between socket and "
+                             "serial\n", i);
+        socket_identical = false;
+      }
+    }
+  }
+  // SLO: 5x the ideal closed-loop round trip, floored at 100 ms so tiny
+  // quick-mode runs don't gate on scheduler wakeup granularity.
+  const double socket_slo_ms = std::max(
+      100.0, 5.0 * 1000.0 * kConcurrency / std::max(serial_rps, 1e-9));
+  std::fprintf(stderr,
+               "socket: %.2f req/s, p99 %.1f ms (SLO %.1f ms), %lld busy "
+               "retries\n",
+               socket_rps, socket_p99_ms, socket_slo_ms,
+               static_cast<long long>(socket_busy));
+
   // -- thread-scaling curve for the two engine entry points (full mode).
   struct ScaleRow {
     std::string mode;
@@ -287,8 +380,16 @@ int main(int argc, char** argv) {
   // Tracing must cost <= 5% throughput; --quick loosens to 15% because a
   // 32-request run on a shared runner has that much timer noise untraced.
   const double required_overhead = quick ? 0.85 : 0.95;
+  // Socket mode re-runs the same compute behind framing + loopback TCP:
+  // half of serial throughput is the floor, and the closed-loop p99 must
+  // meet the SLO.
+  const double required_socket_ratio = 0.5;
+  const double socket_ratio = socket_rps / std::max(serial_rps, 1e-9);
+  const bool socket_pass = socket_identical &&
+                           socket_ratio >= required_socket_ratio &&
+                           socket_p99_ms <= socket_slo_ms;
   const bool pass = identical && speedup >= required &&
-                    tracing_overhead >= required_overhead;
+                    tracing_overhead >= required_overhead && socket_pass;
 
   std::string json;
   char buf[512];
@@ -319,6 +420,15 @@ int main(int argc, char** argv) {
        static_cast<long long>(sched.max_queue_depth));
   emit("  \"latency_ms_p50\": %.3f,\n", sched.latency_ms_p50);
   emit("  \"latency_ms_p99\": %.3f,\n", sched.latency_ms_p99);
+  emit("  \"socket_reqs_per_s\": %.3f,\n", socket_rps);
+  emit("  \"socket_ratio_vs_serial\": %.3f,\n", socket_ratio);
+  emit("  \"required_socket_ratio\": %.2f,\n", required_socket_ratio);
+  emit("  \"socket_p99_ms\": %.3f,\n", socket_p99_ms);
+  emit("  \"socket_slo_ms\": %.3f,\n", socket_slo_ms);
+  emit("  \"socket_busy_retries\": %lld,\n",
+       static_cast<long long>(socket_busy));
+  emit("  \"socket_bitwise_identical\": %s,\n",
+       socket_identical ? "true" : "false");
   emit("  \"traced_reqs_per_s\": %.3f,\n", traced_rps);
   emit("  \"trace_dropped_events\": %llu,\n",
        static_cast<unsigned long long>(trace_dropped));
@@ -355,9 +465,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: scheduled %.2fx vs serial (required >= %.2fx at %d "
                  "hardware threads), traced %.3fx of untraced (required >= "
-                 "%.2fx)%s\n",
+                 "%.2fx), socket %.2fx vs serial (required >= %.2fx) p99 "
+                 "%.1f ms (SLO %.1f ms)%s%s\n",
                  speedup, required, hw_threads, tracing_overhead,
-                 required_overhead, identical ? "" : "; results differ");
+                 required_overhead, socket_ratio, required_socket_ratio,
+                 socket_p99_ms, socket_slo_ms,
+                 identical ? "" : "; results differ",
+                 socket_identical ? "" : "; socket results differ");
     return 1;
   }
   return 0;

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the socket serving front end.
+#
+# Trains a tiny model, renders reference contours through doinn_serve's
+# manifest mode, then starts `doinn_serve --listen 0` and drives it with
+# the doinn_client load generator over loopback. Asserts:
+#
+#   - the server comes up, serves the load, and drains cleanly on a
+#     SHUTDOWN frame (nonzero server exit fails the script);
+#   - every socket-mode contour is byte-identical to the manifest-mode
+#     output for the same mask (the transport-independence contract);
+#   - the Chrome trace written on shutdown validates and contains the
+#     full serving-path span taxonomy (serve.ingest, sched.queue_wait,
+#     sched.dispatch, serve.wait, serve.write).
+#
+# Usage: scripts/net_smoke.sh [build-dir]   (defaults to ./build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+for bin in doinn_cli doinn_serve doinn_client; do
+  if [ ! -x "$BUILD/$bin" ]; then
+    echo "net_smoke: $BUILD/$bin not built" >&2
+    exit 2
+  fi
+done
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== training a tiny model =="
+"$BUILD/doinn_cli" train --kind via --tile 64 --count 2 --epochs 1 \
+  --out "$WORK/weights.bin"
+
+echo "== generating masks =="
+for i in 1 2 3 4; do
+  "$BUILD/doinn_cli" generate --kind via --tile 64 --seed "$i" \
+    --out "$WORK/mask$i.pgm"
+done
+
+echo "== manifest-mode reference contours =="
+for i in 1 2 3 4; do
+  echo "$WORK/mask$i.pgm $WORK/ref$i.pgm"
+done > "$WORK/ref_manifest.txt"
+"$BUILD/doinn_serve" --weights "$WORK/weights.bin" \
+  --manifest "$WORK/ref_manifest.txt" --once
+
+echo "== starting doinn_serve --listen =="
+"$BUILD/doinn_serve" --weights "$WORK/weights.bin" --listen 0 \
+  --adaptive-delay --trace-out "$WORK/trace.json" \
+  --metrics-out "$WORK/metrics.json" > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on port \([0-9][0-9]*\).*/\1/p' \
+    "$WORK/server.log" | head -n 1)
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "net_smoke: server exited before listening" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "net_smoke: server never reported its port" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+fi
+echo "server is listening on port $PORT"
+
+echo "== driving the socket load =="
+for i in 1 2 3 4; do
+  echo "$WORK/mask$i.pgm $WORK/sock$i.pgm"
+done > "$WORK/sock_manifest.txt"
+"$BUILD/doinn_client" --connect "127.0.0.1:$PORT" \
+  --manifest "$WORK/sock_manifest.txt" --concurrency 2 --repeat 2
+
+echo "== draining via a SHUTDOWN frame =="
+"$BUILD/doinn_client" --connect "127.0.0.1:$PORT" --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+cat "$WORK/server.log"
+
+echo "== checking socket vs manifest byte identity =="
+for i in 1 2 3 4; do
+  cmp "$WORK/ref$i.pgm" "$WORK/sock$i.pgm" || {
+    echo "net_smoke: socket contour $i differs from manifest mode" >&2
+    exit 1
+  }
+done
+echo "all contours byte-identical"
+
+echo "== validating the trace =="
+python3 scripts/trace_summary.py "$WORK/trace.json" --require \
+  serve.ingest sched.queue_wait sched.dispatch serve.wait serve.write
+
+echo "net_smoke: PASS"

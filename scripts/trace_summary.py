@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate and summarize a DOINN Chrome Trace Event Format file.
 
-    python3 scripts/trace_summary.py trace.json
+    python3 scripts/trace_summary.py trace.json [--require name ...]
 
 Checks the structural invariants the trace recorder promises
 (src/runtime/trace.h), then prints a per-stage latency table:
@@ -15,9 +15,16 @@ Checks the structural invariants the trace recorder promises
   - async spans pair up: every "b" has exactly one "e" with the same
     (cat, id, name) and a timestamp >= the begin's.
 
+--require asserts that at least one span (complete or async) with each
+given name is present — CI uses it to pin the serving-path span taxonomy
+(serve.ingest, sched.queue_wait, sched.dispatch, serve.wait, serve.write),
+so silently losing a stage fails the build rather than shrinking the
+table.
+
 Exit status: 0 valid, 1 malformed trace, 2 usage error. CI pipes the
-serve-smoke bench trace through this, so a recorder regression that still
-produces superficially-loadable JSON fails the build.
+serve-smoke bench trace and the net-smoke socket trace through this, so a
+recorder regression that still produces superficially-loadable JSON fails
+the build.
 """
 
 import json
@@ -135,14 +142,25 @@ def summarize(events):
 
 
 def main():
-    if len(sys.argv) != 2:
+    argv = sys.argv[1:]
+    required_spans = []
+    if "--require" in argv:
+        split = argv.index("--require")
+        required_spans = argv[split + 1:]
+        argv = argv[:split]
+        if not required_spans:
+            print("trace_summary: --require needs span name(s)",
+                  file=sys.stderr)
+            return 2
+    if len(argv) != 1:
         print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
         return 2
+    path = argv[0]
     try:
-        with open(sys.argv[1]) as f:
+        with open(path) as f:
             doc = json.load(f)
     except OSError as e:
-        print(f"trace_summary: cannot read {sys.argv[1]}: {e}",
+        print(f"trace_summary: cannot read {path}: {e}",
               file=sys.stderr)
         return 2
     except json.JSONDecodeError as e:
@@ -158,11 +176,16 @@ def main():
     check_span_nesting(events)
     check_async_pairing(events)
 
+    span_names = {e["name"] for e in events if e["ph"] in ("X", "b")}
+    missing = [name for name in required_spans if name not in span_names]
+    if missing:
+        fail(f"required span(s) absent from the trace: {missing}")
+
     n_spans = sum(1 for e in events if e["ph"] == "X")
     n_async = sum(1 for e in events if e["ph"] == "b")
     n_instants = sum(1 for e in events if e["ph"] == "i")
     tids = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
-    print(f"{sys.argv[1]}: valid — {n_spans} spans, {n_async} async spans, "
+    print(f"{path}: valid — {n_spans} spans, {n_async} async spans, "
           f"{n_instants} instants across {len(tids)} thread(s)")
     if n_spans or n_async:
         summarize(events)

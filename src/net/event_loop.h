@@ -1,0 +1,84 @@
+// Minimal epoll-based event loop for the socket front end.
+//
+// Single-threaded readiness dispatch: file descriptors are registered with
+// an interest mask and a callback; run() blocks in epoll_wait and invokes
+// the callback of each ready descriptor on the loop thread. Two
+// cross-thread entry points exist, both async-signal-safe (one relaxed
+// atomic store plus an eventfd write, no locks): request_stop(), which
+// makes run() return after the current dispatch round — callable from a
+// SIGINT/SIGTERM handler — and wake(), which interrupts the epoll_wait so
+// the loop services work posted by another thread (the completion thread
+// hands finished contours back this way) via the wake handler.
+//
+// This is deliberately not a general-purpose reactor: no timers beyond a
+// single optional poll interval, no thread pool, level-triggered only.
+// The serving front end needs exactly "accept, read frames, write
+// replies, wake on completion" — see src/net/server.h.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+namespace litho::net {
+
+class EventLoop {
+ public:
+  /// Ready-callback: receives the epoll event bits (EPOLLIN, EPOLLOUT,
+  /// EPOLLHUP, ...). It may add()/remove() descriptors, including its own.
+  using FdCallback = std::function<void(uint32_t)>;
+
+  /// Creates the epoll instance and the wake eventfd; throws
+  /// std::runtime_error when the kernel refuses either.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers @p fd with interest @p events. The callback runs on the
+  /// loop thread only.
+  void add(int fd, uint32_t events, FdCallback cb);
+  /// Updates the interest mask of a registered descriptor.
+  void modify(int fd, uint32_t events);
+  /// Deregisters @p fd. Safe to call from a callback (a readiness event
+  /// already harvested for a removed fd is discarded, not dispatched).
+  void remove(int fd);
+
+  /// Dispatches events until request_stop(). When a poll handler is set,
+  /// epoll_wait uses that interval as its timeout and the handler runs
+  /// after every wait, ready or not — the listen-mode hook for SIGUSR1
+  /// observability dumps.
+  void run();
+
+  /// Makes run() return after the current dispatch round. Callable from
+  /// any thread and from signal handlers.
+  void request_stop();
+  /// True once request_stop() has been called.
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Interrupts the current epoll_wait so the wake handler runs. Callable
+  /// from any thread and from signal handlers.
+  void wake();
+  /// Handler invoked on the loop thread after a wake() (and, spuriously,
+  /// after any wait round that drained the wake eventfd).
+  void set_wake_handler(std::function<void()> handler);
+
+  /// Runs @p handler on the loop thread at least every @p interval_ms
+  /// while the loop is idle (see run()).
+  void set_poll_handler(int interval_ms, std::function<void()> handler);
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::function<void()> wake_handler_;
+  std::function<void()> poll_handler_;
+  int poll_interval_ms_ = -1;  // -1: block indefinitely
+  std::unordered_map<int, FdCallback> callbacks_;
+};
+
+}  // namespace litho::net

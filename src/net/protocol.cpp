@@ -1,0 +1,166 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace litho::net {
+
+namespace {
+
+void put_u16(uint16_t v, std::vector<uint8_t>& out) {
+  out.push_back(static_cast<uint8_t>(v & 0xFF));
+  out.push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(uint32_t v, std::vector<uint8_t>& out) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(uint64_t v, std::vector<uint8_t>& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint16_t get_u16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t get_u32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t get_u64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// io::write_pgm's [0,1] -> [0,255] quantization, bit for bit.
+uint8_t to_byte(float v) {
+  const float c = std::clamp(v, 0.f, 1.f);
+  return static_cast<uint8_t>(c * 255.f + 0.5f);
+}
+
+}  // namespace
+
+void encode_header(const FrameHeader& header, std::vector<uint8_t>& out) {
+  put_u32(kMagic, out);
+  out.push_back(header.version);
+  out.push_back(static_cast<uint8_t>(header.type));
+  put_u16(0, out);  // reserved
+  put_u64(header.request_id, out);
+  put_u32(header.payload_bytes, out);
+}
+
+bool decode_header(const uint8_t* data, FrameHeader& out) {
+  if (get_u32(data) != kMagic) return false;
+  const uint8_t version = data[4];
+  const uint8_t type = data[5];
+  if (version != kVersion) return false;
+  if (type < static_cast<uint8_t>(FrameType::kPredict) ||
+      type > static_cast<uint8_t>(FrameType::kShutdown)) {
+    return false;
+  }
+  if (get_u16(data + 6) != 0) return false;
+  const uint32_t payload_bytes = get_u32(data + 16);
+  if (payload_bytes > kMaxPayloadBytes) return false;
+  out.version = version;
+  out.type = static_cast<FrameType>(type);
+  out.request_id = get_u64(data + 8);
+  out.payload_bytes = payload_bytes;
+  return true;
+}
+
+void encode_image(const Tensor& image, std::vector<uint8_t>& out) {
+  const int64_t h = image.size(0), w = image.size(1);
+  out.reserve(out.size() + 8 + static_cast<size_t>(h * w));
+  put_u32(static_cast<uint32_t>(h), out);
+  put_u32(static_cast<uint32_t>(w), out);
+  put_u16(255, out);
+  put_u16(0, out);  // reserved
+  for (int64_t i = 0; i < h * w; ++i) out.push_back(to_byte(image[i]));
+}
+
+bool decode_image(const uint8_t* data, size_t size, Tensor& out) {
+  if (size < 12) return false;
+  const uint32_t h = get_u32(data);
+  const uint32_t w = get_u32(data + 4);
+  const uint16_t maxval = get_u16(data + 8);
+  if (h == 0 || w == 0 || maxval == 0 || maxval > 255) return false;
+  const uint64_t pixels = static_cast<uint64_t>(h) * w;
+  if (size != 12 + pixels) return false;
+  Tensor image({static_cast<int64_t>(h), static_cast<int64_t>(w)});
+  const float scale = 1.f / static_cast<float>(maxval);  // as io::read_pgm
+  const uint8_t* raw = data + 12;
+  for (uint64_t i = 0; i < pixels; ++i) {
+    image[static_cast<int64_t>(i)] = static_cast<float>(raw[i]) * scale;
+  }
+  out = std::move(image);
+  return true;
+}
+
+namespace {
+
+std::vector<uint8_t> make_image_frame(FrameType type, uint64_t request_id,
+                                      const Tensor& image) {
+  std::vector<uint8_t> payload;
+  encode_image(image, payload);
+  FrameHeader header;
+  header.type = type;
+  header.request_id = request_id;
+  header.payload_bytes = static_cast<uint32_t>(payload.size());
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  encode_header(header, frame);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace
+
+std::vector<uint8_t> make_predict_frame(uint64_t request_id,
+                                        const Tensor& mask) {
+  return make_image_frame(FrameType::kPredict, request_id, mask);
+}
+
+std::vector<uint8_t> make_contour_frame(uint64_t request_id,
+                                        const Tensor& contour) {
+  return make_image_frame(FrameType::kContour, request_id, contour);
+}
+
+std::vector<uint8_t> make_busy_frame(uint64_t request_id) {
+  FrameHeader header;
+  header.type = FrameType::kBusy;
+  header.request_id = request_id;
+  std::vector<uint8_t> frame;
+  encode_header(header, frame);
+  return frame;
+}
+
+std::vector<uint8_t> make_error_frame(uint64_t request_id,
+                                      const std::string& message) {
+  FrameHeader header;
+  header.type = FrameType::kError;
+  header.request_id = request_id;
+  header.payload_bytes = static_cast<uint32_t>(message.size());
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + message.size());
+  encode_header(header, frame);
+  frame.insert(frame.end(), message.begin(), message.end());
+  return frame;
+}
+
+std::vector<uint8_t> make_shutdown_frame() {
+  FrameHeader header;
+  header.type = FrameType::kShutdown;
+  std::vector<uint8_t> frame;
+  encode_header(header, frame);
+  return frame;
+}
+
+}  // namespace litho::net

@@ -34,7 +34,9 @@ Scheduler::Scheduler(InferenceEngine& engine, SchedulerOptions opts)
       m_batches_(metrics_->counter("scheduler.batches_dispatched")),
       m_batched_requests_(metrics_->counter("scheduler.batched_requests")),
       m_large_(metrics_->counter("scheduler.large_dispatches")),
+      m_rejected_(metrics_->counter("scheduler.requests_rejected")),
       m_max_queue_depth_(metrics_->gauge("scheduler.queue_depth_max")),
+      m_effective_delay_us_(metrics_->gauge("scheduler.effective_delay_us")),
       m_latency_ms_(metrics_->histogram("scheduler.request_latency_ms")) {
   if (opts_.max_batch < 1) {
     throw std::invalid_argument("Scheduler: max_batch must be >= 1");
@@ -73,10 +75,60 @@ std::future<Tensor> Scheduler::submit(Tensor mask, uint64_t request_id) {
   if (draining_) {
     throw std::runtime_error("Scheduler::submit after shutdown");
   }
+  return enqueue_locked(std::move(mask), request_id);
+}
+
+std::optional<std::future<Tensor>> Scheduler::try_submit(Tensor mask) {
+  return try_submit(std::move(mask),
+                    (uint64_t{1} << 63) |
+                        (next_request_id_.fetch_add(
+                             1, std::memory_order_relaxed) +
+                         1));
+}
+
+std::optional<std::future<Tensor>> Scheduler::try_submit(Tensor mask,
+                                                         uint64_t request_id) {
+  if (mask.dim() != 2) {
+    throw std::invalid_argument("Scheduler::try_submit expects a 2-D mask");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (draining_ || queue_.size() >= static_cast<size_t>(opts_.queue_cap)) {
+    m_rejected_.add();
+    if (trace::enabled()) {
+      trace::emit_instant(
+          "sched.reject", "sched",
+          {{"req", static_cast<int64_t>(request_id)},
+           {"queue_depth", static_cast<int64_t>(queue_.size())}},
+          "reason", draining_ ? "draining" : "queue_full");
+    }
+    return std::nullopt;
+  }
+  return enqueue_locked(std::move(mask), request_id);
+}
+
+/// Shared tail of submit()/try_submit(): requires mutex_ held and space in
+/// the queue. Updates the inter-arrival EWMA the adaptive-delay policy
+/// reads, queues the request, and wakes the dispatcher.
+std::future<Tensor> Scheduler::enqueue_locked(Tensor mask,
+                                              uint64_t request_id) {
   Request req;
   req.mask = std::move(mask);
   req.enqueued = Clock::now();
   req.id = request_id;
+  if (last_arrival_ != Clock::time_point{}) {
+    // Gaps are clamped to the 60 s delay ceiling: one overnight pause must
+    // not poison the average for hours of subsequent traffic.
+    const double gap_us = std::min(
+        std::chrono::duration<double, std::micro>(req.enqueued -
+                                                  last_arrival_)
+            .count(),
+        60e6);
+    constexpr double kAlpha = 0.2;  // ~5-request memory
+    ewma_gap_us_ =
+        ewma_gap_us_ < 0 ? gap_us
+                         : (1.0 - kAlpha) * ewma_gap_us_ + kAlpha * gap_us;
+  }
+  last_arrival_ = req.enqueued;
   std::future<Tensor> future = req.promise.get_future();
   queue_.push_back(std::move(req));
   m_submitted_.add();
@@ -89,6 +141,16 @@ std::future<Tensor> Scheduler::submit(Tensor mask, uint64_t request_id) {
   }
   work_cv_.notify_one();
   return future;
+}
+
+int64_t Scheduler::effective_delay_us_locked() const {
+  if (!opts_.adaptive_delay || ewma_gap_us_ < 0) return opts_.max_delay_us;
+  // Hold only as long as the rest of the batch plausibly needs to arrive
+  // at the observed rate; the configured max_delay_us stays the ceiling.
+  const double fill_us =
+      ewma_gap_us_ * static_cast<double>(opts_.max_batch - 1);
+  return std::min<int64_t>(opts_.max_delay_us,
+                           static_cast<int64_t>(fill_us));
 }
 
 void Scheduler::shutdown() {
@@ -192,9 +254,14 @@ void Scheduler::dispatch_loop() {
       work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
       if (queue_.empty()) return;  // draining and nothing left
       // Hold the batch open until it fills, closes, or the oldest request
-      // hits its deadline. While draining, flush immediately.
+      // hits its deadline. While draining, flush immediately. The delay is
+      // the configured max_delay_us, or — with adaptive_delay — the EWMA
+      // estimate of how long the rest of the batch needs to arrive,
+      // sampled once when the batch head is first observed.
+      const int64_t delay_us = effective_delay_us_locked();
+      m_effective_delay_us_.set(delay_us);
       const auto deadline =
-          queue_.front().enqueued + std::chrono::microseconds(opts_.max_delay_us);
+          queue_.front().enqueued + std::chrono::microseconds(delay_us);
       work_cv_.wait_until(lock, deadline, [this] {
         if (draining_) return true;
         const FrontRun run = front_run_locked();
@@ -252,7 +319,9 @@ SchedulerStats Scheduler::stats() const {
   s.batches = m_batches_.value();
   s.batched_requests = m_batched_requests_.value();
   s.large = m_large_.value();
+  s.rejected = m_rejected_.value();
   s.max_queue_depth = m_max_queue_depth_.value();
+  s.effective_delay_us = m_effective_delay_us_.value();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     s.queue_depth = static_cast<int64_t>(queue_.size());

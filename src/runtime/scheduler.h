@@ -29,6 +29,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -52,9 +53,20 @@ struct SchedulerOptions {
   /// from steady_clock overflow.
   int64_t max_delay_us = 2000;
   /// Bounded-queue capacity. submit() blocks (backpressure) while this many
-  /// requests are queued and not yet handed to the engine. Must be
-  /// >= max_batch so a full batch can ever form.
+  /// requests are queued and not yet handed to the engine; try_submit()
+  /// rejects instead. Must be >= max_batch so a full batch can ever form.
   int queue_cap = 64;
+  /// Adaptive batching: when true, the dispatcher derives the effective
+  /// hold deadline from the observed inter-arrival rate instead of always
+  /// waiting the full max_delay_us. The effective delay is
+  ///   min(max_delay_us, (max_batch - 1) * ewma_interarrival)
+  /// — the time the rest of the batch plausibly needs to arrive. Under
+  /// backlog (fast arrivals) that collapses toward zero so partial batches
+  /// flush immediately; when arrivals are sparse it holds the full
+  /// max_delay_us ceiling hoping to coalesce. Batch composition never
+  /// affects results (the bitwise-determinism contract), so the policy
+  /// only trades latency against batch occupancy.
+  bool adaptive_delay = false;
   /// Registry the scheduler.* metrics are registered in. nullptr (the
   /// default) gives the scheduler a private registry, so concurrently
   /// live schedulers never mix counts; doinn_serve passes
@@ -71,8 +83,10 @@ struct SchedulerStats {
   int64_t batches = 0;          ///< predict_batch dispatches
   int64_t batched_requests = 0; ///< requests served through predict_batch
   int64_t large = 0;            ///< predict_large dispatches (one request each)
+  int64_t rejected = 0;         ///< try_submit() refusals (queue full / draining)
   int64_t max_queue_depth = 0;  ///< high-water mark of the bounded queue
   int64_t queue_depth = 0;      ///< requests queued right now
+  int64_t effective_delay_us = 0;  ///< hold deadline applied to the last batch
   /// Per-request wall time from submit() to promise fulfillment, including
   /// queueing delay. Percentiles are nearest-rank over the histogram's
   /// bounded reservoir; mean is exact over all completed requests. 0 when
@@ -122,6 +136,18 @@ class Scheduler {
   std::future<Tensor> submit(Tensor mask);
   std::future<Tensor> submit(Tensor mask, uint64_t request_id);
 
+  /// Non-blocking submit for event-loop callers (the socket front end):
+  /// returns std::nullopt — immediately, never waiting — when the queue
+  /// already holds queue_cap requests or shutdown() has begun, so a full
+  /// queue maps to an instant BUSY reject instead of a stalled event loop.
+  /// On success the returned future behaves exactly like submit()'s, and
+  /// the accepted request is bitwise identical to the blocking path.
+  /// Still throws std::invalid_argument for non-2-D masks (malformed
+  /// input is a caller bug, not backpressure).
+  std::optional<std::future<Tensor>> try_submit(Tensor mask);
+  std::optional<std::future<Tensor>> try_submit(Tensor mask,
+                                                uint64_t request_id);
+
   /// Stops accepting new requests, waits until every queued request has
   /// been dispatched and its promise fulfilled, then joins the dispatcher.
   /// Idempotent and safe to call concurrently with submit() (late
@@ -155,6 +181,8 @@ class Scheduler {
   };
 
   FrontRun front_run_locked() const;
+  std::future<Tensor> enqueue_locked(Tensor mask, uint64_t request_id);
+  int64_t effective_delay_us_locked() const;
   void dispatch_loop();
   void fulfill(std::vector<Request>& batch, bool large);
   void record_outcome(const Request& req, Counter& counter);
@@ -173,7 +201,9 @@ class Scheduler {
   Counter& m_batches_;
   Counter& m_batched_requests_;
   Counter& m_large_;
+  Counter& m_rejected_;
   Gauge& m_max_queue_depth_;
+  Gauge& m_effective_delay_us_;
   Histogram& m_latency_ms_;
 
   mutable std::mutex mutex_;
@@ -181,6 +211,10 @@ class Scheduler {
   std::condition_variable space_cv_;    // submitters wait for queue space
   std::condition_variable shutdown_cv_; // late shutdown() callers wait here
   std::deque<Request> queue_;
+  // Inter-arrival EWMA feeding the adaptive-delay policy (guarded by
+  // mutex_; ewma < 0 means "no arrivals observed yet").
+  double ewma_gap_us_ = -1.0;
+  Clock::time_point last_arrival_{};
   bool draining_ = false;
   bool join_claimed_ = false;     // a shutdown() caller owns the join
   bool dispatcher_exited_ = false;

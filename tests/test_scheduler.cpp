@@ -270,5 +270,116 @@ TEST(Scheduler, ShutdownUnblocksBackpressuredSubmitters) {
   EXPECT_TRUE(rejected.load() == 1 || accepted.load() == 50);
 }
 
+TEST(Scheduler, TrySubmitMatchesSubmitBitwise) {
+  core::DoinnConfig cfg = tiny_config();
+  runtime::InferenceEngine engine(cfg, /*seed=*/55, runtime::EngineOptions{1});
+  runtime::Scheduler scheduler(engine);
+
+  std::vector<Tensor> masks;
+  std::vector<std::future<Tensor>> futures;
+  for (uint32_t s = 0; s < 4; ++s) {
+    masks.push_back(random_mask(cfg.tile, 200 + s));
+    auto f = scheduler.try_submit(masks.back());
+    ASSERT_TRUE(f.has_value()) << "uncontended try_submit rejected request "
+                               << s;
+    futures.push_back(std::move(*f));
+  }
+  for (size_t i = 0; i < masks.size(); ++i) {
+    EXPECT_EQ(test::max_abs_diff(futures[i].get(), engine.predict(masks[i])),
+              0.f)
+        << "request " << i;
+  }
+  const runtime::SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 4);
+  EXPECT_EQ(stats.rejected, 0);
+}
+
+TEST(Scheduler, TrySubmitRejectsWhenQueueFullInsteadOfBlocking) {
+  core::DoinnConfig cfg = tiny_config();
+  runtime::InferenceEngine engine(cfg, /*seed=*/55, runtime::EngineOptions{1});
+  runtime::SchedulerOptions opts;
+  opts.max_batch = 1;
+  opts.queue_cap = 1;
+  opts.max_delay_us = 0;
+  runtime::Scheduler scheduler(engine, opts);
+
+  // Submissions outrun a 1-deep queue draining through single predicts:
+  // some must come back rejected, and every try_submit must return
+  // immediately (the whole point of the non-blocking path) rather than
+  // stalling like submit() does.
+  const Tensor mask = random_mask(cfg.tile, 4);
+  std::vector<std::future<Tensor>> accepted;
+  int64_t rejected = 0;
+  for (int i = 0; i < 32; ++i) {
+    auto f = scheduler.try_submit(mask);
+    if (f.has_value()) {
+      accepted.push_back(std::move(*f));
+    } else {
+      ++rejected;
+    }
+  }
+  for (auto& f : accepted) (void)f.get();
+  EXPECT_GT(rejected, 0) << "32 instant submits never found the queue full";
+  EXPECT_GT(static_cast<int64_t>(accepted.size()), 0);
+  const runtime::SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.submitted, static_cast<int64_t>(accepted.size()));
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(accepted.size()));
+}
+
+TEST(Scheduler, TrySubmitAfterShutdownRejectsInsteadOfThrowing) {
+  core::DoinnConfig cfg = tiny_config();
+  runtime::InferenceEngine engine(cfg, /*seed=*/6, runtime::EngineOptions{1});
+  runtime::Scheduler scheduler(engine);
+  scheduler.shutdown();
+  EXPECT_FALSE(scheduler.try_submit(random_mask(cfg.tile, 1)).has_value());
+  // Malformed input is still a caller bug, not backpressure.
+  EXPECT_THROW(scheduler.try_submit(Tensor({2, 3, 4})), std::invalid_argument);
+}
+
+TEST(Scheduler, AdaptiveDelayKeepsResultsBitwiseIdentical) {
+  core::DoinnConfig cfg = tiny_config();
+  runtime::InferenceEngine engine(cfg, /*seed=*/81,
+                                  runtime::EngineOptions{/*num_threads=*/2});
+
+  constexpr size_t kRequests = 10;
+  std::vector<Tensor> masks;
+  std::vector<Tensor> expected;
+  for (uint32_t s = 0; s < kRequests; ++s) {
+    masks.push_back(random_mask(cfg.tile, 300 + s));
+    expected.push_back(engine.predict(masks.back()));
+  }
+
+  // Whatever batch shapes the adaptive flush policy produces under random
+  // arrival timing, results must stay bitwise equal to per-request predict
+  // — the policy only moves the flush point, never the math.
+  std::mt19937 timing_rng(29);
+  for (int trial = 0; trial < 3; ++trial) {
+    runtime::SchedulerOptions opts;
+    opts.max_batch = 4;
+    opts.max_delay_us = 2000;
+    opts.adaptive_delay = true;
+    runtime::Scheduler scheduler(engine, opts);
+    std::vector<unsigned> delays;
+    for (size_t i = 0; i < kRequests; ++i) {
+      delays.push_back(timing_rng() % 1500);
+    }
+    std::vector<std::future<Tensor>> futures;
+    for (size_t i = 0; i < kRequests; ++i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delays[i]));
+      futures.push_back(scheduler.submit(masks[i]));
+    }
+    for (size_t i = 0; i < kRequests; ++i) {
+      EXPECT_EQ(test::max_abs_diff(futures[i].get(), expected[i]), 0.f)
+          << "trial " << trial << " request " << i;
+    }
+    const runtime::SchedulerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, static_cast<int64_t>(kRequests));
+    // The effective delay is observable and never exceeds the ceiling.
+    EXPECT_GE(stats.effective_delay_us, 0);
+    EXPECT_LE(stats.effective_delay_us, opts.max_delay_us);
+  }
+}
+
 }  // namespace
 }  // namespace litho
