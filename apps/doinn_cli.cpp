@@ -10,6 +10,7 @@
 //                       [--epochs 8] --out weights.bin
 //   doinn_cli predict   --weights weights.bin --mask mask.pgm --out contour.pgm
 //                       [--threads N]   (N=0: DOINN_NUM_THREADS / hardware)
+//                       [--precision fp32|int8|bf16]   (inference storage)
 //   doinn_cli mrc       --mask mask.pgm [--pixel 16] [--min-feature 48]
 //                       [--min-gap 48]   (mask rule check; exit 1 on violations)
 //
@@ -140,6 +141,7 @@ int cmd_train(const Args& args) {
 int cmd_predict(const Args& args) {
   runtime::EngineOptions opts;
   opts.num_threads = static_cast<int>(args.get_int("threads", 0));
+  opts.precision = parse_precision(args.get("precision", "fp32"));
   runtime::InferenceEngine engine(args.get("weights"), opts);
 
   Tensor mask = io::read_pgm(args.get("mask"));

@@ -5,6 +5,7 @@
 //   doinn_client --connect <host:port> --mask mask.pgm --out contour.pgm
 //   doinn_client --connect <host:port> --manifest requests.txt
 //               [--concurrency 4] [--repeat 1] [--busy-retry-ms 5]
+//               [--busy-retry-max-ms 250]
 //   doinn_client --connect <host:port> --shutdown
 //
 // Single-request mode sends one mask and writes the contour PGM — the
@@ -16,11 +17,14 @@
 // --manifest mode consumes and replays them closed-loop over
 // --concurrency connections (each worker thread owns one connection and
 // keeps exactly one request in flight). A BUSY reply — the server's
-// reject-based backpressure — is retried after --busy-retry-ms, so the
-// generator measures sustainable throughput rather than wedging the
-// server's queue. --repeat N cycles the request list N times. On
-// completion it prints request counts, BUSY retries, throughput, and
-// latency percentiles.
+// reject-based backpressure — is retried with capped exponential backoff
+// plus jitter: the first retry waits --busy-retry-ms, each further BUSY on
+// the same request doubles the wait up to --busy-retry-max-ms, and every
+// wait is drawn uniformly from the upper half of the window so workers
+// that were rejected together don't re-arrive together. The backoff resets
+// per request, so a recovered server is probed at the base cadence again.
+// --repeat N cycles the request list N times. On completion it prints
+// request counts, BUSY retries, throughput, and latency percentiles.
 //
 // --shutdown sends a SHUTDOWN frame: the server drains in-flight work and
 // exits.
@@ -30,6 +34,7 @@
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -95,8 +100,9 @@ std::vector<Request> load_manifest(const std::string& path) {
 }
 
 /// Closed-loop worker: one connection, one request in flight, BUSY retried
-/// after a fixed backoff. Workers pull the next request index from a
-/// shared atomic so the load is balanced regardless of per-mask cost.
+/// with capped exponential backoff + jitter (reset per request). Workers
+/// pull the next request index from a shared atomic so the load is
+/// balanced regardless of per-mask cost.
 struct WorkerResult {
   int64_t ok = 0;
   int64_t errors = 0;
@@ -107,8 +113,10 @@ struct WorkerResult {
 WorkerResult run_worker(const Endpoint& endpoint,
                         const std::vector<Request>& requests,
                         std::atomic<size_t>& next, size_t total,
-                        long busy_retry_ms) {
+                        long busy_retry_ms, long busy_retry_max_ms,
+                        uint32_t seed) {
   WorkerResult result;
+  std::mt19937 rng(seed);  // per-worker jitter stream
   net::Client client(endpoint.host, endpoint.port);
   for (;;) {
     const size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -117,13 +125,21 @@ WorkerResult run_worker(const Endpoint& endpoint,
     try {
       const Tensor mask = io::read_pgm(req.mask_path);
       const auto t0 = Clock::now();
+      long delay_ms = busy_retry_ms;  // backoff window, reset per request
       for (;;) {
         client.send_predict(i + 1, mask);
         net::Reply reply = client.read_reply();
         if (reply.type == net::FrameType::kBusy) {
           ++result.busy_retries;
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(busy_retry_ms));
+          if (delay_ms > 0) {
+            // Sleep in the upper half of the window so concurrent workers
+            // spread out, then double the window up to the cap.
+            const long lo = std::max<long>(1, delay_ms / 2);
+            std::uniform_int_distribution<long> jitter(lo, delay_ms);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(jitter(rng)));
+            delay_ms = std::min(busy_retry_max_ms, delay_ms * 2);
+          }
           continue;
         }
         if (reply.type == net::FrameType::kError) {
@@ -161,12 +177,14 @@ void usage() {
       "usage: doinn_client --connect <host:port> --mask m.pgm --out c.pgm\n"
       "       doinn_client --connect <host:port> --manifest requests.txt\n"
       "                    [--concurrency 4] [--repeat 1]\n"
-      "                    [--busy-retry-ms 5]\n"
+      "                    [--busy-retry-ms 5] [--busy-retry-max-ms 250]\n"
       "       doinn_client --connect <host:port> --shutdown\n"
       "Drives doinn_serve --listen over the framed TCP protocol. Manifest\n"
       "mode replays <mask.pgm> <out.pgm> lines closed-loop over\n"
-      "--concurrency connections, retrying BUSY replies; --shutdown asks\n"
-      "the server to drain and exit.\n");
+      "--concurrency connections, retrying BUSY replies with jittered\n"
+      "exponential backoff from --busy-retry-ms up to --busy-retry-max-ms\n"
+      "(0 disables the wait); --shutdown asks the server to drain and\n"
+      "exit.\n");
 }
 
 }  // namespace
@@ -222,6 +240,9 @@ int main(int argc, char** argv) {
         static_cast<size_t>(args.get_positive_int("repeat", 1));
     const long busy_retry_ms =
         std::max<long>(0, args.get_int("busy-retry-ms", 5));
+    const long busy_retry_max_ms = std::max(
+        busy_retry_ms, std::max<long>(0, args.get_int("busy-retry-max-ms",
+                                                      250)));
     const size_t total = requests.size() * repeat;
 
     std::atomic<size_t> next{0};
@@ -234,7 +255,9 @@ int main(int argc, char** argv) {
         workers.emplace_back([&, w] {
           try {
             results[w] = run_worker(endpoint, requests, next, total,
-                                    busy_retry_ms);
+                                    busy_retry_ms, busy_retry_max_ms,
+                                    static_cast<uint32_t>(w) * 2654435761u +
+                                        1u);
           } catch (const std::exception& e) {
             std::fprintf(stderr, "worker %zu died: %s\n", w, e.what());
             results[w].errors += 1;

@@ -2,11 +2,17 @@
 // runtime, built on the dynamic-batching request scheduler.
 //
 //   doinn_serve --weights weights.bin --manifest requests.txt
-//               [--results results.txt] [--threads N] [--poll-ms 50]
-//               [--max-batch 8] [--max-delay-us 2000] [--queue-cap 64]
-//               [--adaptive-delay] [--once]
+//               [--results results.txt] [--threads N] [--precision fp32]
+//               [--poll-ms 50] [--max-batch 8] [--max-delay-us 2000]
+//               [--queue-cap 64] [--adaptive-delay] [--once]
 //               [--trace-out trace.json] [--metrics-out metrics.json]
-//   doinn_serve --weights weights.bin --listen <port> [same tuning flags]
+//   doinn_serve --weights weights.bin --listen <port> [--idle-timeout-s 60]
+//               [same tuning flags]
+//
+// --precision selects the inference storage precision (fp32 default; int8
+// and bf16 trade accuracy for speed — docs/ARCHITECTURE.md "Precision
+// modes"). Weights are prepacked into the GEMM panel layout at load for
+// every mode.
 //
 // Two front ends share the scheduler-backed serving core:
 //
@@ -263,11 +269,13 @@ void dump_observability(const std::string& trace_out,
 void usage() {
   std::printf(
       "usage: doinn_serve --weights weights.bin --manifest requests.txt\n"
-      "                   [--results out.txt] [--threads N] [--poll-ms 50]\n"
+      "                   [--results out.txt] [--threads N]\n"
+      "                   [--precision fp32|int8|bf16] [--poll-ms 50]\n"
       "                   [--max-batch 8] [--max-delay-us 2000]\n"
       "                   [--queue-cap 64] [--adaptive-delay] [--once]\n"
       "                   [--trace-out trace.json] [--metrics-out m.json]\n"
       "       doinn_serve --weights weights.bin --listen <port>\n"
+      "                   [--idle-timeout-s 60]\n"
       "                   [same tuning/observability flags]\n"
       "manifest lines: <mask.pgm> <contour_out.pgm>; `__shutdown__` stops\n"
       "the server. --listen serves the framed TCP protocol instead (port 0\n"
@@ -276,7 +284,11 @@ void usage() {
       "--max-batch/--max-delay-us tune request coalescing; --adaptive-delay\n"
       "derives the flush delay from the observed arrival rate; --queue-cap\n"
       "bounds the request queue (manifest submission blocks when full;\n"
-      "socket clients get a BUSY reply). --trace-out enables tracing and\n"
+      "socket clients get a BUSY reply). --precision selects the inference\n"
+      "storage precision (fp32 is bitwise-exact; int8/bf16 are faster,\n"
+      "reduced-accuracy). --idle-timeout-s closes listen-mode connections\n"
+      "with no activity for that long (0 disables).\n"
+      "--trace-out enables tracing and\n"
       "writes Chrome Trace Event JSON on shutdown; --metrics-out writes a\n"
       "metrics snapshot; SIGUSR1 dumps both mid-run. See the header of\n"
       "apps/doinn_serve.cpp for details.\n");
@@ -285,10 +297,13 @@ void usage() {
 /// Runs the epoll TCP front end until SIGINT/SIGTERM or a client SHUTDOWN
 /// frame, then drains and prints a summary. Returns the process exit code.
 int run_listen_mode(runtime::Scheduler& scheduler, uint16_t port,
-                    long poll_ms, const std::string& trace_out,
+                    long idle_timeout_s, long poll_ms,
+                    const std::string& trace_out,
                     const std::string& metrics_out) {
   net::ServerOptions server_opts;
   server_opts.port = port;
+  server_opts.idle_timeout_ms =
+      idle_timeout_s > 0 ? static_cast<int>(idle_timeout_s * 1000) : 0;
   net::Server server(scheduler, server_opts,
                      &runtime::MetricsRegistry::global());
   g_server = &server;
@@ -398,14 +413,21 @@ int main(int argc, char** argv) {
 
     runtime::EngineOptions opts;
     opts.num_threads = static_cast<int>(args.get_int("threads", 0));
+    try {
+      opts.precision = parse_precision(args.get("precision", "fp32"));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
     runtime::InferenceEngine engine(args.get("weights"), opts);
     sched_opts.metrics = &runtime::MetricsRegistry::global();
     runtime::Scheduler scheduler(engine, sched_opts);
     std::printf(
-        "doinn_serve: %d threads, %lld px tile model, batch<=%d within "
-        "%lld us%s, queue cap %d, %s %s\n",
+        "doinn_serve: %d threads, %lld px tile model, %s inference, "
+        "batch<=%d within %lld us%s, queue cap %d, %s %s\n",
         engine.pool().size(), static_cast<long long>(engine.config().tile),
-        sched_opts.max_batch, static_cast<long long>(sched_opts.max_delay_us),
+        precision_name(engine.precision()), sched_opts.max_batch,
+        static_cast<long long>(sched_opts.max_delay_us),
         sched_opts.adaptive_delay ? " (adaptive)" : "", sched_opts.queue_cap,
         listen_mode ? "serving TCP on port" : "watching",
         listen_mode ? args.get("listen").c_str() : manifest_path.c_str());
@@ -417,8 +439,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --listen port must be in [0, 65535]\n");
         return 2;
       }
-      return run_listen_mode(scheduler, static_cast<uint16_t>(port), poll_ms,
-                             trace_out, metrics_out);
+      const long idle_timeout_s = args.get_int("idle-timeout-s", 60);
+      return run_listen_mode(scheduler, static_cast<uint16_t>(port),
+                             idle_timeout_s, poll_ms, trace_out, metrics_out);
     }
 
     ServeStats stats;

@@ -9,8 +9,15 @@
 // pre-PR formulation and across thread counts, and writes the table as
 // machine-readable BENCH_gemm.json for cross-PR perf tracking.
 //
-// Usage: bench_gemm_micro [reps]   (exit 0 iff parity, determinism and the
-// >= 3x headline hold)
+// A second section covers the load-time prepacking path (tensor/prepack.h):
+// PackedWeight vs per-call PackedA on pack-bound serving GEMM shapes, plus
+// the int8 and bf16 storage modes against the prepacked fp32 baseline. The
+// fp32 prepacked result is gated bitwise-identical to the per-call path;
+// the speedup gates are >= 1.15x prepack and >= 2x int8 (>= 1.0x / 1.2x
+// under --quick, whose single rep is too noisy for the tight bounds).
+//
+// Usage: bench_gemm_micro [reps] [--quick]   (exit 0 iff parity,
+// determinism and the speedup gates hold; --quick is the CI smoke mode)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -24,6 +31,7 @@
 #include "bench_util.h"
 #include "runtime/thread_pool.h"
 #include "tensor/gemm.h"
+#include "tensor/prepack.h"
 #include "tensor/tensor.h"
 
 namespace legacy {
@@ -180,6 +188,7 @@ struct Row {
 };
 
 std::vector<Row> g_rows;
+std::vector<Row> g_prec;  // precision section: legacy_ms = baseline path
 
 using litho::bench::max_abs_diff;
 
@@ -197,26 +206,55 @@ void report(const std::string& op, const std::string& shape, double legacy_s,
               shape.c_str(), legacy_s * 1e3, new_s * 1e3, legacy_s / new_s);
 }
 
-void write_json(const char* path) {
+void report_prec(const std::string& op, const std::string& shape,
+                 double base_s, double new_s) {
+  g_prec.push_back({op, shape, base_s * 1e3, new_s * 1e3});
+  std::printf("%-26s %-18s %9.3f ms %9.3f ms %7.2fx\n", op.c_str(),
+              shape.c_str(), base_s * 1e3, new_s * 1e3, base_s / new_s);
+}
+
+void write_rows(FILE* f, const std::vector<Row>& rows, const char* base_key) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"shape\": \"%s\", \"%s\": %.3f, "
+                 "\"new_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 r.op.c_str(), r.shape.c_str(), base_key, r.legacy_ms,
+                 r.new_ms, r.legacy_ms / r.new_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+}
+
+void write_json(const char* path, double prepack_x, double int8_x,
+                double prepack_gate, double int8_gate, bool bitwise) {
   FILE* f = std::fopen(path, "w");
   if (!f) return;
-  std::fprintf(f, "[\n");
-  for (size_t i = 0; i < g_rows.size(); ++i) {
-    const Row& r = g_rows[i];
-    std::fprintf(f,
-                 "  {\"op\": \"%s\", \"shape\": \"%s\", \"legacy_ms\": %.3f, "
-                 "\"new_ms\": %.3f, \"speedup\": %.3f}%s\n",
-                 r.op.c_str(), r.shape.c_str(), r.legacy_ms, r.new_ms,
-                 r.legacy_ms / r.new_ms, i + 1 < g_rows.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "{\n  \"gemm\": [\n");
+  write_rows(f, g_rows, "legacy_ms");
+  std::fprintf(f, "  ],\n  \"precision\": [\n");
+  write_rows(f, g_prec, "base_ms");
+  std::fprintf(f,
+               "  ],\n  \"gates\": {\"prepack_fp32_speedup\": %.3f, "
+               "\"prepack_fp32_min\": %.2f, \"int8_speedup\": %.3f, "
+               "\"int8_min\": %.2f, \"prepack_bitwise\": %s}\n}\n",
+               prepack_x, prepack_gate, int8_x, int8_gate,
+               bitwise ? "true" : "false");
   std::fclose(f);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  bool quick = false;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+      reps = 1;
+    } else {
+      reps = std::atoi(argv[i]);
+    }
+  }
   litho::bench::banner("bench_gemm_micro: packed tiled GEMM + implicit im2col");
   std::printf("threads=%d reps=%d  (MR=%lld NR=%lld KC=%lld NC=%lld)\n\n",
               litho::runtime::ThreadPool::default_num_threads(), reps,
@@ -371,6 +409,98 @@ int main(int argc, char** argv) {
     ok = ok && max_abs_diff(zlr, znr) == 0.0 && max_abs_diff(zli, zni) == 0.0;
   }
 
+  // -- Prepack & precision: load-time PackedWeight vs per-call PackedA and
+  // the reduced-precision storage modes (tensor/prepack.h). Gated shapes
+  // are pack-bound serving GEMMs — few output pixels per weight element:
+  // a deep 3x3 conv and a transposed-layout 2x2 decoder weight, both
+  // contracting against an 8x8 feature grid. The 64 px refine conv shape
+  // is reported for scale but not gated (its packing cost is negligible,
+  // so prepacking is only required not to regress it).
+  double prepack_x = 1e30, int8_x = 1e30;
+  bool prec_bitwise = true;
+  std::printf("\n%-26s %-18s %12s %12s %8s\n", "precision case", "shape",
+              "base", "new", "speedup");
+  {
+    struct PrecShape {
+      const char* label;
+      litho::GemmLayout layout;
+      int64_t m, k, n;
+      bool gated;
+    };
+    const PrecShape shapes[] = {
+        {"conv 3x3 gp-grid", litho::GemmLayout::kNN, 256, 2304, 64, true},
+        {"convT 2x2 decoder", litho::GemmLayout::kTN, 512, 256, 64, true},
+        {"conv 3x3 refine", litho::GemmLayout::kNN, 32, 288, 4096, false},
+    };
+    for (const PrecShape& ps : shapes) {
+      Tensor a = ps.layout == litho::GemmLayout::kNN
+                     ? Tensor::randn({ps.m, ps.k}, rng)
+                     : Tensor::randn({ps.k, ps.m}, rng);
+      Tensor b = Tensor::randn({ps.k, ps.n}, rng);
+      const litho::StridedBPacker bp(b.data(), ps.n, /*transposed=*/false);
+      const int64_t blocks = litho::gemm_col_blocks(ps.n);
+      char shape[64];
+      std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld",
+                    (long long)ps.m, (long long)ps.k, (long long)ps.n);
+      Tensor c_pc({ps.m, ps.n}), c_pp({ps.m, ps.n});
+      Tensor c_i8({ps.m, ps.n}), c_bf({ps.m, ps.n});
+
+      const double t_percall = best_seconds(reps, [&] {
+        litho::PackedA pa(ps.layout, a.data(), ps.m, ps.k);
+        for (int64_t blk = 0; blk < blocks; ++blk) {
+          litho::gemm_col_block(pa, bp, ps.n, blk, c_pc.data());
+        }
+      });
+      const litho::PackedWeight pw(ps.layout, a.data(), ps.m, ps.k,
+                                   litho::Precision::kFp32);
+      const double t_prepack = best_seconds(reps, [&] {
+        for (int64_t blk = 0; blk < blocks; ++blk) {
+          litho::gemm_col_block(pw.fp32_view(), bp, ps.n, blk, c_pp.data());
+        }
+      });
+      prec_bitwise = prec_bitwise && max_abs_diff(c_pc, c_pp) == 0.0;
+
+      const litho::PackedWeight pw8(ps.layout, a.data(), ps.m, ps.k,
+                                    litho::Precision::kInt8);
+      std::vector<float> combined(ps.m);
+      const double t_i8 = best_seconds(reps, [&] {
+        // Per-call activation scan + scale fold, as conv2d_prepacked does.
+        const float bmax = litho::max_abs(b.data(), ps.k * ps.n);
+        const float inv_b = bmax > 0.f ? 127.f / bmax : 0.f;
+        for (int64_t i = 0; i < ps.m; ++i) {
+          combined[i] = pw8.row_scales()[i] * (bmax / 127.f);
+        }
+        for (int64_t blk = 0; blk < blocks; ++blk) {
+          litho::gemm_col_block_i8(pw8, bp, inv_b, combined.data(), ps.n,
+                                   blk, c_i8.data(), nullptr);
+        }
+      });
+      const litho::PackedWeight pwb(ps.layout, a.data(), ps.m, ps.k,
+                                    litho::Precision::kBf16);
+      const double t_bf = best_seconds(reps, [&] {
+        for (int64_t blk = 0; blk < blocks; ++blk) {
+          litho::gemm_col_block_bf16(pwb, bp, ps.n, blk, c_bf.data());
+        }
+      });
+
+      report_prec(std::string("prepack fp32 ") + ps.label, shape, t_percall,
+                  t_prepack);
+      report_prec(std::string("int8 ") + ps.label, shape, t_prepack, t_i8);
+      report_prec(std::string("bf16 ") + ps.label, shape, t_prepack, t_bf);
+      if (ps.gated) {
+        prepack_x = std::min(prepack_x, t_percall / t_prepack);
+        int8_x = std::min(int8_x, t_prepack / t_i8);
+      }
+      // Reduced precision must stay close to fp32 (quantization noise
+      // only): a cheap sanity bound, the tight contour-level bound lives
+      // in tests/test_precision.cpp.
+      const double mag = std::max(1.0, (double)litho::max_abs(
+                                           c_pp.data(), c_pp.numel()));
+      ok = ok && max_abs_diff(c_i8, c_pp) < 0.05 * mag;
+      ok = ok && max_abs_diff(c_bf, c_pp) < 0.05 * mag;
+    }
+  }
+
   // -- Parity and determinism gates ---------------------------------------
   const double conv_diff = max_abs_diff(conv_legacy_out, conv_new_out);
   std::printf("\nconv2d |new - legacy| max: %.3g (bitwise: %s)\n", conv_diff,
@@ -405,7 +535,22 @@ int main(int argc, char** argv) {
               headline, headline >= 3.0 ? "yes" : "NO");
   ok = ok && headline >= 3.0;
 
-  write_json("BENCH_gemm.json");
-  std::printf("wrote BENCH_gemm.json (%zu rows)\n", g_rows.size());
+  std::printf("prepacked fp32 bitwise identical to per-call packing: %s\n",
+              prec_bitwise ? "yes" : "NO");
+  ok = ok && prec_bitwise;
+  const double prepack_gate = quick ? 1.0 : 1.15;
+  const double int8_gate = quick ? 1.2 : 2.0;
+  std::printf("prepack fp32 speedup (gated shapes): %.2fx (>= %.2fx: %s)\n",
+              prepack_x, prepack_gate, prepack_x >= prepack_gate ? "yes" : "NO");
+  ok = ok && prepack_x >= prepack_gate;
+  std::printf("int8 speedup vs prepacked fp32 (gated shapes): %.2fx "
+              "(>= %.2fx: %s)\n",
+              int8_x, int8_gate, int8_x >= int8_gate ? "yes" : "NO");
+  ok = ok && int8_x >= int8_gate;
+
+  write_json("BENCH_gemm.json", prepack_x, int8_x, prepack_gate, int8_gate,
+             prec_bitwise);
+  std::printf("wrote BENCH_gemm.json (%zu + %zu rows)\n", g_rows.size(),
+              g_prec.size());
   return ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include "runtime/thread_pool.h"
 #include "runtime/workspace.h"
 #include "tensor/gemm.h"
+#include "tensor/prepack.h"
 
 namespace litho::ag {
 namespace {
@@ -493,6 +494,141 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
           b.state()->accumulate(gb);
         }
       });
+}
+
+Variable conv2d_prepacked(const Variable& x, const Variable& w,
+                          const PackedWeight& wp, const Variable& b,
+                          int64_t stride, int64_t padding) {
+  const ConvDims d = conv_dims(x, w, stride, padding, /*transposed=*/false);
+  const bool has_bias = b.defined();
+  if (has_bias && (b.value().dim() != 1 || b.value().size(0) != d.cout)) {
+    throw std::invalid_argument("conv2d bias shape mismatch");
+  }
+  const int64_t ckk = d.cin * d.kh * d.kw;
+  if (wp.m() != d.cout || wp.k() != ckk) {
+    throw std::invalid_argument("conv2d prepacked weight shape mismatch");
+  }
+  const int64_t l = d.oh * d.ow;
+  Tensor out({d.n, d.cout, d.oh, d.ow});
+  const int64_t blocks = gemm_col_blocks(l);
+  const bool pointwise = d.kh == 1 && d.kw == 1 && stride == 1 && padding == 0;
+  const float* bias = has_bias ? b.value().data() : nullptr;
+
+  // Per-sample activation scale for int8: max|x_s| over the whole sample
+  // bounds every im2col entry (padding gathers zeros), and max is
+  // order-independent, so the scale — and everything derived from it — does
+  // not depend on the schedule.
+  std::vector<float> inv_bscale, combined;
+  if (wp.precision() == Precision::kInt8) {
+    inv_bscale.resize(static_cast<size_t>(d.n));
+    combined.resize(static_cast<size_t>(d.n * d.cout));
+    const float* rs = wp.row_scales();
+    const int64_t plane = d.cin * d.h * d.w;
+    for (int64_t s = 0; s < d.n; ++s) {
+      const float amax = max_abs(x.value().data() + s * plane, plane);
+      inv_bscale[static_cast<size_t>(s)] = amax > 0.f ? 127.f / amax : 0.f;
+      const float bs = amax / 127.f;
+      for (int64_t i = 0; i < d.cout; ++i) {
+        combined[static_cast<size_t>(s * d.cout + i)] = rs[i] * bs;
+      }
+    }
+  }
+
+  GemmEpilogue ep;
+  ep.bias = bias;
+  runtime::parallel_for(d.n * blocks, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t s = t / blocks;
+      const int64_t blk = t % blocks;
+      const float* xs = x.value().data() + s * d.cin * d.h * d.w;
+      float* cs = out.data() + s * d.cout * l;
+      const Im2colPacker im(xs, d.h, d.w, d.kh, stride, padding, d.ow);
+      const StridedBPacker direct(xs, l, /*transposed=*/false);
+      const BPanelPacker& bp =
+          pointwise ? static_cast<const BPanelPacker&>(direct)
+                    : static_cast<const BPanelPacker&>(im);
+      switch (wp.precision()) {
+        case Precision::kFp32:
+          gemm_col_block(wp.fp32_view(), bp, l, blk, cs, ep);
+          break;
+        case Precision::kInt8:
+          gemm_col_block_i8(wp, bp, inv_bscale[static_cast<size_t>(s)],
+                            combined.data() + s * d.cout, l, blk, cs, bias);
+          break;
+        case Precision::kBf16:
+          gemm_col_block_bf16(wp, bp, l, blk, cs, ep);
+          break;
+      }
+    }
+  });
+  return Variable(std::move(out));
+}
+
+Variable conv_transpose2d_prepacked(const Variable& x, const Variable& w,
+                                    const PackedWeight& wp, const Variable& b,
+                                    int64_t stride, int64_t padding) {
+  const ConvDims d = conv_dims(x, w, stride, padding, /*transposed=*/true);
+  const bool has_bias = b.defined();
+  if (has_bias && (b.value().dim() != 1 || b.value().size(0) != d.cout)) {
+    throw std::invalid_argument("conv_transpose2d bias shape mismatch");
+  }
+  const int64_t ckk = d.cout * d.kh * d.kw;
+  if (wp.m() != ckk || wp.k() != d.cin) {
+    throw std::invalid_argument(
+        "conv_transpose2d prepacked weight shape mismatch");
+  }
+  const int64_t l = d.h * d.w;
+  const int64_t plane = d.oh * d.ow;
+  Tensor out({d.n, d.cout, d.oh, d.ow});
+  const int64_t blocks = gemm_col_blocks(l);
+  runtime::FloatWorkspace col(static_cast<size_t>(ckk * l));
+  std::vector<float> combined;
+  if (wp.precision() == Precision::kInt8) {
+    combined.resize(static_cast<size_t>(ckk));
+  }
+  for (int64_t s = 0; s < d.n; ++s) {
+    const float* xs = x.value().data() + s * d.cin * l;
+    const StridedBPacker bp(xs, l, /*transposed=*/false);
+    float inv_bscale = 0.f;
+    if (wp.precision() == Precision::kInt8) {
+      const float amax = max_abs(xs, d.cin * l);
+      inv_bscale = amax > 0.f ? 127.f / amax : 0.f;
+      const float bs = amax / 127.f;
+      const float* rs = wp.row_scales();
+      for (int64_t i = 0; i < ckk; ++i) {
+        combined[static_cast<size_t>(i)] = rs[i] * bs;
+      }
+    }
+    runtime::parallel_for(blocks, [&](int64_t b0, int64_t b1) {
+      for (int64_t blk = b0; blk < b1; ++blk) {
+        switch (wp.precision()) {
+          case Precision::kFp32:
+            gemm_col_block(wp.fp32_view(), bp, l, blk, col.data(),
+                           GemmEpilogue{});
+            break;
+          case Precision::kInt8:
+            // Bias is applied after col2im (it belongs to the scattered
+            // output plane, not the column matrix).
+            gemm_col_block_i8(wp, bp, inv_bscale, combined.data(), l, blk,
+                              col.data(), /*bias=*/nullptr);
+            break;
+          case Precision::kBf16:
+            gemm_col_block_bf16(wp, bp, l, blk, col.data(), GemmEpilogue{});
+            break;
+        }
+      }
+    });
+    col2im(col.data(), d.cout, d.oh, d.ow, d.kh, stride, padding,
+           out.data() + s * d.cout * plane);
+    if (has_bias) {
+      for (int64_t c = 0; c < d.cout; ++c) {
+        float* p = out.data() + (s * d.cout + c) * plane;
+        const float bias = b.value()[c];
+        for (int64_t i = 0; i < plane; ++i) p[i] += bias;
+      }
+    }
+  }
+  return Variable(std::move(out));
 }
 
 Variable conv_transpose2d(const Variable& x, const Variable& w,

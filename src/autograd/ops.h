@@ -12,6 +12,10 @@
 
 #include "autograd/variable.h"
 
+namespace litho {
+class PackedWeight;
+}
+
 namespace litho::ag {
 
 // -- Elementwise / structural -------------------------------------------------
@@ -54,6 +58,24 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
 /// Output spatial extent: (h-1)*stride - 2*padding + kh.
 Variable conv_transpose2d(const Variable& x, const Variable& w,
                           const Variable& b, int64_t stride, int64_t padding);
+
+// -- Prepacked inference-only convolutions -------------------------------------
+// Forward-only variants over weights packed once at model-load time
+// (tensor/prepack.h). They build no autograd graph and return leaf
+// Variables — callers gate on !GradMode::is_enabled(). @p w is the module's
+// weight Variable, used for shape validation only; @p wp supplies the
+// panels. The fp32 mode consumes the same panel bytes the per-call path
+// packs, so its outputs are bitwise identical to conv2d /
+// conv_transpose2d.
+
+Variable conv2d_prepacked(const Variable& x, const Variable& w,
+                          const litho::PackedWeight& wp, const Variable& b,
+                          int64_t stride, int64_t padding);
+
+Variable conv_transpose2d_prepacked(const Variable& x, const Variable& w,
+                                    const litho::PackedWeight& wp,
+                                    const Variable& b, int64_t stride,
+                                    int64_t padding);
 
 /// Average pooling with square kernel k and stride k (paper GP pool /8).
 Variable avg_pool2d(const Variable& x, int64_t k);

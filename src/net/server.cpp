@@ -62,6 +62,7 @@ struct Server::Impl {
         m_busy(metrics->counter("serve.busy_rejected")),
         m_protocol_errors(metrics->counter("serve.protocol_errors")),
         m_dropped(metrics->counter("serve.dropped_replies")),
+        m_idle_reaped(metrics->counter("serve.idle_reaped")),
         m_latency_ms(metrics->histogram("serve.latency_ms")),
         m_error_latency_ms(metrics->histogram("serve.error_latency_ms")) {}
 
@@ -76,6 +77,11 @@ struct Server::Impl {
     size_t out_offset = 0;  // into out.front()
     bool want_write = false;
     bool close_after_flush = false;
+    /// Last time frame bytes moved on the socket; idle reaping measures
+    /// from here. Requests in flight also count as activity (inflight).
+    Clock::time_point last_activity;
+    /// Accepted requests whose reply has not been queued yet.
+    int64_t inflight = 0;
     // close_conn() ran: deregistered and unreachable by id, awaiting
     // reap(). Deferred destruction keeps Connection& references held by
     // callers up the stack valid.
@@ -113,6 +119,7 @@ struct Server::Impl {
   runtime::Counter& m_busy;
   runtime::Counter& m_protocol_errors;
   runtime::Counter& m_dropped;
+  runtime::Counter& m_idle_reaped;
   runtime::Histogram& m_latency_ms;
   runtime::Histogram& m_error_latency_ms;
 
@@ -132,6 +139,11 @@ struct Server::Impl {
 
   std::mutex done_mutex;
   std::vector<DoneReply> done;
+
+  // User poll hook (doinn_serve's SIGUSR1 dump flag); the loop's single
+  // poll handler is owned here so the idle-reap tick can share it.
+  std::function<void()> user_poll;
+  int user_poll_ms = 0;
 
   // -- setup ----------------------------------------------------------------
 
@@ -185,6 +197,7 @@ struct Server::Impl {
       Connection conn;
       conn.fd = fd;
       conn.id = ++next_conn_id;
+      conn.last_activity = Clock::now();
       conn_fd_by_id[conn.id] = fd;
       conns[fd] = std::move(conn);
       m_connections.add();
@@ -209,6 +222,7 @@ struct Server::Impl {
       for (;;) {
         const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
         if (n > 0) {
+          conn.last_activity = Clock::now();
           conn.in.insert(conn.in.end(), buf, buf + n);
           if (static_cast<size_t>(n) < sizeof(buf)) break;
           continue;
@@ -275,6 +289,7 @@ struct Server::Impl {
         reply.trace_id = trace_id;
         reply.contour = std::move(*future);
         reply.t0 = t0;
+        ++conn.inflight;
         {
           std::lock_guard<std::mutex> lock(pending_mutex);
           pending.push_back(std::move(reply));
@@ -332,6 +347,7 @@ struct Server::Impl {
         close_conn(conn);
         return false;
       }
+      conn.last_activity = Clock::now();
       conn.out_offset += static_cast<size_t>(n);
       if (conn.out_offset == front.size()) {
         conn.out.pop_front();
@@ -369,6 +385,46 @@ struct Server::Impl {
     dead_fds.clear();
   }
 
+  /// Closes every connection that has sat past the idle timeout with no
+  /// socket traffic, nothing queued to write, and no request in flight —
+  /// an in-flight contour still counts as activity, so a slow inference
+  /// never gets its connection reaped from under it. Runs on the loop
+  /// thread via the poll handler.
+  void reap_idle() {
+    if (opts.idle_timeout_ms <= 0) return;
+    const auto now = Clock::now();
+    const auto limit = std::chrono::milliseconds(opts.idle_timeout_ms);
+    for (auto& [fd, conn] : conns) {
+      (void)fd;
+      if (conn.dead || conn.inflight > 0 || !conn.out.empty()) continue;
+      if (now - conn.last_activity >= limit) {
+        m_idle_reaped.add();
+        close_conn(conn);
+      }
+    }
+    reap();
+  }
+
+  /// Installs the loop's single poll handler: the idle-reap tick plus the
+  /// user hook from Server::set_poll_handler, at the shorter of the two
+  /// cadences. Called by run(), after any set_poll_handler.
+  void install_poll() {
+    int interval = -1;
+    if (opts.idle_timeout_ms > 0) {
+      // Ticking at a quarter of the timeout bounds reap lag at ~25% while
+      // keeping a 60 s default down to one wakeup per second.
+      interval = std::min(1000, std::max(10, opts.idle_timeout_ms / 4));
+    }
+    if (user_poll && user_poll_ms > 0) {
+      interval = interval < 0 ? user_poll_ms : std::min(interval, user_poll_ms);
+    }
+    if (interval < 0) return;
+    loop.set_poll_handler(interval, [this] {
+      reap_idle();
+      if (user_poll) user_poll();
+    });
+  }
+
   /// Loop-thread half of the completion hand-off: encodes every resolved
   /// contour into its connection's write queue. During the final drain
   /// (@p final) sockets have been switched to blocking, so flush pushes
@@ -386,6 +442,7 @@ struct Server::Impl {
         continue;
       }
       Connection& conn = conns.at(fd_it->second);
+      --conn.inflight;
       // Counters land before the reply bytes: a client that reads the
       // frame and immediately polls stats() must already see its request.
       const double ms = std::chrono::duration<double, std::milli>(
@@ -500,6 +557,7 @@ Server::~Server() {
 
 void Server::run() {
   runtime::trace::set_thread_name("serve-loop");
+  impl_->install_poll();
   impl_->loop.run();
   impl_->drain();
 }
@@ -508,7 +566,8 @@ void Server::stop() { impl_->loop.request_stop(); }
 
 void Server::set_poll_handler(int interval_ms,
                               std::function<void()> handler) {
-  impl_->loop.set_poll_handler(interval_ms, std::move(handler));
+  impl_->user_poll_ms = interval_ms;
+  impl_->user_poll = std::move(handler);
 }
 
 ServerStats Server::stats() const {
@@ -519,6 +578,7 @@ ServerStats Server::stats() const {
   s.busy_rejected = impl_->m_busy.value();
   s.protocol_errors = impl_->m_protocol_errors.value();
   s.dropped_replies = impl_->m_dropped.value();
+  s.idle_reaped = impl_->m_idle_reaped.value();
   return s;
 }
 

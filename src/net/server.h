@@ -52,6 +52,11 @@ struct ServerOptions {
   /// listen(2) backlog and the cap on concurrently open connections;
   /// connections beyond the cap are accepted and immediately closed.
   int max_connections = 64;
+  /// A connection with no frame activity (no bytes read or written, no
+  /// request in flight) for this long is closed by the loop thread, so
+  /// abandoned clients cannot pin slots under max_connections forever.
+  /// <= 0 disables reaping. doinn_serve exposes this as --idle-timeout-s.
+  int idle_timeout_ms = 60000;
 };
 
 /// Snapshot of the server's serve.* counters.
@@ -62,6 +67,7 @@ struct ServerStats {
   int64_t busy_rejected = 0;
   int64_t protocol_errors = 0;
   int64_t dropped_replies = 0;  ///< contours whose connection closed first
+  int64_t idle_reaped = 0;      ///< connections closed by the idle timer
 };
 
 class Server {

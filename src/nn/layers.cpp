@@ -1,6 +1,10 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <memory>
+
+#include "autograd/grad_mode.h"
+#include "tensor/prepack.h"
 
 namespace litho::nn {
 namespace {
@@ -28,7 +32,19 @@ Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
 }
 
 ag::Variable Conv2d::forward(const ag::Variable& x) const {
+  if (prepack_ && !ag::GradMode::is_enabled()) {
+    return ag::conv2d_prepacked(x, weight_, *prepack_, bias_, stride_,
+                                padding_);
+  }
   return ag::conv2d(x, weight_, bias_, stride_, padding_);
+}
+
+void Conv2d::prepack_forward(Precision precision) {
+  const Tensor& w = weight_.value();
+  const int64_t cout = w.size(0);
+  const int64_t ckk = w.numel() / cout;
+  prepack_ = std::make_shared<const PackedWeight>(GemmLayout::kNN, w.data(),
+                                                  cout, ckk, precision);
 }
 
 ConvTranspose2d::ConvTranspose2d(int64_t in_channels, int64_t out_channels,
@@ -48,7 +64,21 @@ ConvTranspose2d::ConvTranspose2d(int64_t in_channels, int64_t out_channels,
 }
 
 ag::Variable ConvTranspose2d::forward(const ag::Variable& x) const {
+  if (prepack_ && !ag::GradMode::is_enabled()) {
+    return ag::conv_transpose2d_prepacked(x, weight_, *prepack_, bias_,
+                                          stride_, padding_);
+  }
   return ag::conv_transpose2d(x, weight_, bias_, stride_, padding_);
+}
+
+void ConvTranspose2d::prepack_forward(Precision precision) {
+  // Forward consumes the weight as wᵀ (CoutKK x Cin through the TN layout),
+  // exactly like the per-call PackedA in ag::conv_transpose2d.
+  const Tensor& w = weight_.value();
+  const int64_t cin = w.size(0);
+  const int64_t ckk = w.numel() / cin;
+  prepack_ = std::make_shared<const PackedWeight>(GemmLayout::kTN, w.data(),
+                                                  ckk, cin, precision);
 }
 
 BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)

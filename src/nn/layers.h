@@ -18,12 +18,17 @@ class Conv2d : public Module {
 
   ag::Variable forward(const ag::Variable& x) const;
 
+  /// Packs the weight into the GEMM panel layout; forward() uses the pack
+  /// whenever gradients are disabled.
+  void prepack_forward(litho::Precision precision) override;
+
   int64_t stride() const { return stride_; }
   int64_t padding() const { return padding_; }
 
  private:
   ag::Variable weight_;
   ag::Variable bias_;
+  std::shared_ptr<const litho::PackedWeight> prepack_;
   int64_t stride_;
   int64_t padding_;
 };
@@ -37,9 +42,12 @@ class ConvTranspose2d : public Module {
 
   ag::Variable forward(const ag::Variable& x) const;
 
+  void prepack_forward(litho::Precision precision) override;
+
  private:
   ag::Variable weight_;
   ag::Variable bias_;
+  std::shared_ptr<const litho::PackedWeight> prepack_;
   int64_t stride_;
   int64_t padding_;
 };

@@ -64,6 +64,10 @@ void Module::set_training(bool training) {
   for (auto& [name, child] : children_) child->set_training(training);
 }
 
+void Module::prepack_forward(litho::Precision precision) {
+  for (auto& [name, child] : children_) child->prepack_forward(precision);
+}
+
 void Module::zero_grad() {
   for (ag::Variable& p : parameters()) p.zero_grad();
 }

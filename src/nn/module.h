@@ -12,6 +12,10 @@
 
 #include "autograd/variable.h"
 
+namespace litho {
+enum class Precision;  // tensor/prepack.h
+}
+
 namespace litho::nn {
 
 /// Base class for neural network modules.
@@ -39,6 +43,14 @@ class Module {
   /// Sets training mode (affects BatchNorm) on this module and children.
   void set_training(bool training);
   bool training() const { return training_; }
+
+  /// Packs forward-pass weights into the GEMM engine's panel layout (at the
+  /// given precision) for inference, recursing into children. Layers with a
+  /// packable forward (Conv2d, ConvTranspose2d) override this; the packed
+  /// panels are consulted only while gradients are disabled, so training
+  /// paths never see them. Call again after mutating weights — packs are
+  /// snapshots, not views.
+  virtual void prepack_forward(litho::Precision precision);
 
   /// Zeroes gradients of all parameters.
   void zero_grad();

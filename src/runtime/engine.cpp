@@ -26,17 +26,23 @@ InferenceEngine::InferenceEngine(const std::string& checkpoint_path,
                                  EngineOptions opts)
     : model_(core::load_doinn(checkpoint_path)),
       large_(std::make_unique<core::LargeTilePredictor>(*model_)),
-      pool_(make_pool(opts)) {
+      pool_(make_pool(opts)),
+      precision_(opts.precision) {
   model_->set_training(false);
+  // One walk over the model at load: every conv weight is packed into the
+  // GEMM panel layout (at the requested precision) so the serving hot path
+  // never rebuilds panels per call.
+  model_->prepack_forward(precision_);
 }
 
 InferenceEngine::InferenceEngine(core::DoinnConfig cfg, uint32_t seed,
                                  EngineOptions opts)
-    : pool_(make_pool(opts)) {
+    : pool_(make_pool(opts)), precision_(opts.precision) {
   std::mt19937 rng(seed);
   model_ = std::make_unique<core::Doinn>(cfg, rng);
   large_ = std::make_unique<core::LargeTilePredictor>(*model_);
   model_->set_training(false);
+  model_->prepack_forward(precision_);
 }
 
 std::vector<Tensor> InferenceEngine::predict_batch(

@@ -11,6 +11,7 @@
 #include "core/doinn.h"
 #include "core/large_tile.h"
 #include "runtime/thread_pool.h"
+#include "tensor/prepack.h"
 
 namespace litho::runtime {
 
@@ -18,6 +19,10 @@ struct EngineOptions {
   /// Parallelism degree; <= 0 means ThreadPool::default_num_threads()
   /// (DOINN_NUM_THREADS env var, else hardware concurrency).
   int num_threads = 0;
+  /// Inference storage precision (tensor/prepack.h). kFp32 keeps the engine
+  /// bitwise identical to the per-call-packing path; kInt8/kBf16 trade
+  /// accuracy for speed with their own per-mode determinism guarantees.
+  litho::Precision precision = litho::Precision::kFp32;
 };
 
 /// Thread-safe, inference-only front end over a Doinn model. The model is
@@ -39,6 +44,8 @@ class InferenceEngine {
   const core::DoinnConfig& config() const { return model_->config(); }
   /// The engine-owned pool every prediction's parallel kernels run on.
   ThreadPool& pool() { return *pool_; }
+  /// The inference storage precision this engine was built with.
+  litho::Precision precision() const { return precision_; }
 
   /// Binarized contours for training-tile-sized masks (each [tile, tile]).
   /// The masks are stacked into one [N,1,H,W] batch and pushed through a
@@ -62,6 +69,7 @@ class InferenceEngine {
   std::unique_ptr<core::Doinn> model_;
   std::unique_ptr<core::LargeTilePredictor> large_;
   std::unique_ptr<ThreadPool> pool_;
+  litho::Precision precision_ = litho::Precision::kFp32;
 };
 
 }  // namespace litho::runtime

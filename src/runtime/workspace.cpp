@@ -101,5 +101,6 @@ void BasicWorkspacePool<T>::clear() {
 
 template class BasicWorkspacePool<std::complex<double>>;
 template class BasicWorkspacePool<float>;
+template class BasicWorkspacePool<int8_t>;
 
 }  // namespace litho::runtime

@@ -21,6 +21,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace litho::runtime {
@@ -65,11 +66,15 @@ class BasicWorkspacePool {
 
 extern template class BasicWorkspacePool<std::complex<double>>;
 extern template class BasicWorkspacePool<float>;
+extern template class BasicWorkspacePool<int8_t>;
 
 /// Complex scratch pool used by the FFT kernels.
 using WorkspacePool = BasicWorkspacePool<std::complex<double>>;
 /// Float scratch pool used by the GEMM engine and the conv kernels.
 using FloatWorkspacePool = BasicWorkspacePool<float>;
+/// Byte scratch pool used by the reduced-precision inference path (int8 /
+/// bf16 panel staging — bf16 leases bytes and views them as uint16).
+using Int8WorkspacePool = BasicWorkspacePool<int8_t>;
 
 /// RAII lease of pooled scratch. Not thread-safe itself (one lease per
 /// worker chunk); the underlying pool is.
@@ -96,5 +101,6 @@ class BasicWorkspace {
 
 using Workspace = BasicWorkspace<std::complex<double>>;
 using FloatWorkspace = BasicWorkspace<float>;
+using Int8Workspace = BasicWorkspace<int8_t>;
 
 }  // namespace litho::runtime

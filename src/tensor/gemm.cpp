@@ -16,10 +16,10 @@ constexpr int64_t NR = kGemmNR;
 
 int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
 
-// Packs A rows [i0, i0+rows) x K range [k0, k0+klen) into ceil(rows/MR)
-// micro-panels of klen x MR floats each (k-major, padded rows zero-filled).
-// Exact copies only — packing never changes a value, so it cannot perturb
-// the bitwise-determinism contract.
+}  // namespace
+
+namespace detail {
+
 void pack_a_panels(GemmLayout layout, const float* a, int64_t m, int64_t k,
                    int64_t i0, int64_t rows, int64_t k0, int64_t klen,
                    float* dst) {
@@ -51,12 +51,17 @@ void pack_a_panels(GemmLayout layout, const float* a, int64_t m, int64_t k,
   }
 }
 
+}  // namespace detail
+
+namespace {
+
 // One column block [block*kNC, ...) of C = op(A)·op(B). Either `pa`
-// (pre-packed A) or `a_raw` (+layout) must be provided; with raw A, panels
-// are packed per (K step, MC stripe) into pooled scratch.
-void run_col_block(const PackedA* pa, GemmLayout layout, const float* a_raw,
-                   int64_t m, int64_t k, const BPanelPacker& bp, int64_t n,
-                   int64_t block, float* c, const GemmEpilogue& ep) {
+// (pre-packed A panels) or `a_raw` (+layout) must be provided; with raw A,
+// panels are packed per (K step, MC stripe) into pooled scratch.
+void run_col_block(const PackedPanelsView* pa, GemmLayout layout,
+                   const float* a_raw, int64_t m, int64_t k,
+                   const BPanelPacker& bp, int64_t n, int64_t block, float* c,
+                   const GemmEpilogue& ep) {
   const detail::MicroKernelTable& kern = detail::micro_kernels();
   const int64_t j0 = block * kGemmNC;
   const int64_t j1 = std::min(j0 + kGemmNC, n);
@@ -123,7 +128,8 @@ void run_col_block(const PackedA* pa, GemmLayout layout, const float* a_raw,
         apanels = pa->panel(i0 / MR, k0);
         panel_stride = k * MR;
       } else {
-        pack_a_panels(layout, a_raw, m, k, i0, rows, k0, klen, aws->data());
+        detail::pack_a_panels(layout, a_raw, m, k, i0, rows, k0, klen,
+                              aws->data());
         apanels = aws->data();
         panel_stride = klen * MR;
       }
@@ -248,7 +254,9 @@ PackedA::PackedA(GemmLayout layout, const float* a, int64_t m, int64_t k)
                               std::max<int64_t>(k, 1)))),
       m_(m),
       k_(k) {
-  if (m > 0 && k > 0) pack_a_panels(layout, a, m, k, 0, m, 0, k, buf_.data());
+  if (m > 0 && k > 0) {
+    detail::pack_a_panels(layout, a, m, k, 0, m, 0, k, buf_.data());
+  }
 }
 
 PackedA::~PackedA() {
@@ -259,7 +267,14 @@ int64_t gemm_col_blocks(int64_t n) { return n > 0 ? ceil_div(n, kGemmNC) : 0; }
 
 void gemm_col_block(const PackedA& a, const BPanelPacker& b, int64_t n,
                     int64_t block, float* c, const GemmEpilogue& ep) {
-  run_col_block(&a, GemmLayout::kNN, nullptr, a.m(), a.k(), b, n, block, c, ep);
+  const PackedPanelsView v = a.view();
+  run_col_block(&v, GemmLayout::kNN, nullptr, v.m, v.k, b, n, block, c, ep);
+}
+
+void gemm_col_block(const PackedPanelsView& a, const BPanelPacker& b,
+                    int64_t n, int64_t block, float* c,
+                    const GemmEpilogue& ep) {
+  run_col_block(&a, GemmLayout::kNN, nullptr, a.m, a.k, b, n, block, c, ep);
 }
 
 void gemm_col_block(GemmLayout layout, const float* a, int64_t m, int64_t k,

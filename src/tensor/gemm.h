@@ -113,6 +113,33 @@ class StridedBPacker final : public BPanelPacker {
   bool transposed_;
 };
 
+namespace detail {
+/// Packs A rows [i0, i0+rows) x K range [k0, k0+klen) into ceil(rows/MR)
+/// micro-panels of klen x kGemmMR floats (k-major, padded rows
+/// zero-filled). Exact copies only — packing never changes a value. Shared
+/// by the per-call PackedA and the load-time PackedWeight so both produce
+/// the identical panel bytes.
+void pack_a_panels(GemmLayout layout, const float* a, int64_t m, int64_t k,
+                   int64_t i0, int64_t rows, int64_t k0, int64_t klen,
+                   float* dst);
+}  // namespace detail
+
+/// Non-owning view of an A operand already packed into kGemmMR row panels
+/// (k-major, padded rows zero-filled). The engine consumes views, so packed
+/// panels can come from a per-call PackedA lease or from a load-time
+/// PackedWeight held by the inference engine (tensor/prepack.h) — the
+/// arithmetic is identical either way.
+struct PackedPanelsView {
+  const float* buf = nullptr;
+  int64_t m = 0, k = 0;
+
+  /// Panel for rows [mtile*kGemmMR, ...), K range starting at k0:
+  /// (k - k0) x kGemmMR floats, k-major.
+  const float* panel(int64_t mtile, int64_t k0) const {
+    return buf + mtile * k * kGemmMR + k0 * kGemmMR;
+  }
+};
+
 /// A operand pre-packed into kGemmMR row panels, k-major, padded rows
 /// zero-filled. Pack once, reuse across many GEMMs against the same A —
 /// conv2d packs its weights once per call and shares them across every
@@ -132,6 +159,9 @@ class PackedA {
   const float* panel(int64_t mtile, int64_t k0) const {
     return buf_.data() + mtile * k_ * kGemmMR + k0 * kGemmMR;
   }
+  PackedPanelsView view() const {
+    return PackedPanelsView{buf_.data(), m_, k_};
+  }
 
  private:
   std::vector<float> buf_;
@@ -149,6 +179,11 @@ int64_t gemm_col_blocks(int64_t n);
 /// written. Thread-safe for distinct blocks.
 void gemm_col_block(const PackedA& a, const BPanelPacker& b, int64_t n,
                     int64_t block, float* c, const GemmEpilogue& ep = {});
+
+/// Same, over any packed-panel view (e.g. a load-time PackedWeight).
+void gemm_col_block(const PackedPanelsView& a, const BPanelPacker& b,
+                    int64_t n, int64_t block, float* c,
+                    const GemmEpilogue& ep = {});
 
 /// Same, packing A panels on the fly from raw storage (per K step, into
 /// pooled scratch) — for A operands too large or short-lived to pre-pack,

@@ -15,4 +15,9 @@ const MicroKernelTable& avx2_kernels() {
   return t;
 }
 
+const QuantKernelTable& avx2_quant_kernels() {
+  static const QuantKernelTable t = avx2::make_quant_table();
+  return t;
+}
+
 }  // namespace litho::detail

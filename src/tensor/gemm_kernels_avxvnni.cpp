@@ -1,0 +1,21 @@
+// AVX-VNNI instantiation of the micro-kernels. The only body-level change
+// versus the AVX2 TU is the int8 hot loop: one vpdpbusd contracts a whole
+// u8 x s8 k-quad where the plain AVX2 body needs a widen plus two vpmaddwd
+// partial sums — same exact int32 totals, a quarter of the ALU uops — so
+// only the quant table from this TU is worth dispatching (the fp32/bf16
+// kernels here are byte-for-byte the AVX2 ones). CMake adds -mavx2
+// -mavxvnni when the compiler knows the flag; otherwise this TU duplicates
+// whatever ISA the default flags give and the dispatcher's
+// compiler-version guard never selects it.
+#define DOINN_KERNEL_NS avxvnni
+#include "tensor/gemm_kernels_body.inc"
+#undef DOINN_KERNEL_NS
+
+namespace litho::detail {
+
+const QuantKernelTable& avxvnni_quant_kernels() {
+  static const QuantKernelTable t = avxvnni::make_quant_table();
+  return t;
+}
+
+}  // namespace litho::detail

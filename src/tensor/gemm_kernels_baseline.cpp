@@ -14,6 +14,20 @@ const MicroKernelTable& resolve() {
   return baseline_kernels();
 }
 
+const QuantKernelTable& resolve_quant() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // The avxvnni probe needs a compiler new enough to know the feature name
+  // (GCC 11 / Clang 12, the same versions that accept -mavxvnni, so the
+  // guard and the TU's build flags stay in lockstep).
+#if (defined(__clang__) && __clang_major__ >= 12) || \
+    (!defined(__clang__) && defined(__GNUC__) && __GNUC__ >= 11)
+  if (__builtin_cpu_supports("avxvnni")) return avxvnni_quant_kernels();
+#endif
+  if (__builtin_cpu_supports("avx2")) return avx2_quant_kernels();
+#endif
+  return baseline_quant_kernels();
+}
+
 }  // namespace
 
 const MicroKernelTable& baseline_kernels() {
@@ -23,6 +37,16 @@ const MicroKernelTable& baseline_kernels() {
 
 const MicroKernelTable& micro_kernels() {
   static const MicroKernelTable& t = resolve();
+  return t;
+}
+
+const QuantKernelTable& baseline_quant_kernels() {
+  static const QuantKernelTable t = baseline::make_quant_table();
+  return t;
+}
+
+const QuantKernelTable& quant_kernels() {
+  static const QuantKernelTable& t = resolve_quant();
   return t;
 }
 

@@ -1,0 +1,143 @@
+// Load-time weight prepacking and reduced-precision inference storage.
+//
+// packed_gemm re-packs its A (weight) operand into the 4x8 panel layout on
+// every call, even though inference weights are immutable after load. A
+// PackedWeight is the one-time alternative: built once per conv/linear
+// weight when the InferenceEngine loads a checkpoint (exemplar: PyTorch's
+// mkldnn ConvPrepack contexts), owned immutably by the layer, and handed to
+// the conv forward so the per-call PackedA construction disappears from the
+// serving hot path.
+//
+// Precision modes (EngineOptions::precision, default kFp32):
+//  - kFp32: panels are exact copies in the PackedA layout. The forward pass
+//    runs the unchanged fp32 engine, so results are bitwise identical to
+//    the per-call packing path — prepacking only removes work.
+//  - kInt8: weights are quantized per output row (symmetric, zero-point 0:
+//    scale[i] = max|row i| / 127) and stored as signed k-quads; im2col B
+//    panels are quantized on the fly with one dynamic per-sample scale
+//    (127 / max|sample|) into UNSIGNED bytes q+128 — the u8 x s8 layout
+//    vpdpbusd contracts four k per instruction. The micro-kernel
+//    accumulates in int32 — integer arithmetic is exact, so any summation
+//    schedule yields the same sums — then the write-back removes the
+//    128 * rowsum(weights) shift in integer math and applies
+//    scale[i]*b_scale (+bias) in fp32. Bitwise deterministic for any
+//    thread count or batch split.
+//  - kBf16: panels and B panels are stored as round-to-nearest-even bf16
+//    and widened back to fp32 inside the kernel; accumulation stays fp32 in
+//    strictly increasing k order, so the mode keeps the engine's
+//    determinism contract (identical bits for any thread count) while
+//    halving panel traffic. Results differ from fp32 only by the storage
+//    rounding.
+//
+// Every mode keeps its own bitwise-determinism guarantee; only kFp32
+// additionally guarantees identity with the non-prepacked engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm.h"
+
+namespace litho {
+
+/// Inference storage precision for prepacked weights and B panels.
+enum class Precision { kFp32, kInt8, kBf16 };
+
+/// "fp32" / "int8" / "bf16" (CLI flag values).
+const char* precision_name(Precision p);
+
+/// Parses a --precision flag value; throws std::invalid_argument otherwise.
+Precision parse_precision(const std::string& name);
+
+/// Round-to-nearest-even fp32 -> bf16 truncation (the top 16 bits of the
+/// fp32 pattern after RNE on bit 16). NaN payloads are quietened.
+uint16_t fp32_to_bf16(float v);
+/// Exact widening bf16 -> fp32 (low mantissa bits zero).
+float bf16_to_fp32(uint16_t v);
+
+/// A GEMM A operand packed once into the engine's panel layout at a chosen
+/// storage precision. Immutable after construction and safe to share across
+/// threads; unlike PackedA the buffers are owned (not pool-leased), so the
+/// object can live as long as the engine.
+///
+/// Layouts per mode (m rows, k depth, MR = kGemmMR):
+///  - kFp32: identical to PackedA — ceil(m/MR) panels of k x MR floats.
+///  - kInt8: per m-tile, ceil(k/4) k-quads x MR signed int8 quads
+///    ([a(r,4q) .. a(r,4q+3)] contiguous per row — one int32-sized
+///    broadcast unit — trailing k zero-padded), plus a per-row fp32
+///    dequantization scale and an integer row sum sum_k q(i,k) (both
+///    length m); the row sums cancel the +128 activation shift exactly in
+///    the write-back.
+///  - kBf16: the fp32 layout with uint16 elements.
+class PackedWeight {
+ public:
+  /// Packs op(A) per @p layout from row-major storage (see GemmLayout);
+  /// m and k are the logical GEMM extents after the transposition.
+  PackedWeight(GemmLayout layout, const float* a, int64_t m, int64_t k,
+               Precision precision);
+
+  Precision precision() const { return precision_; }
+  int64_t m() const { return m_; }
+  int64_t k() const { return k_; }
+
+  /// fp32 panel view for gemm_col_block (kFp32 only).
+  PackedPanelsView fp32_view() const {
+    return PackedPanelsView{f32_.data(), m_, k_};
+  }
+
+  /// Number of packed k-quads per int8 panel (ceil(k/4)).
+  int64_t k_quads() const { return (k_ + 3) / 4; }
+  /// Int8-mode panel for rows [mtile*MR, ...): k_quads() x MR x 4 signed
+  /// bytes.
+  const int8_t* i8_panel(int64_t mtile) const {
+    return i8_.data() + mtile * k_quads() * kGemmMR * 4;
+  }
+  /// Per-output-row dequantization scales, length m (kInt8 only).
+  const float* row_scales() const { return scales_.data(); }
+  /// Per-output-row quantized-weight sums sum_k q(i,k), length m (kInt8
+  /// only) — multiplied by the activation zero-point 128 they remove the
+  /// unsigned shift from the raw accumulators.
+  const int32_t* row_sums() const { return rowsum_.data(); }
+
+  /// bf16-mode panel, same indexing as PackedA::panel.
+  const uint16_t* bf16_panel(int64_t mtile, int64_t k0) const {
+    return bf16_.data() + mtile * k_ * kGemmMR + k0 * kGemmMR;
+  }
+
+ private:
+  Precision precision_;
+  int64_t m_, k_;
+  std::vector<float> f32_;      // kFp32 panels
+  std::vector<uint16_t> bf16_;  // kBf16 panels
+  std::vector<int8_t> i8_;      // kInt8 panels (signed k-quads)
+  std::vector<int32_t> rowsum_;  // kInt8 per-row quantized sums
+  std::vector<float> scales_;   // kInt8 per-row scales
+};
+
+/// One column block of C(f32) = dequant(A8 · quant(B)) [+ bias]: the int8
+/// inference GEMM. B is gathered in fp32 through @p bp, quantized with
+/// @p inv_b_scale (127/max|B|, or 0 for an all-zero operand) into unsigned
+/// +128-shifted k-quads (the kernels' native u8 x s8 panel format), and
+/// contracted against the prepacked int8 weight in int32, chunking K so
+/// the active B panels stay L1-resident (partial sums park in int32 —
+/// exact, so the chunking never changes a bit). The write-back removes the
+/// 128 * row_sums()[i] shift in integer math, then applies
+/// @p combined_scales (length m, row_scales[i] * b_scale) with optional
+/// @p bias in fp32. Thread-safe for distinct blocks; bitwise deterministic
+/// for any thread count (integer accumulation is exact).
+void gemm_col_block_i8(const PackedWeight& a, const BPanelPacker& bp,
+                       float inv_b_scale, const float* combined_scales,
+                       int64_t n, int64_t block, float* c, const float* bias);
+
+/// One column block of C = A(bf16) · bf16(B) with fp32 accumulation in
+/// strictly increasing k order (the fp32 engine's blocking, bf16 storage).
+void gemm_col_block_bf16(const PackedWeight& a, const BPanelPacker& bp,
+                         int64_t n, int64_t block, float* c,
+                         const GemmEpilogue& ep = {});
+
+/// Largest |v| over n floats (exact: max is order-independent, so callers
+/// may parallelize it without touching the determinism contract).
+float max_abs(const float* v, int64_t n);
+
+}  // namespace litho

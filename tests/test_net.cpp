@@ -141,10 +141,11 @@ TEST(NetProtocol, ImageDecodeRejectsMalformedPayloads) {
 /// in reverse order.
 class LoopbackServer {
  public:
-  explicit LoopbackServer(runtime::SchedulerOptions sched_opts = {})
+  explicit LoopbackServer(runtime::SchedulerOptions sched_opts = {},
+                          net::ServerOptions server_opts = {})
       : engine_(tiny_config(), /*seed=*/17, runtime::EngineOptions{1}),
         scheduler_(engine_, sched_opts),
-        server_(scheduler_, net::ServerOptions{}),
+        server_(scheduler_, server_opts),
         loop_([this] { server_.run(); }) {}
 
   ~LoopbackServer() {
@@ -315,6 +316,33 @@ TEST(NetServer, MalformedImagePayloadGetsErrorReplyAndClose) {
   EXPECT_EQ(reply.type, net::FrameType::kError);
   EXPECT_EQ(reply.request_id, 3u);
   EXPECT_THROW(client.read_reply(), std::runtime_error);
+}
+
+TEST(NetServer, IdleConnectionReapedWhileActiveOneSurvives) {
+  net::ServerOptions server_opts;
+  server_opts.idle_timeout_ms = 200;
+  LoopbackServer fixture({}, server_opts);
+  const Tensor mask = random_mask(64, 31);
+  const Tensor expected = fixture.engine().predict(mask);
+
+  net::Client idle("127.0.0.1", fixture.port());
+  net::Client active("127.0.0.1", fixture.port());
+  // Drive traffic on `active` well past the timeout; `idle` sends nothing.
+  // Each round trip restamps the active connection's activity clock.
+  bool reaped = false;
+  for (int i = 0; i < 60 && !reaped; ++i) {
+    const Tensor got = active.predict(static_cast<uint64_t>(i) + 1, mask);
+    ASSERT_EQ(test::max_abs_diff(got, expected), 0.f);
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    reaped = fixture.server().stats().idle_reaped > 0;
+  }
+  EXPECT_TRUE(reaped) << "idle connection never reaped";
+  EXPECT_EQ(fixture.server().stats().idle_reaped, 1);
+  // The reaped socket was closed server-side: the next read hits EOF.
+  EXPECT_THROW(idle.read_reply(), std::runtime_error);
+  // The trafficking connection is untouched and still serves.
+  const Tensor got = active.predict(999, mask);
+  EXPECT_EQ(test::max_abs_diff(got, expected), 0.f);
 }
 
 TEST(NetServer, ShutdownFrameDrainsInFlightRequestsThenStops) {
