@@ -11,6 +11,11 @@
 //   doinn_cli predict   --weights weights.bin --mask mask.pgm --out contour.pgm
 //                       [--threads N]   (N=0: DOINN_NUM_THREADS / hardware)
 //                       [--precision fp32|int8|bf16]   (inference storage)
+//                       [--no-graph-exec] [--no-autotune]
+//                       [--int8-policy auto|always]
+//                       (--no-graph-exec disables the compiled static-graph
+//                       executor; --int8-policy auto keeps conv shapes where
+//                       int8 doesn't pay in fp32, always packs all int8)
 //   doinn_cli mrc       --mask mask.pgm [--pixel 16] [--min-feature 48]
 //                       [--min-gap 48]   (mask rule check; exit 1 on violations)
 //
@@ -142,6 +147,14 @@ int cmd_predict(const Args& args) {
   runtime::EngineOptions opts;
   opts.num_threads = static_cast<int>(args.get_int("threads", 0));
   opts.precision = parse_precision(args.get("precision", "fp32"));
+  opts.use_graph_executor = !args.get_bool("no-graph-exec");
+  opts.autotune = !args.get_bool("no-autotune");
+  const std::string int8_policy = args.get("int8-policy", "auto");
+  if (int8_policy == "always") {
+    opts.int8_policy = runtime::EngineOptions::Int8Policy::kAlways;
+  } else if (int8_policy != "auto") {
+    throw std::runtime_error("--int8-policy expects auto or always");
+  }
   runtime::InferenceEngine engine(args.get("weights"), opts);
 
   Tensor mask = io::read_pgm(args.get("mask"));

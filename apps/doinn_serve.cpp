@@ -271,6 +271,8 @@ void usage() {
       "usage: doinn_serve --weights weights.bin --manifest requests.txt\n"
       "                   [--results out.txt] [--threads N]\n"
       "                   [--precision fp32|int8|bf16] [--poll-ms 50]\n"
+      "                   [--no-graph-exec] [--no-autotune]\n"
+      "                   [--int8-policy auto|always]\n"
       "                   [--max-batch 8] [--max-delay-us 2000]\n"
       "                   [--queue-cap 64] [--adaptive-delay] [--once]\n"
       "                   [--trace-out trace.json] [--metrics-out m.json]\n"
@@ -286,7 +288,11 @@ void usage() {
       "bounds the request queue (manifest submission blocks when full;\n"
       "socket clients get a BUSY reply). --precision selects the inference\n"
       "storage precision (fp32 is bitwise-exact; int8/bf16 are faster,\n"
-      "reduced-accuracy). --idle-timeout-s closes listen-mode connections\n"
+      "reduced-accuracy). --no-graph-exec disables the compiled static-graph\n"
+      "executor (per-shape capture + arena-planned buffers); --no-autotune\n"
+      "skips load-time kernel autotuning; --int8-policy auto keeps conv\n"
+      "shapes where int8 doesn't pay in fp32, always packs every conv int8.\n"
+      "--idle-timeout-s closes listen-mode connections\n"
       "with no activity for that long (0 disables).\n"
       "--trace-out enables tracing and\n"
       "writes Chrome Trace Event JSON on shutdown; --metrics-out writes a\n"
@@ -413,8 +419,16 @@ int main(int argc, char** argv) {
 
     runtime::EngineOptions opts;
     opts.num_threads = static_cast<int>(args.get_int("threads", 0));
+    opts.use_graph_executor = !args.get_bool("no-graph-exec");
+    opts.autotune = !args.get_bool("no-autotune");
     try {
       opts.precision = parse_precision(args.get("precision", "fp32"));
+      const std::string int8_policy = args.get("int8-policy", "auto");
+      if (int8_policy == "always") {
+        opts.int8_policy = runtime::EngineOptions::Int8Policy::kAlways;
+      } else if (int8_policy != "auto") {
+        throw std::invalid_argument("--int8-policy expects auto or always");
+      }
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;

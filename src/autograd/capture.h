@@ -1,0 +1,155 @@
+// Static-graph capture of the no-grad inference op walk.
+//
+// The graph executor (runtime/graph_exec.h) replays the DOINN forward as a
+// flat list of kernel closures over arena-planned buffers. This header is
+// the recording half: while a GraphRecorder is installed on the current
+// thread, every instrumented inference op — after computing its result
+// normally — appends a CaptureNode holding (a) the slots it read and wrote
+// and (b) a replay closure that re-runs the *same* compute core against
+// resolved buffer pointers. Op walk and replay share one arithmetic
+// implementation per op, so replay output is bitwise identical to the op
+// walk by construction (the executor still validates this per plan and
+// falls back when an uninstrumented op sneaks into a forward).
+//
+// Slot semantics: a slot is one dense float buffer. Variables produced by
+// recorded nodes (or registered via add_input) map to planned slots; any
+// other Variable an op consumes is frozen as a constant slot that keeps the
+// underlying tensor storage alive — weights, biases and eval-mode BN
+// statistics land here, which is correct because the engine captures only
+// eval-mode forwards whose parameters are immutable for the plan lifetime.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/gemm.h"
+#include "tensor/prepack.h"
+
+namespace litho::ag {
+
+/// Resolved buffer pointers for one node at replay time. The arrays are
+/// owned by the executor context and ordered exactly as the Variables were
+/// passed to GraphRecorder::record.
+struct ReplayIO {
+  const float* const* ins = nullptr;
+  float* const* outs = nullptr;
+  const float* in(int i) const { return ins[i]; }
+  float* out(int i) const { return outs[i]; }
+};
+
+using ReplayFn = std::function<void(const ReplayIO&)>;
+
+/// Shape-specialized im2col row decode, precomputed once at capture time:
+/// logical B row kk of the implicit im2col matrix reads input plane
+/// `plane`, displaced by (dy, dx) from the output pixel. Replay packers use
+/// the table instead of re-deriving channel/ki/kj per panel; the gathered
+/// values are identical, so replays stay bitwise equal to the op walk.
+struct Im2colStep {
+  int64_t plane;  // channel * h * w
+  int32_t dy;     // ki - padding
+  int32_t dx;     // kj - padding
+};
+
+/// Mutable per-node knobs the planner and autotuner write after capture and
+/// the replay closure reads on every run: the fused epilogue chain plus the
+/// GEMM tuning choices. Conv closures hold this by shared_ptr so rewrites
+/// reach them without rebuilding the closure.
+struct NodeTuning {
+  std::vector<EpiloguePostStage> post;  // fused elementwise epilogue
+  std::vector<Tensor> keepalive;        // buffers the stages point into
+  std::vector<Im2colStep> im2col;       // per-row gather table (may be empty)
+  int64_t nc = 0;                       // column-block width (0 = default)
+  BFeed bfeed = BFeed::kAuto;           // B-feed strategy
+};
+
+/// Metadata of a fusable elementwise node (candidate epilogue stage).
+struct EwiseInfo {
+  enum class Kind : int8_t { kNone, kLeaky, kTanh, kBnEval };
+  Kind kind = Kind::kNone;
+  float slope = 0.f;  // kLeaky
+  // kBnEval per-channel arrays, frozen at capture time (eval statistics).
+  Tensor mu, inv_std, gamma, beta;
+  int64_t channels = 0;
+};
+
+/// Metadata of a GEMM-backed conv node, for the fusion pass (which may only
+/// append stages to non-transposed convs — transposed convs GEMM into
+/// column space before the col2im scatter) and the per-shape autotuner.
+struct ConvInfo {
+  bool valid = false;
+  bool transposed = false;
+  bool pointwise = false;  // 1x1 stride-1: B is strided-viewable
+  int64_t m = 0, k = 0, l = 0, batch = 0;
+  Precision prec = Precision::kFp32;
+};
+
+struct CaptureNode {
+  const char* kind = "";  // string literal, for traces and debugging
+  std::vector<int> ins, outs;
+  ReplayFn run;
+  std::shared_ptr<NodeTuning> tuning;  // conv nodes only
+  ConvInfo conv;
+  EwiseInfo ewise;
+  bool dead = false;  // set by the fusion pass when folded into a producer
+};
+
+struct CaptureSlot {
+  Shape shape;
+  int64_t numel = 0;
+  int producer = -1;  // producing node index; -1 for inputs and constants
+  bool is_input = false;
+  Tensor constant;  // numel() > 0 => frozen constant backing buffer
+};
+
+/// The recorded forward: nodes in execution order over a slot table.
+struct CapturedGraph {
+  std::vector<CaptureNode> nodes;
+  std::vector<CaptureSlot> slots;
+  std::vector<int> inputs;   // slot ids, in add_input order
+  std::vector<int> outputs;  // slot ids, in mark_output order
+};
+
+/// Thread-local graph recorder. Construct to start recording on this
+/// thread, call finish() to detach the graph; the destructor uninstalls.
+/// Recorders hold a shared_ptr to every VarState they key slots by, so
+/// freed-and-reused state addresses can never alias two distinct slots.
+class GraphRecorder {
+ public:
+  GraphRecorder();
+  ~GraphRecorder();
+  GraphRecorder(const GraphRecorder&) = delete;
+  GraphRecorder& operator=(const GraphRecorder&) = delete;
+
+  /// Recorder installed on this thread, or nullptr (the common case: one
+  /// relaxed thread-local read on every instrumented op).
+  static GraphRecorder* current();
+
+  /// Registers @p v as the next graph input slot.
+  void add_input(const Variable& v);
+
+  /// Marks @p v (input, constant, or a recorded node's output) as the next
+  /// graph output slot.
+  void mark_output(const Variable& v);
+
+  /// Appends a node for an op that read @p ins and wrote @p outs. Returns
+  /// the node so callers can attach ConvInfo / EwiseInfo / NodeTuning.
+  CaptureNode& record(const char* kind, const std::vector<Variable>& ins,
+                      const std::vector<Variable>& outs, ReplayFn fn);
+
+  /// Detaches and returns the recorded graph; the recorder becomes inert.
+  std::shared_ptr<CapturedGraph> finish();
+
+ private:
+  int slot_for_read(const Variable& v);
+  int slot_for_write(const Variable& v, int node);
+
+  std::shared_ptr<CapturedGraph> graph_;
+  std::unordered_map<const detail::VarState*, int> slot_of_;
+  std::vector<std::shared_ptr<detail::VarState>> keepalive_;
+  GraphRecorder* prev_ = nullptr;
+};
+
+}  // namespace litho::ag

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
+#include "autograd/capture.h"
+#include "autograd/grad_mode.h"
 #include "runtime/thread_pool.h"
 #include "runtime/workspace.h"
 #include "tensor/gemm.h"
@@ -11,6 +14,14 @@
 
 namespace litho::ag {
 namespace {
+
+/// The recorder to append capture nodes to, or nullptr. Ops record only in
+/// no-grad mode: a grad-mode forward builds an autograd graph whose node
+/// Variables are not the leaf Variables capture keys slots by.
+GraphRecorder* active_recorder() {
+  GraphRecorder* rec = GraphRecorder::current();
+  return (rec != nullptr && !GradMode::is_enabled()) ? rec : nullptr;
+}
 
 void check_same_shape(const Variable& a, const Variable& b, const char* op) {
   if (!a.value().same_shape(b.value())) {
@@ -36,10 +47,14 @@ struct ConvDims {
 /// Logical B = im2col(x): row k = (channel, ki, kj), column j = (oy, ox).
 class Im2colPacker final : public BPanelPacker {
  public:
+  /// @p steps (nullable) is a capture-time Im2colStep table indexed by
+  /// logical row kk; with it, pack() skips the per-row channel/ki/kj
+  /// decode. Same gathered values either way.
   Im2colPacker(const float* x, int64_t h, int64_t w, int64_t k,
-               int64_t stride, int64_t padding, int64_t ow)
+               int64_t stride, int64_t padding, int64_t ow,
+               const Im2colStep* steps = nullptr)
       : x_(x), h_(h), w_(w), k_(k), stride_(stride), padding_(padding),
-        ow_(ow) {}
+        ow_(ow), steps_(steps) {}
 
   void pack(int64_t k0, int64_t k1, int64_t j0, int64_t j1,
             float* dst) const override {
@@ -65,13 +80,24 @@ class Im2colPacker final : public BPanelPacker {
       // to a straight vector copy.
       const bool one_row = oy[0] == oy[nr - 1];
       for (int64_t kk = k0; kk < k1; ++kk) {
-        const int64_t kj = kk % k_;
-        const int64_t ki = (kk / k_) % k_;
-        const float* plane = x_ + (kk / (k_ * k_)) * h_ * w_;
+        int64_t dy, dx;
+        const float* plane;
+        if (steps_ != nullptr) {
+          const Im2colStep& st = steps_[kk];
+          plane = x_ + st.plane;
+          dy = st.dy;
+          dx = st.dx;
+        } else {
+          const int64_t kj = kk % k_;
+          const int64_t ki = (kk / k_) % k_;
+          plane = x_ + (kk / (k_ * k_)) * h_ * w_;
+          dy = ki - padding_;
+          dx = kj - padding_;
+        }
         float* d = p + (kk - k0) * kGemmNR;
         if (one_row && stride_ == 1) {
-          const int64_t iy = oy[0] + ki - padding_;
-          const int64_t ix0 = ox[0] + kj - padding_;
+          const int64_t iy = oy[0] + dy;
+          const int64_t ix0 = ox[0] + dx;
           if (iy >= 0 && iy < h_ && ix0 >= 0 && ix0 + nr <= w_) {
             const float* src = plane + iy * w_ + ix0;
             for (int64_t j = 0; j < nr; ++j) d[j] = src[j];
@@ -80,8 +106,8 @@ class Im2colPacker final : public BPanelPacker {
           }
         }
         for (int64_t j = 0; j < nr; ++j) {
-          const int64_t iy = oy[j] * stride_ + ki - padding_;
-          const int64_t ix = ox[j] * stride_ + kj - padding_;
+          const int64_t iy = oy[j] * stride_ + dy;
+          const int64_t ix = ox[j] * stride_ + dx;
           d[j] = (iy >= 0 && iy < h_ && ix >= 0 && ix < w_)
                      ? plane[iy * w_ + ix]
                      : 0.f;
@@ -94,6 +120,7 @@ class Im2colPacker final : public BPanelPacker {
  private:
   const float* x_;
   int64_t h_, w_, k_, stride_, padding_, ow_;
+  const Im2colStep* steps_;
 };
 
 /// Logical B = im2col(x)ᵀ: row k = (oy, ox), column j = (channel, ki, kj).
@@ -180,6 +207,205 @@ ConvDims conv_dims(const Variable& x, const Variable& w, int64_t stride,
   return d;
 }
 
+// -- Shared compute cores ------------------------------------------------------
+// Each instrumented inference op computes through one of these, and its
+// capture closure (autograd/capture.h) replays the same core against arena
+// buffers — op walk and graph replay share per-element arithmetic, so
+// executor output is bitwise identical to the op walk by construction.
+
+void add_core(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+}
+
+void leaky_core(const float* x, float* o, int64_t n, float slope) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    o[i] = v < 0.f ? v * slope : v;
+  }
+}
+
+void tanh_core(const float* x, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = std::tanh(x[i]);
+}
+
+void sigmoid_core(const float* x, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = 1.f / (1.f + std::exp(-x[i]));
+}
+
+void avg_pool_core(const float* x, float* o, int64_t planes, int64_t h,
+                   int64_t w, int64_t k) {
+  const int64_t oh = h / k, ow = w / k;
+  const float inv = 1.f / static_cast<float>(k * k);
+  for (int64_t nc = 0; nc < planes; ++nc) {
+    const float* src = x + nc * h * w;
+    float* dst = o + nc * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.f;
+        for (int64_t ky = 0; ky < k; ++ky) {
+          const float* row = src + (oy * k + ky) * w + ox * k;
+          for (int64_t kx = 0; kx < k; ++kx) acc += row[kx];
+        }
+        dst[oy * ow + ox] = acc * inv;
+      }
+    }
+  }
+}
+
+void bn_eval_core(const float* x, float* o, int64_t n, int64_t c,
+                  int64_t plane, const float* mu, const float* inv_std,
+                  const float* gamma, const float* beta) {
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* p = x + (b * c + ch) * plane;
+      float* op = o + (b * c + ch) * plane;
+      const float m = mu[ch], is = inv_std[ch];
+      const float ga = gamma[ch], be = beta[ch];
+      for (int64_t i = 0; i < plane; ++i) {
+        const float xh = (p[i] - m) * is;
+        op[i] = ga * xh + be;
+      }
+    }
+  }
+}
+
+/// The conv2d_prepacked compute body: GEMM fan-out over (sample, column
+/// block) tasks. @p tuning (nullable) supplies the executor's fused
+/// epilogue chain and per-shape knobs; all knobs are bitwise-neutral.
+void conv2d_prepacked_run(const ConvDims& d, const PackedWeight& wp,
+                          const float* x, const float* bias, int64_t stride,
+                          int64_t padding, const NodeTuning* tuning,
+                          float* out) {
+  const int64_t l = d.oh * d.ow;
+  const bool pointwise = d.kh == 1 && d.kw == 1 && stride == 1 && padding == 0;
+  GemmEpilogue ep;
+  ep.bias = bias;
+  if (tuning != nullptr) {
+    ep.post = tuning->post.data();
+    ep.post_count = static_cast<int>(tuning->post.size());
+    ep.nc = tuning->nc;
+    ep.bfeed = tuning->bfeed;
+  }
+  const int64_t blocks = gemm_col_blocks(l, ep.nc);
+
+  // Per-sample activation scale for int8: max|x_s| over the whole sample
+  // bounds every im2col entry (padding gathers zeros), and max is
+  // order-independent, so the scale — and everything derived from it — does
+  // not depend on the schedule. Scratch is pooled: steady-state replay
+  // allocates nothing.
+  std::optional<runtime::FloatWorkspace> scales;
+  const float* inv_bscale = nullptr;
+  const float* combined = nullptr;
+  if (wp.precision() == Precision::kInt8) {
+    scales.emplace(static_cast<size_t>(d.n * (1 + d.cout)));
+    float* ib = scales->data();
+    float* cb = scales->data() + d.n;
+    const float* rs = wp.row_scales();
+    const int64_t plane = d.cin * d.h * d.w;
+    for (int64_t s = 0; s < d.n; ++s) {
+      const float amax = max_abs(x + s * plane, plane);
+      ib[s] = amax > 0.f ? 127.f / amax : 0.f;
+      const float bs = amax / 127.f;
+      for (int64_t i = 0; i < d.cout; ++i) cb[s * d.cout + i] = rs[i] * bs;
+    }
+    inv_bscale = ib;
+    combined = cb;
+  }
+
+  runtime::parallel_for(d.n * blocks, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t s = t / blocks;
+      const int64_t blk = t % blocks;
+      const float* xs = x + s * d.cin * d.h * d.w;
+      float* cs = out + s * d.cout * l;
+      const Im2colPacker im(xs, d.h, d.w, d.kh, stride, padding, d.ow,
+                            tuning != nullptr && !tuning->im2col.empty()
+                                ? tuning->im2col.data()
+                                : nullptr);
+      const StridedBPacker direct(xs, l, /*transposed=*/false);
+      const BPanelPacker& bp =
+          pointwise ? static_cast<const BPanelPacker&>(direct)
+                    : static_cast<const BPanelPacker&>(im);
+      switch (wp.precision()) {
+        case Precision::kFp32:
+          gemm_col_block(wp.fp32_view(), bp, l, blk, cs, ep);
+          break;
+        case Precision::kInt8:
+          gemm_col_block_i8(wp, bp, inv_bscale[s], combined + s * d.cout, l,
+                            blk, cs, bias, ep);
+          break;
+        case Precision::kBf16:
+          gemm_col_block_bf16(wp, bp, l, blk, cs, ep);
+          break;
+      }
+    }
+  });
+}
+
+/// The conv_transpose2d_prepacked compute body: per-sample GEMM into a
+/// pooled column buffer, zero-filled output, col2im scatter, then bias.
+/// The explicit zero fill makes the core safe over arena buffers (the op
+/// walk relied on freshly zero-initialized Tensors).
+void conv_transpose2d_prepacked_run(const ConvDims& d, const PackedWeight& wp,
+                                    const float* x, const float* bias,
+                                    int64_t stride, int64_t padding,
+                                    const NodeTuning* tuning, float* out) {
+  const int64_t ckk = d.cout * d.kh * d.kw;
+  const int64_t l = d.h * d.w;
+  const int64_t plane = d.oh * d.ow;
+  GemmEpilogue ep;
+  if (tuning != nullptr) {
+    ep.nc = tuning->nc;
+    ep.bfeed = tuning->bfeed;
+  }
+  const int64_t blocks = gemm_col_blocks(l, ep.nc);
+  runtime::FloatWorkspace col(static_cast<size_t>(ckk * l));
+  std::optional<runtime::FloatWorkspace> scales;
+  if (wp.precision() == Precision::kInt8) {
+    scales.emplace(static_cast<size_t>(ckk));
+  }
+  std::fill(out, out + d.n * d.cout * plane, 0.f);
+  for (int64_t s = 0; s < d.n; ++s) {
+    const float* xs = x + s * d.cin * l;
+    const StridedBPacker bp(xs, l, /*transposed=*/false);
+    float inv_bscale = 0.f;
+    if (wp.precision() == Precision::kInt8) {
+      const float amax = max_abs(xs, d.cin * l);
+      inv_bscale = amax > 0.f ? 127.f / amax : 0.f;
+      const float bs = amax / 127.f;
+      const float* rs = wp.row_scales();
+      for (int64_t i = 0; i < ckk; ++i) scales->data()[i] = rs[i] * bs;
+    }
+    runtime::parallel_for(blocks, [&](int64_t b0, int64_t b1) {
+      for (int64_t blk = b0; blk < b1; ++blk) {
+        switch (wp.precision()) {
+          case Precision::kFp32:
+            gemm_col_block(wp.fp32_view(), bp, l, blk, col.data(), ep);
+            break;
+          case Precision::kInt8:
+            // Bias is applied after col2im (it belongs to the scattered
+            // output plane, not the column matrix).
+            gemm_col_block_i8(wp, bp, inv_bscale, scales->data(), l, blk,
+                              col.data(), /*bias=*/nullptr, ep);
+            break;
+          case Precision::kBf16:
+            gemm_col_block_bf16(wp, bp, l, blk, col.data(), ep);
+            break;
+        }
+      }
+    });
+    col2im(col.data(), d.cout, d.oh, d.ow, d.kh, stride, padding,
+           out + s * d.cout * plane);
+    if (bias != nullptr) {
+      for (int64_t c = 0; c < d.cout; ++c) {
+        float* p = out + (s * d.cout + c) * plane;
+        const float bv = bias[c];
+        for (int64_t i = 0; i < plane; ++i) p[i] += bv;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int64_t conv_out_size(int64_t in, int64_t k, int64_t stride, int64_t padding) {
@@ -188,11 +414,20 @@ int64_t conv_out_size(int64_t in, int64_t k, int64_t stride, int64_t padding) {
 
 Variable add(const Variable& a, const Variable& b) {
   check_same_shape(a, b, "add");
-  Tensor out = a.value().add(b.value());
-  return Variable::make_node(std::move(out), {a, b}, [a, b](const Tensor& g) {
-    a.state()->accumulate(g);
-    b.state()->accumulate(g);
-  });
+  const int64_t numel = a.value().numel();
+  Tensor out(a.value().shape());
+  add_core(a.value().data(), b.value().data(), out.data(), numel);
+  Variable out_v =
+      Variable::make_node(std::move(out), {a, b}, [a, b](const Tensor& g) {
+        a.state()->accumulate(g);
+        b.state()->accumulate(g);
+      });
+  if (GraphRecorder* rec = active_recorder()) {
+    rec->record("add", {a, b}, {out_v}, [numel](const ReplayIO& io) {
+      add_core(io.in(0), io.in(1), io.out(0), numel);
+    });
+  }
+  return out_v;
 }
 
 Variable sub(const Variable& a, const Variable& b) {
@@ -224,11 +459,10 @@ Variable scale(const Variable& a, float s) {
 Variable relu(const Variable& x) { return leaky_relu(x, 0.f); }
 
 Variable leaky_relu(const Variable& x, float negative_slope) {
-  Tensor out = x.value().clone();
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    if (out[i] < 0.f) out[i] *= negative_slope;
-  }
-  return Variable::make_node(
+  const int64_t numel = x.value().numel();
+  Tensor out(x.value().shape());
+  leaky_core(x.value().data(), out.data(), numel, negative_slope);
+  Variable out_v = Variable::make_node(
       std::move(out), {x}, [x, negative_slope](const Tensor& g) {
         Tensor gx = g.clone();
         const Tensor& v = x.value();
@@ -237,27 +471,60 @@ Variable leaky_relu(const Variable& x, float negative_slope) {
         }
         x.state()->accumulate(gx);
       });
+  if (GraphRecorder* rec = active_recorder()) {
+    CaptureNode& node = rec->record(
+        "leaky_relu", {x}, {out_v}, [numel, negative_slope](const ReplayIO& io) {
+          leaky_core(io.in(0), io.out(0), numel, negative_slope);
+        });
+    node.ewise.kind = EwiseInfo::Kind::kLeaky;
+    node.ewise.slope = negative_slope;
+  }
+  return out_v;
 }
 
 Variable tanh(const Variable& x) {
-  Tensor out = x.value().map([](float v) { return std::tanh(v); });
+  const int64_t numel = x.value().numel();
+  Tensor out(x.value().shape());
+  tanh_core(x.value().data(), out.data(), numel);
   // Capture the forward output for the backward pass: d tanh = 1 - tanh^2.
   Tensor saved = out;
-  return Variable::make_node(std::move(out), {x}, [x, saved](const Tensor& g) {
-    Tensor gx = g.clone();
-    for (int64_t i = 0; i < gx.numel(); ++i) gx[i] *= 1.f - saved[i] * saved[i];
-    x.state()->accumulate(gx);
-  });
+  Variable out_v =
+      Variable::make_node(std::move(out), {x}, [x, saved](const Tensor& g) {
+        Tensor gx = g.clone();
+        for (int64_t i = 0; i < gx.numel(); ++i) {
+          gx[i] *= 1.f - saved[i] * saved[i];
+        }
+        x.state()->accumulate(gx);
+      });
+  if (GraphRecorder* rec = active_recorder()) {
+    CaptureNode& node =
+        rec->record("tanh", {x}, {out_v}, [numel](const ReplayIO& io) {
+          tanh_core(io.in(0), io.out(0), numel);
+        });
+    node.ewise.kind = EwiseInfo::Kind::kTanh;
+  }
+  return out_v;
 }
 
 Variable sigmoid(const Variable& x) {
-  Tensor out = x.value().map([](float v) { return 1.f / (1.f + std::exp(-v)); });
+  const int64_t numel = x.value().numel();
+  Tensor out(x.value().shape());
+  sigmoid_core(x.value().data(), out.data(), numel);
   Tensor saved = out;
-  return Variable::make_node(std::move(out), {x}, [x, saved](const Tensor& g) {
-    Tensor gx = g.clone();
-    for (int64_t i = 0; i < gx.numel(); ++i) gx[i] *= saved[i] * (1.f - saved[i]);
-    x.state()->accumulate(gx);
-  });
+  Variable out_v =
+      Variable::make_node(std::move(out), {x}, [x, saved](const Tensor& g) {
+        Tensor gx = g.clone();
+        for (int64_t i = 0; i < gx.numel(); ++i) {
+          gx[i] *= saved[i] * (1.f - saved[i]);
+        }
+        x.state()->accumulate(gx);
+      });
+  if (GraphRecorder* rec = active_recorder()) {
+    rec->record("sigmoid", {x}, {out_v}, [numel](const ReplayIO& io) {
+      sigmoid_core(io.in(0), io.out(0), numel);
+    });
+  }
+  return out_v;
 }
 
 Variable concat_channels(const std::vector<Variable>& parts) {
@@ -267,18 +534,39 @@ Variable concat_channels(const std::vector<Variable>& parts) {
   for (const Variable& p : parts) values.push_back(p.value());
   Tensor out = Tensor::concat(values, 1);
   std::vector<Variable> parents(parts.begin(), parts.end());
-  return Variable::make_node(std::move(out), parents,
-                             [parts](const Tensor& g) {
-                               int64_t start = 0;
-                               for (const Variable& p : parts) {
-                                 const int64_t len = p.value().size(1);
-                                 if (p.requires_grad()) {
-                                   p.state()->accumulate(
-                                       g.narrow(1, start, len));
-                                 }
-                                 start += len;
-                               }
-                             });
+  Variable out_v = Variable::make_node(std::move(out), parents,
+                                       [parts](const Tensor& g) {
+                                         int64_t start = 0;
+                                         for (const Variable& p : parts) {
+                                           const int64_t len = p.value().size(1);
+                                           if (p.requires_grad()) {
+                                             p.state()->accumulate(
+                                                 g.narrow(1, start, len));
+                                           }
+                                           start += len;
+                                         }
+                                       });
+  if (GraphRecorder* rec = active_recorder()) {
+    // Per sample, the channel block of each part is copied in part order —
+    // exactly Tensor::concat along dim 1. Copies are bitwise.
+    const int64_t n = out_v.value().size(0);
+    std::vector<int64_t> per_sample;  // elements per sample, per part
+    per_sample.reserve(parts.size());
+    for (const Variable& p : parts) per_sample.push_back(p.value().numel() / n);
+    rec->record("concat", parts, {out_v},
+                [n, per_sample](const ReplayIO& io) {
+                  float* o = io.out(0);
+                  for (int64_t b = 0; b < n; ++b) {
+                    for (size_t p = 0; p < per_sample.size(); ++p) {
+                      const int64_t len = per_sample[p];
+                      const float* src = io.in(static_cast<int>(p)) + b * len;
+                      for (int64_t i = 0; i < len; ++i) o[i] = src[i];
+                      o += len;
+                    }
+                  }
+                });
+  }
+  return out_v;
 }
 
 Variable narrow_channels(const Variable& x, int64_t start, int64_t len) {
@@ -497,138 +785,101 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
 }
 
 Variable conv2d_prepacked(const Variable& x, const Variable& w,
-                          const PackedWeight& wp, const Variable& b,
-                          int64_t stride, int64_t padding) {
+                          const std::shared_ptr<const PackedWeight>& wp,
+                          const Variable& b, int64_t stride, int64_t padding) {
   const ConvDims d = conv_dims(x, w, stride, padding, /*transposed=*/false);
   const bool has_bias = b.defined();
   if (has_bias && (b.value().dim() != 1 || b.value().size(0) != d.cout)) {
     throw std::invalid_argument("conv2d bias shape mismatch");
   }
   const int64_t ckk = d.cin * d.kh * d.kw;
-  if (wp.m() != d.cout || wp.k() != ckk) {
+  if (wp == nullptr || wp->m() != d.cout || wp->k() != ckk) {
     throw std::invalid_argument("conv2d prepacked weight shape mismatch");
   }
-  const int64_t l = d.oh * d.ow;
   Tensor out({d.n, d.cout, d.oh, d.ow});
-  const int64_t blocks = gemm_col_blocks(l);
-  const bool pointwise = d.kh == 1 && d.kw == 1 && stride == 1 && padding == 0;
-  const float* bias = has_bias ? b.value().data() : nullptr;
-
-  // Per-sample activation scale for int8: max|x_s| over the whole sample
-  // bounds every im2col entry (padding gathers zeros), and max is
-  // order-independent, so the scale — and everything derived from it — does
-  // not depend on the schedule.
-  std::vector<float> inv_bscale, combined;
-  if (wp.precision() == Precision::kInt8) {
-    inv_bscale.resize(static_cast<size_t>(d.n));
-    combined.resize(static_cast<size_t>(d.n * d.cout));
-    const float* rs = wp.row_scales();
-    const int64_t plane = d.cin * d.h * d.w;
-    for (int64_t s = 0; s < d.n; ++s) {
-      const float amax = max_abs(x.value().data() + s * plane, plane);
-      inv_bscale[static_cast<size_t>(s)] = amax > 0.f ? 127.f / amax : 0.f;
-      const float bs = amax / 127.f;
-      for (int64_t i = 0; i < d.cout; ++i) {
-        combined[static_cast<size_t>(s * d.cout + i)] = rs[i] * bs;
+  conv2d_prepacked_run(d, *wp, x.value().data(),
+                       has_bias ? b.value().data() : nullptr, stride, padding,
+                       /*tuning=*/nullptr, out.data());
+  Variable out_v(std::move(out));
+  if (GraphRecorder* rec = active_recorder()) {
+    auto tuning = std::make_shared<NodeTuning>();
+    // Shape-specialized gather table: one decode per logical im2col row,
+    // amortized over every replay (row order matches the packer's
+    // kk = (channel * kh + ki) * kw + kj decode).
+    tuning->im2col.reserve(static_cast<size_t>(ckk));
+    for (int64_t c = 0; c < d.cin; ++c) {
+      for (int64_t ki = 0; ki < d.kh; ++ki) {
+        for (int64_t kj = 0; kj < d.kw; ++kj) {
+          tuning->im2col.push_back({c * d.h * d.w,
+                                    static_cast<int32_t>(ki - padding),
+                                    static_cast<int32_t>(kj - padding)});
+        }
       }
     }
+    Tensor bias_t = has_bias ? b.value() : Tensor();
+    std::shared_ptr<const PackedWeight> pack = wp;
+    CaptureNode& node = rec->record(
+        "conv2d", {x}, {out_v},
+        [d, pack, bias_t, stride, padding, tuning](const ReplayIO& io) {
+          conv2d_prepacked_run(d, *pack, io.in(0),
+                               bias_t.numel() > 0 ? bias_t.data() : nullptr,
+                               stride, padding, tuning.get(), io.out(0));
+        });
+    node.tuning = tuning;
+    node.conv.valid = true;
+    node.conv.transposed = false;
+    node.conv.pointwise =
+        d.kh == 1 && d.kw == 1 && stride == 1 && padding == 0;
+    node.conv.m = d.cout;
+    node.conv.k = ckk;
+    node.conv.l = d.oh * d.ow;
+    node.conv.batch = d.n;
+    node.conv.prec = wp->precision();
   }
-
-  GemmEpilogue ep;
-  ep.bias = bias;
-  runtime::parallel_for(d.n * blocks, [&](int64_t t0, int64_t t1) {
-    for (int64_t t = t0; t < t1; ++t) {
-      const int64_t s = t / blocks;
-      const int64_t blk = t % blocks;
-      const float* xs = x.value().data() + s * d.cin * d.h * d.w;
-      float* cs = out.data() + s * d.cout * l;
-      const Im2colPacker im(xs, d.h, d.w, d.kh, stride, padding, d.ow);
-      const StridedBPacker direct(xs, l, /*transposed=*/false);
-      const BPanelPacker& bp =
-          pointwise ? static_cast<const BPanelPacker&>(direct)
-                    : static_cast<const BPanelPacker&>(im);
-      switch (wp.precision()) {
-        case Precision::kFp32:
-          gemm_col_block(wp.fp32_view(), bp, l, blk, cs, ep);
-          break;
-        case Precision::kInt8:
-          gemm_col_block_i8(wp, bp, inv_bscale[static_cast<size_t>(s)],
-                            combined.data() + s * d.cout, l, blk, cs, bias);
-          break;
-        case Precision::kBf16:
-          gemm_col_block_bf16(wp, bp, l, blk, cs, ep);
-          break;
-      }
-    }
-  });
-  return Variable(std::move(out));
+  return out_v;
 }
 
-Variable conv_transpose2d_prepacked(const Variable& x, const Variable& w,
-                                    const PackedWeight& wp, const Variable& b,
-                                    int64_t stride, int64_t padding) {
+Variable conv_transpose2d_prepacked(
+    const Variable& x, const Variable& w,
+    const std::shared_ptr<const PackedWeight>& wp, const Variable& b,
+    int64_t stride, int64_t padding) {
   const ConvDims d = conv_dims(x, w, stride, padding, /*transposed=*/true);
   const bool has_bias = b.defined();
   if (has_bias && (b.value().dim() != 1 || b.value().size(0) != d.cout)) {
     throw std::invalid_argument("conv_transpose2d bias shape mismatch");
   }
   const int64_t ckk = d.cout * d.kh * d.kw;
-  if (wp.m() != ckk || wp.k() != d.cin) {
+  if (wp == nullptr || wp->m() != ckk || wp->k() != d.cin) {
     throw std::invalid_argument(
         "conv_transpose2d prepacked weight shape mismatch");
   }
-  const int64_t l = d.h * d.w;
-  const int64_t plane = d.oh * d.ow;
   Tensor out({d.n, d.cout, d.oh, d.ow});
-  const int64_t blocks = gemm_col_blocks(l);
-  runtime::FloatWorkspace col(static_cast<size_t>(ckk * l));
-  std::vector<float> combined;
-  if (wp.precision() == Precision::kInt8) {
-    combined.resize(static_cast<size_t>(ckk));
+  conv_transpose2d_prepacked_run(d, *wp, x.value().data(),
+                                 has_bias ? b.value().data() : nullptr, stride,
+                                 padding, /*tuning=*/nullptr, out.data());
+  Variable out_v(std::move(out));
+  if (GraphRecorder* rec = active_recorder()) {
+    auto tuning = std::make_shared<NodeTuning>();
+    Tensor bias_t = has_bias ? b.value() : Tensor();
+    std::shared_ptr<const PackedWeight> pack = wp;
+    CaptureNode& node = rec->record(
+        "conv_transpose2d", {x}, {out_v},
+        [d, pack, bias_t, stride, padding, tuning](const ReplayIO& io) {
+          conv_transpose2d_prepacked_run(
+              d, *pack, io.in(0),
+              bias_t.numel() > 0 ? bias_t.data() : nullptr, stride, padding,
+              tuning.get(), io.out(0));
+        });
+    node.tuning = tuning;
+    node.conv.valid = true;
+    node.conv.transposed = true;
+    node.conv.m = ckk;
+    node.conv.k = d.cin;
+    node.conv.l = d.h * d.w;
+    node.conv.batch = d.n;
+    node.conv.prec = wp->precision();
   }
-  for (int64_t s = 0; s < d.n; ++s) {
-    const float* xs = x.value().data() + s * d.cin * l;
-    const StridedBPacker bp(xs, l, /*transposed=*/false);
-    float inv_bscale = 0.f;
-    if (wp.precision() == Precision::kInt8) {
-      const float amax = max_abs(xs, d.cin * l);
-      inv_bscale = amax > 0.f ? 127.f / amax : 0.f;
-      const float bs = amax / 127.f;
-      const float* rs = wp.row_scales();
-      for (int64_t i = 0; i < ckk; ++i) {
-        combined[static_cast<size_t>(i)] = rs[i] * bs;
-      }
-    }
-    runtime::parallel_for(blocks, [&](int64_t b0, int64_t b1) {
-      for (int64_t blk = b0; blk < b1; ++blk) {
-        switch (wp.precision()) {
-          case Precision::kFp32:
-            gemm_col_block(wp.fp32_view(), bp, l, blk, col.data(),
-                           GemmEpilogue{});
-            break;
-          case Precision::kInt8:
-            // Bias is applied after col2im (it belongs to the scattered
-            // output plane, not the column matrix).
-            gemm_col_block_i8(wp, bp, inv_bscale, combined.data(), l, blk,
-                              col.data(), /*bias=*/nullptr);
-            break;
-          case Precision::kBf16:
-            gemm_col_block_bf16(wp, bp, l, blk, col.data(), GemmEpilogue{});
-            break;
-        }
-      }
-    });
-    col2im(col.data(), d.cout, d.oh, d.ow, d.kh, stride, padding,
-           out.data() + s * d.cout * plane);
-    if (has_bias) {
-      for (int64_t c = 0; c < d.cout; ++c) {
-        float* p = out.data() + (s * d.cout + c) * plane;
-        const float bias = b.value()[c];
-        for (int64_t i = 0; i < plane; ++i) p[i] += bias;
-      }
-    }
-  }
-  return Variable(std::move(out));
+  return out_v;
 }
 
 Variable conv_transpose2d(const Variable& x, const Variable& w,
@@ -744,21 +995,8 @@ Variable avg_pool2d(const Variable& x, int64_t k) {
   const int64_t oh = h / k, ow = w / k;
   Tensor out({n, c, oh, ow});
   const float inv = 1.f / static_cast<float>(k * k);
-  for (int64_t nc = 0; nc < n * c; ++nc) {
-    const float* src = x.value().data() + nc * h * w;
-    float* dst = out.data() + nc * oh * ow;
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        float acc = 0.f;
-        for (int64_t ky = 0; ky < k; ++ky) {
-          const float* row = src + (oy * k + ky) * w + ox * k;
-          for (int64_t kx = 0; kx < k; ++kx) acc += row[kx];
-        }
-        dst[oy * ow + ox] = acc * inv;
-      }
-    }
-  }
-  return Variable::make_node(
+  avg_pool_core(x.value().data(), out.data(), n * c, h, w, k);
+  Variable out_v = Variable::make_node(
       std::move(out), {x}, [x, n, c, h, w, k, oh, ow, inv](const Tensor& g) {
         Tensor gx({n, c, h, w});
         for (int64_t nc = 0; nc < n * c; ++nc) {
@@ -776,6 +1014,14 @@ Variable avg_pool2d(const Variable& x, int64_t k) {
         }
         x.state()->accumulate(gx);
       });
+  if (GraphRecorder* rec = active_recorder()) {
+    const int64_t planes = n * c;
+    rec->record("avg_pool", {x}, {out_v},
+                [planes, h, w, k](const ReplayIO& io) {
+                  avg_pool_core(io.in(0), io.out(0), planes, h, w, k);
+                });
+  }
+  return out_v;
 }
 
 Variable batch_norm2d(const Variable& x, const Variable& gamma,
@@ -786,6 +1032,38 @@ Variable batch_norm2d(const Variable& x, const Variable& gamma,
   const int64_t n = x.value().size(0), c = x.value().size(1);
   const int64_t plane = x.value().size(2) * x.value().size(3);
   const int64_t m = n * plane;  // elements per channel
+
+  if (!training && !GradMode::is_enabled()) {
+    // No-grad eval fast path: normalize with frozen running statistics in a
+    // single pass — the xhat buffer only the backward needs is never
+    // materialized. Statement shapes mirror the general eval path exactly,
+    // so both produce identical bits.
+    Tensor mu = running_mean.clone();
+    Tensor inv_std({c});
+    for (int64_t ch = 0; ch < c; ++ch) {
+      inv_std[ch] = 1.f / std::sqrt(running_var[ch] + eps);
+    }
+    Tensor out(x.value().shape());
+    bn_eval_core(x.value().data(), out.data(), n, c, plane, mu.data(),
+                 inv_std.data(), gamma.value().data(), beta.value().data());
+    Variable out_v(std::move(out));
+    if (GraphRecorder* rec = active_recorder()) {
+      Tensor ga = gamma.value(), be = beta.value();
+      CaptureNode& node = rec->record(
+          "bn_eval", {x}, {out_v},
+          [n, c, plane, mu, inv_std, ga, be](const ReplayIO& io) {
+            bn_eval_core(io.in(0), io.out(0), n, c, plane, mu.data(),
+                         inv_std.data(), ga.data(), be.data());
+          });
+      node.ewise.kind = EwiseInfo::Kind::kBnEval;
+      node.ewise.mu = mu;
+      node.ewise.inv_std = inv_std;
+      node.ewise.gamma = ga;
+      node.ewise.beta = be;
+      node.ewise.channels = c;
+    }
+    return out_v;
+  }
 
   Tensor mean_t({c}), var_t({c});
   if (training) {

@@ -10,6 +10,8 @@
 // its parents. Gradients of each op are covered by numeric gradcheck tests.
 #pragma once
 
+#include <memory>
+
 #include "autograd/variable.h"
 
 namespace litho {
@@ -64,18 +66,19 @@ Variable conv_transpose2d(const Variable& x, const Variable& w,
 // (tensor/prepack.h). They build no autograd graph and return leaf
 // Variables — callers gate on !GradMode::is_enabled(). @p w is the module's
 // weight Variable, used for shape validation only; @p wp supplies the
-// panels. The fp32 mode consumes the same panel bytes the per-call path
-// packs, so its outputs are bitwise identical to conv2d /
+// panels (held by shared_ptr so graph-capture closures can pin the pack
+// across engine re-prepacks). The fp32 mode consumes the same panel bytes
+// the per-call path packs, so its outputs are bitwise identical to conv2d /
 // conv_transpose2d.
 
 Variable conv2d_prepacked(const Variable& x, const Variable& w,
-                          const litho::PackedWeight& wp, const Variable& b,
-                          int64_t stride, int64_t padding);
+                          const std::shared_ptr<const litho::PackedWeight>& wp,
+                          const Variable& b, int64_t stride, int64_t padding);
 
-Variable conv_transpose2d_prepacked(const Variable& x, const Variable& w,
-                                    const litho::PackedWeight& wp,
-                                    const Variable& b, int64_t stride,
-                                    int64_t padding);
+Variable conv_transpose2d_prepacked(
+    const Variable& x, const Variable& w,
+    const std::shared_ptr<const litho::PackedWeight>& wp, const Variable& b,
+    int64_t stride, int64_t padding);
 
 /// Average pooling with square kernel k and stride k (paper GP pool /8).
 Variable avg_pool2d(const Variable& x, int64_t k);

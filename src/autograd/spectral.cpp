@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "autograd/capture.h"
+#include "autograd/grad_mode.h"
 #include "runtime/thread_pool.h"
 #include "tensor/gemm.h"
 
@@ -9,6 +11,13 @@ namespace litho::ag {
 namespace {
 
 using litho::fft::CTensor;
+
+/// The recorder to append capture nodes to, or nullptr (see ops.cpp: ops
+/// record only in no-grad mode).
+GraphRecorder* spectral_recorder() {
+  GraphRecorder* rec = GraphRecorder::current();
+  return (rec != nullptr && !GradMode::is_enabled()) ? rec : nullptr;
+}
 
 struct Dims2 {
   int64_t batch, h, w;
@@ -22,6 +31,19 @@ Dims2 last_two(const Shape& s) {
 }
 
 // Copies the (kh x kw) top-left window of each trailing 2-D slice.
+void narrow2d_into(const float* x, float* dst0, int64_t batch, int64_t h,
+                   int64_t w, int64_t kh, int64_t kw) {
+  runtime::parallel_for(batch, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* src = x + b * h * w;
+      float* dst = dst0 + b * kh * kw;
+      for (int64_t r = 0; r < kh; ++r) {
+        for (int64_t c = 0; c < kw; ++c) dst[r * kw + c] = src[r * w + c];
+      }
+    }
+  });
+}
+
 Tensor narrow2d(const Tensor& x, int64_t kh, int64_t kw) {
   const Dims2 d = last_two(x.shape());
   if (kh > d.h || kw > d.w) throw std::invalid_argument("narrow2d window");
@@ -29,16 +51,26 @@ Tensor narrow2d(const Tensor& x, int64_t kh, int64_t kw) {
   out_shape[out_shape.size() - 2] = kh;
   out_shape[out_shape.size() - 1] = kw;
   Tensor out(out_shape);
-  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
+  narrow2d_into(x.data(), out.data(), d.batch, d.h, d.w, kh, kw);
+  return out;
+}
+
+// Zero-fills each trailing (h x w) output slice, then copies the (sh x sw)
+// input slice into its top-left corner. The explicit fill (rather than
+// relying on Tensor zero-initialization) keeps the core correct over reused
+// arena buffers.
+void pad2d_into(const float* x, float* dst0, int64_t batch, int64_t sh,
+                int64_t sw, int64_t h, int64_t w) {
+  runtime::parallel_for(batch, [&](int64_t b0, int64_t b1) {
     for (int64_t b = b0; b < b1; ++b) {
-      const float* src = x.data() + b * d.h * d.w;
-      float* dst = out.data() + b * kh * kw;
-      for (int64_t r = 0; r < kh; ++r) {
-        for (int64_t c = 0; c < kw; ++c) dst[r * kw + c] = src[r * d.w + c];
+      const float* src = x + b * sh * sw;
+      float* dst = dst0 + b * h * w;
+      for (int64_t i = 0; i < h * w; ++i) dst[i] = 0.f;
+      for (int64_t r = 0; r < sh; ++r) {
+        for (int64_t c = 0; c < sw; ++c) dst[r * w + c] = src[r * sw + c];
       }
     }
   });
-  return out;
 }
 
 // Zero-pads each trailing 2-D slice to (h x w), input at top-left.
@@ -48,16 +80,8 @@ Tensor pad2d(const Tensor& x, int64_t h, int64_t w) {
   Shape out_shape = x.shape();
   out_shape[out_shape.size() - 2] = h;
   out_shape[out_shape.size() - 1] = w;
-  Tensor out(out_shape);  // zero-initialized
-  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
-    for (int64_t b = b0; b < b1; ++b) {
-      const float* src = x.data() + b * d.h * d.w;
-      float* dst = out.data() + b * h * w;
-      for (int64_t r = 0; r < d.h; ++r) {
-        for (int64_t c = 0; c < d.w; ++c) dst[r * w + c] = src[r * d.w + c];
-      }
-    }
-  });
+  Tensor out(out_shape);
+  pad2d_into(x.data(), out.data(), d.batch, d.h, d.w, h, w);
   return out;
 }
 
@@ -65,20 +89,36 @@ Variable narrow2d_var(const Variable& x, int64_t kh, int64_t kw) {
   const Dims2 d = last_two(x.shape());
   Tensor out = narrow2d(x.value(), kh, kw);
   const int64_t h = d.h, w = d.w;
-  return Variable::make_node(std::move(out), {x},
-                             [x, h, w](const Tensor& g) {
-                               x.state()->accumulate(pad2d(g, h, w));
-                             });
+  Variable out_v = Variable::make_node(std::move(out), {x},
+                                       [x, h, w](const Tensor& g) {
+                                         x.state()->accumulate(pad2d(g, h, w));
+                                       });
+  if (GraphRecorder* rec = spectral_recorder()) {
+    const int64_t batch = d.batch;
+    rec->record("narrow2d", {x}, {out_v},
+                [batch, h, w, kh, kw](const ReplayIO& io) {
+                  narrow2d_into(io.in(0), io.out(0), batch, h, w, kh, kw);
+                });
+  }
+  return out_v;
 }
 
 Variable pad2d_var(const Variable& x, int64_t h, int64_t w) {
   const Dims2 d = last_two(x.shape());
   Tensor out = pad2d(x.value(), h, w);
   const int64_t kh = d.h, kw = d.w;
-  return Variable::make_node(std::move(out), {x},
-                             [x, kh, kw](const Tensor& g) {
-                               x.state()->accumulate(narrow2d(g, kh, kw));
-                             });
+  Variable out_v =
+      Variable::make_node(std::move(out), {x}, [x, kh, kw](const Tensor& g) {
+        x.state()->accumulate(narrow2d(g, kh, kw));
+      });
+  if (GraphRecorder* rec = spectral_recorder()) {
+    const int64_t batch = d.batch;
+    rec->record("pad2d", {x}, {out_v},
+                [batch, kh, kw, h, w](const ReplayIO& io) {
+                  pad2d_into(io.in(0), io.out(0), batch, kh, kw, h, w);
+                });
+  }
+  return out_v;
 }
 
 }  // namespace
@@ -101,6 +141,14 @@ CVariable rfft2v(const Variable& x) {
         CTensor cot(Tensor(g.shape()), g.clone());
         x.state()->accumulate(litho::fft::rfft2_adjoint(cot, w));
       });
+  if (GraphRecorder* rec = spectral_recorder()) {
+    const int64_t batch = d.batch, h = d.h;
+    rec->record("rfft2", {x}, {re, im},
+                [batch, h, w](const ReplayIO& io) {
+                  litho::fft::rfft2_into(io.in(0), io.out(0), io.out(1),
+                                         batch, h, w);
+                });
+  }
   return {re, im};
 }
 
@@ -109,14 +157,24 @@ Variable irfft2v(const CVariable& x, int64_t w) {
   // (fast path) with interior columns doubled — both components come out of
   // the one transform.
   CTensor spec(x.re.value(), x.im.value());
+  const Dims2 d = last_two(spec.shape());
   Tensor out = litho::fft::irfft2(spec, w);
   Variable vre = x.re, vim = x.im;
-  return Variable::make_node(
+  Variable out_v = Variable::make_node(
       std::move(out), {vre, vim}, [vre, vim](const Tensor& g) {
         CTensor cot = litho::fft::irfft2_adjoint(g);
         if (vre.requires_grad()) vre.state()->accumulate(cot.re);
         if (vim.requires_grad()) vim.state()->accumulate(cot.im);
       });
+  if (GraphRecorder* rec = spectral_recorder()) {
+    const int64_t batch = d.batch, h = d.h;
+    rec->record("irfft2", {vre, vim}, {out_v},
+                [batch, h, w](const ReplayIO& io) {
+                  litho::fft::irfft2_into(io.in(0), io.in(1), io.out(0),
+                                          batch, h, w);
+                });
+  }
+  return out_v;
 }
 
 CVariable ctruncate(const CVariable& x, int64_t kh, int64_t kw) {
@@ -213,6 +271,34 @@ void complex_contract_backward(const Tensor& g_re, const Tensor& g_im,
   }
 }
 
+/// Forward compute of clift / cmode_matmul over raw buffers. Both kernels
+/// overwrite their outputs (no zero-init dependence), so the core replays
+/// safely over arena buffers.
+void complex_contract_run(const LiftDims& d, bool per_mode, const float* vr0,
+                          const float* vi0, const float* wr, const float* wi,
+                          float* zr0, float* zi0) {
+  if (per_mode) {
+    cmode_mix(d.b, d.i, d.o, d.xy, vr0, vi0, wr, wi, zr0, zi0);
+    return;
+  }
+  GemmEpilogue addto;
+  addto.accumulate = true;
+  GemmEpilogue subfrom;
+  subfrom.accumulate = true;
+  subfrom.subtract = true;
+  for (int64_t b = 0; b < d.b; ++b) {
+    const float* vr = vr0 + b * d.i * d.xy;
+    const float* vi = vi0 + b * d.i * d.xy;
+    float* zr = zr0 + b * d.o * d.xy;
+    float* zi = zi0 + b * d.o * d.xy;
+    // zr = wrᵀ·vr - wiᵀ·vi ; zi = wiᵀ·vr + wrᵀ·vi (A stored I x O).
+    packed_gemm(GemmLayout::kTN, wr, vr, zr, d.o, d.i, d.xy);
+    packed_gemm(GemmLayout::kTN, wi, vi, zr, d.o, d.i, d.xy, subfrom);
+    packed_gemm(GemmLayout::kTN, wi, vr, zi, d.o, d.i, d.xy);
+    packed_gemm(GemmLayout::kTN, wr, vi, zi, d.o, d.i, d.xy, addto);
+  }
+}
+
 CVariable complex_contract(const CVariable& v, const CVariable& w,
                            bool per_mode) {
   const Shape& vs = v.re.shape();
@@ -244,30 +330,9 @@ CVariable complex_contract(const CVariable& v, const CVariable& w,
   // count; backward (below) is unchanged.
   Shape out_shape = {d.b, d.o, vs[2], vs[3]};
   Tensor out_re(out_shape), out_im(out_shape);
-  if (per_mode) {
-    cmode_mix(d.b, d.i, d.o, d.xy, v.re.value().data(), v.im.value().data(),
-              w.re.value().data(), w.im.value().data(), out_re.data(),
-              out_im.data());
-  } else {
-    const float* wr = w.re.value().data();
-    const float* wi = w.im.value().data();
-    GemmEpilogue addto;
-    addto.accumulate = true;
-    GemmEpilogue subfrom;
-    subfrom.accumulate = true;
-    subfrom.subtract = true;
-    for (int64_t b = 0; b < d.b; ++b) {
-      const float* vr = v.re.value().data() + b * d.i * d.xy;
-      const float* vi = v.im.value().data() + b * d.i * d.xy;
-      float* zr = out_re.data() + b * d.o * d.xy;
-      float* zi = out_im.data() + b * d.o * d.xy;
-      // zr = wrᵀ·vr - wiᵀ·vi ; zi = wiᵀ·vr + wrᵀ·vi (A stored I x O).
-      packed_gemm(GemmLayout::kTN, wr, vr, zr, d.o, d.i, d.xy);
-      packed_gemm(GemmLayout::kTN, wi, vi, zr, d.o, d.i, d.xy, subfrom);
-      packed_gemm(GemmLayout::kTN, wi, vr, zi, d.o, d.i, d.xy);
-      packed_gemm(GemmLayout::kTN, wr, vi, zi, d.o, d.i, d.xy, addto);
-    }
-  }
+  complex_contract_run(d, per_mode, v.re.value().data(), v.im.value().data(),
+                       w.re.value().data(), w.im.value().data(),
+                       out_re.data(), out_im.data());
 
   const Variable vre = v.re, vim = v.im, wre = w.re, wim = w.im;
   // Both output components share the four parents; each backward call
@@ -285,6 +350,15 @@ CVariable complex_contract(const CVariable& v, const CVariable& w,
         complex_contract_backward(Tensor::zeros(g.shape()), g, vre, vim, wre,
                                   wim, d, per_mode);
       });
+  if (GraphRecorder* rec = spectral_recorder()) {
+    // The weight Variables freeze as constant slots (eval parameters).
+    rec->record(per_mode ? "cmode_matmul" : "clift", {vre, vim, wre, wim},
+                {re, im}, [d, per_mode](const ReplayIO& io) {
+                  complex_contract_run(d, per_mode, io.in(0), io.in(1),
+                                       io.in(2), io.in(3), io.out(0),
+                                       io.out(1));
+                });
+  }
   return {re, im};
 }
 

@@ -47,7 +47,10 @@ ag::Variable LargeTilePredictor::stitched_gp(const Tensor& mask,
         float* dst = clip.data() + r * tile;
         std::copy(src, src + tile, dst);
       }
-      ag::Variable gp = model_.gp_features(ag::Variable(clip.clone(), false));
+      const Tensor f =
+          gp_clip_fn_
+              ? gp_clip_fn_(clip)
+              : model_.gp_features(ag::Variable(clip.clone(), false)).value();
 
       // Core region of this clip in feature space: the central half, except
       // clips on the boundary also own their outer margin.
@@ -55,7 +58,6 @@ ag::Variable LargeTilePredictor::stitched_gp(const Tensor& mask,
       const int64_t ca1 = (i == rows - 1) ? ft : fquart + fhalf;
       const int64_t cb0 = (j == 0) ? 0 : fquart;
       const int64_t cb1 = (j == cols - 1) ? ft : fquart + fhalf;
-      const Tensor& f = gp.value();
       for (int64_t c = 0; c < cfg.gp_channels; ++c) {
         for (int64_t r = ca0; r < ca1; ++r) {
           const float* src = f.data() + (c * ft + r) * ft;

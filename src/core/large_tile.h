@@ -14,6 +14,8 @@
 // bitwise identical to the serial path for any thread count.
 #pragma once
 
+#include <functional>
+
 #include "core/doinn.h"
 #include "runtime/thread_pool.h"
 
@@ -23,6 +25,16 @@ namespace litho::core {
 class LargeTilePredictor {
  public:
   explicit LargeTilePredictor(Doinn& model);
+
+  /// Optional override for the per-clip GP pass of stitched_gp: called with
+  /// one [1, 1, tile, tile] clip raster (the buffer is reused across clips —
+  /// implementations must copy, not alias) and must return the clip's
+  /// [1, gp_channels, tile/pool, tile/pool] feature map, bitwise identical
+  /// to model.gp_features on the same clip. The inference engine installs an
+  /// executor-backed fn here so the clip fan-out replays the per-shape
+  /// compiled plan instead of re-walking the op graph clip by clip.
+  using GpClipFn = std::function<Tensor(const Tensor& clip)>;
+  void set_gp_clip_fn(GpClipFn fn) { gp_clip_fn_ = std::move(fn); }
 
   /// Large-tile prediction with the stitching scheme ("DOINN-LT").
   /// @p mask is a 2-D raster whose side is a multiple of tile/2 and at
@@ -41,6 +53,7 @@ class LargeTilePredictor {
 
  private:
   Doinn& model_;
+  GpClipFn gp_clip_fn_;
 };
 
 }  // namespace litho::core

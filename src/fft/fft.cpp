@@ -266,33 +266,48 @@ CTensor fft2(const CTensor& x, bool inverse) {
   return out;
 }
 
-CTensor rfft2(const Tensor& x) {
-  const Dims2 d = last_two_dims(x.shape());
-  DOINN_TRACE_SCOPE("fft.rfft2", "fft", "batch", d.batch, "h", d.h, "w", d.w);
-  const int64_t wh = d.w / 2 + 1;
-  Shape out_shape = x.shape();
-  out_shape[out_shape.size() - 1] = wh;
-  CTensor out(out_shape);
-
-  const float* src = x.data();
-  float* ore = out.re.data();
-  float* oim = out.im.data();
-  const int64_t plane = d.h * d.w;
-  const int64_t out_plane = d.h * wh;
-  const FftPlan& pw = plan_for(static_cast<size_t>(d.w));
-  const FftPlan& ph = plan_for(static_cast<size_t>(d.h));
-  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
+void rfft2_into(const float* src, float* ore, float* oim, int64_t batch,
+                int64_t h, int64_t w) {
+  DOINN_TRACE_SCOPE("fft.rfft2", "fft", "batch", batch, "h", h, "w", w);
+  const int64_t wh = w / 2 + 1;
+  const int64_t plane = h * w;
+  const int64_t out_plane = h * wh;
+  const FftPlan& pw = plan_for(static_cast<size_t>(w));
+  const FftPlan& ph = plan_for(static_cast<size_t>(h));
+  runtime::parallel_for(batch, [&](int64_t b0, int64_t b1) {
     for (int64_t b = b0; b < b1; ++b) {
       rfft2_slice(src + b * plane, ore + b * out_plane, oim + b * out_plane,
-                  d.h, d.w, pw, ph, /*parallel=*/d.batch == 1);
+                  h, w, pw, ph, /*parallel=*/batch == 1);
     }
   });
+}
+
+CTensor rfft2(const Tensor& x) {
+  const Dims2 d = last_two_dims(x.shape());
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 1] = d.w / 2 + 1;
+  CTensor out(out_shape);
+  rfft2_into(x.data(), out.re.data(), out.im.data(), d.batch, d.h, d.w);
   return out;
+}
+
+void irfft2_into(const float* re, const float* im, float* dst, int64_t batch,
+                 int64_t h, int64_t w) {
+  DOINN_TRACE_SCOPE("fft.irfft2", "fft", "batch", batch, "h", h, "w", w);
+  const int64_t in_plane = h * (w / 2 + 1);
+  const int64_t out_plane = h * w;
+  const FftPlan& pw = plan_for(static_cast<size_t>(w));
+  const FftPlan& ph = plan_for(static_cast<size_t>(h));
+  runtime::parallel_for(batch, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      irfft2_slice(re + b * in_plane, im + b * in_plane, dst + b * out_plane,
+                   h, w, pw, ph, /*parallel=*/batch == 1);
+    }
+  });
 }
 
 Tensor irfft2(const CTensor& x, int64_t w) {
   const Dims2 d = last_two_dims(x.shape());
-  DOINN_TRACE_SCOPE("fft.irfft2", "fft", "batch", d.batch, "h", d.h, "w", w);
   if (d.w != w / 2 + 1) {
     throw std::invalid_argument("irfft2: half-spectrum width " +
                                 std::to_string(d.w) +
@@ -302,20 +317,7 @@ Tensor irfft2(const CTensor& x, int64_t w) {
   Shape out_shape = x.shape();
   out_shape[out_shape.size() - 1] = w;
   Tensor out(out_shape);
-
-  const float* re = x.re.data();
-  const float* im = x.im.data();
-  float* dst = out.data();
-  const int64_t in_plane = d.h * d.w;
-  const int64_t out_plane = d.h * w;
-  const FftPlan& pw = plan_for(static_cast<size_t>(w));
-  const FftPlan& ph = plan_for(static_cast<size_t>(d.h));
-  runtime::parallel_for(d.batch, [&](int64_t b0, int64_t b1) {
-    for (int64_t b = b0; b < b1; ++b) {
-      irfft2_slice(re + b * in_plane, im + b * in_plane, dst + b * out_plane,
-                   d.h, w, pw, ph, /*parallel=*/d.batch == 1);
-    }
-  });
+  irfft2_into(x.re.data(), x.im.data(), out.data(), d.batch, d.h, w);
   return out;
 }
 

@@ -52,11 +52,22 @@ CTensor fft2(const CTensor& x, bool inverse);
 /// 2-D FFT of a real tensor [..., H, W] -> half spectrum [..., H, W/2+1].
 CTensor rfft2(const Tensor& x);
 
+/// rfft2 over raw buffers: @p src is batch x h x w, @p ore / @p oim receive
+/// the batch x h x (w/2+1) half spectrum. The tensor overload above routes
+/// through this; the graph executor replays it against arena buffers.
+void rfft2_into(const float* src, float* ore, float* oim, int64_t batch,
+                int64_t h, int64_t w);
+
 /// Inverse of rfft2: [..., H, W/2+1] half spectrum -> real [..., H, w].
 /// Hermitian symmetry along the last dim is assumed (torch.fft.irfft2
 /// semantics); @p w is the desired last-dim extent (its floor(w/2)+1 must
 /// match the input's last extent).
 Tensor irfft2(const CTensor& x, int64_t w);
+
+/// irfft2 over raw buffers: @p re / @p im hold the batch x h x (w/2+1) half
+/// spectrum, @p dst receives the batch x h x w real result.
+void irfft2_into(const float* re, const float* im, float* dst, int64_t batch,
+                 int64_t h, int64_t w);
 
 /// Real-linear adjoint of rfft2 (w.r.t. the real inner product
 /// <x,y> = sum x.re*y.re + x.im*y.im): maps a half-spectrum cotangent back

@@ -33,7 +33,7 @@ Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
 
 ag::Variable Conv2d::forward(const ag::Variable& x) const {
   if (prepack_ && !ag::GradMode::is_enabled()) {
-    return ag::conv2d_prepacked(x, weight_, *prepack_, bias_, stride_,
+    return ag::conv2d_prepacked(x, weight_, prepack_, bias_, stride_,
                                 padding_);
   }
   return ag::conv2d(x, weight_, bias_, stride_, padding_);
@@ -45,6 +45,12 @@ void Conv2d::prepack_forward(Precision precision) {
   const int64_t ckk = w.numel() / cout;
   prepack_ = std::make_shared<const PackedWeight>(GemmLayout::kNN, w.data(),
                                                   cout, ckk, precision);
+}
+
+void Conv2d::prepack_forward_choose(const PrepackChooser& chooser) {
+  const Tensor& w = weight_.value();
+  const int64_t cout = w.size(0);
+  prepack_forward(chooser(false, cout, w.numel() / cout));
 }
 
 ConvTranspose2d::ConvTranspose2d(int64_t in_channels, int64_t out_channels,
@@ -65,7 +71,7 @@ ConvTranspose2d::ConvTranspose2d(int64_t in_channels, int64_t out_channels,
 
 ag::Variable ConvTranspose2d::forward(const ag::Variable& x) const {
   if (prepack_ && !ag::GradMode::is_enabled()) {
-    return ag::conv_transpose2d_prepacked(x, weight_, *prepack_, bias_,
+    return ag::conv_transpose2d_prepacked(x, weight_, prepack_, bias_,
                                           stride_, padding_);
   }
   return ag::conv_transpose2d(x, weight_, bias_, stride_, padding_);
@@ -79,6 +85,12 @@ void ConvTranspose2d::prepack_forward(Precision precision) {
   const int64_t ckk = w.numel() / cin;
   prepack_ = std::make_shared<const PackedWeight>(GemmLayout::kTN, w.data(),
                                                   ckk, cin, precision);
+}
+
+void ConvTranspose2d::prepack_forward_choose(const PrepackChooser& chooser) {
+  const Tensor& w = weight_.value();
+  const int64_t cin = w.size(0);
+  prepack_forward(chooser(true, w.numel() / cin, cin));
 }
 
 BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)

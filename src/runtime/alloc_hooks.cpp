@@ -1,0 +1,19 @@
+#include "runtime/alloc_hooks.h"
+
+#include <atomic>
+
+namespace litho::runtime {
+
+namespace {
+std::atomic<int64_t> g_heap_allocs{0};
+}  // namespace
+
+void note_heap_alloc() {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t heap_alloc_count() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace litho::runtime

@@ -1,0 +1,28 @@
+// Heap-allocation counting hook for the graph executor's zero-allocation
+// contract.
+//
+// The library side is just a relaxed atomic counter. The global operator
+// new/delete replacements that feed it live in bench/alloc_count_new.cpp and
+// are linked ONLY into the targets that assert the property
+// (bench_graph_exec, test_graph_exec) — everything else pays nothing, and
+// heap_alloc_count() simply stays at zero there. Callers measure windows as
+// counter deltas:
+//
+//   const int64_t before = heap_alloc_count();
+//   engine.predict_batch(masks);               // steady state, warmed up
+//   assert(heap_alloc_count() - before == 0);
+#pragma once
+
+#include <cstdint>
+
+namespace litho::runtime {
+
+/// Bumps the process allocation counter (called by the counting operator-new
+/// TU on every allocation; relaxed, a few ns).
+void note_heap_alloc();
+
+/// Allocations observed since process start — zero unless the counting
+/// operator-new TU is linked into this binary.
+int64_t heap_alloc_count();
+
+}  // namespace litho::runtime

@@ -1,8 +1,12 @@
 #include "runtime/engine.h"
 
+#include <cstring>
 #include <stdexcept>
+#include <tuple>
 
 #include "autograd/grad_mode.h"
+#include "runtime/alloc_hooks.h"
+#include "runtime/metrics_registry.h"
 #include "runtime/trace.h"
 
 namespace litho::runtime {
@@ -20,6 +24,16 @@ Tensor binarize(Tensor t) {
   return t;
 }
 
+// Deterministic probe values for plan validation: the same bits every build,
+// so op-walk-vs-executor comparisons never depend on when a plan is built.
+void fill_probe(Tensor& t) {
+  uint32_t lcg = 0x00d011a5u;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    lcg = lcg * 1664525u + 1013904223u;
+    t.data()[i] = static_cast<float>(lcg >> 8) / 16777216.f;  // [0, 1)
+  }
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(const std::string& checkpoint_path,
@@ -27,22 +41,156 @@ InferenceEngine::InferenceEngine(const std::string& checkpoint_path,
     : model_(core::load_doinn(checkpoint_path)),
       large_(std::make_unique<core::LargeTilePredictor>(*model_)),
       pool_(make_pool(opts)),
-      precision_(opts.precision) {
+      precision_(opts.precision),
+      opts_(opts) {
   model_->set_training(false);
   // One walk over the model at load: every conv weight is packed into the
   // GEMM panel layout (at the requested precision) so the serving hot path
   // never rebuilds panels per call.
   model_->prepack_forward(precision_);
+  init_graph_executor();
 }
 
 InferenceEngine::InferenceEngine(core::DoinnConfig cfg, uint32_t seed,
                                  EngineOptions opts)
-    : pool_(make_pool(opts)), precision_(opts.precision) {
+    : pool_(make_pool(opts)), precision_(opts.precision), opts_(opts) {
   std::mt19937 rng(seed);
   model_ = std::make_unique<core::Doinn>(cfg, rng);
   large_ = std::make_unique<core::LargeTilePredictor>(*model_);
   model_->set_training(false);
   model_->prepack_forward(precision_);
+  init_graph_executor();
+}
+
+void InferenceEngine::init_graph_executor() {
+  if (!opts_.use_graph_executor) return;
+  const int64_t tile = config().tile;
+
+  if (precision_ == litho::Precision::kInt8 &&
+      opts_.int8_policy == EngineOptions::Int8Policy::kAuto &&
+      opts_.autotune) {
+    // Capture once over the all-int8 packs to enumerate the conv GEMM shapes
+    // this model actually runs, benchmark fp32 vs int8 per shape, and repack
+    // the losers in fp32 before any plan is built. The per-shape decision is
+    // process-cached without a thread-count component, so every engine in a
+    // process lands on the identical mixed-precision model.
+    Tensor example({1, 1, tile, tile});
+    std::shared_ptr<ag::CapturedGraph> g;
+    {
+      ScopedPool scope(pool_.get());
+      g = capture_graph(
+          example, [this](const ag::Variable& v) { return model_->forward(v); });
+    }
+    std::map<std::tuple<bool, int64_t, int64_t>, litho::Precision> decided;
+    for (const ag::CaptureNode& node : g->nodes) {
+      if (!node.conv.valid) continue;
+      const litho::Precision p = tuned_conv_precision(
+          node.conv.transposed, node.conv.m, node.conv.k, node.conv.l);
+      const auto key =
+          std::make_tuple(node.conv.transposed, node.conv.m, node.conv.k);
+      auto it = decided.find(key);
+      if (it == decided.end()) {
+        decided.emplace(key, p);
+      } else if (p == litho::Precision::kFp32) {
+        // A layer packs once but may serve several column extents; keep it
+        // fp32 unless int8 pays everywhere it appears.
+        it->second = litho::Precision::kFp32;
+      }
+    }
+    model_->prepack_forward_choose(
+        [&decided](bool transposed, int64_t m, int64_t k) {
+          const auto it = decided.find(std::make_tuple(transposed, m, k));
+          return it != decided.end() ? it->second : litho::Precision::kInt8;
+        });
+  }
+
+  // The serving shape is known now; build its plan at load instead of on the
+  // first request.
+  plan_for(kForwardPlan, 1, tile, tile);
+
+  // Route the large-tile clip fan-out through the per-shape plan cache: each
+  // worker replays the compiled GP plan for its clips instead of re-walking
+  // the op graph clip by clip. The clip buffer is reused by the caller, so
+  // the replay copies it into the context's arena up front.
+  large_->set_gp_clip_fn([this](const Tensor& clip) -> Tensor {
+    Plan& p = plan_for(kGpPlan, 1, config().tile, config().tile);
+    if (p.exec == nullptr) {
+      return model_->gp_features(ag::Variable(clip.clone(), false)).value();
+    }
+    std::unique_ptr<ExecContext> ctx = p.exec->acquire();
+    std::copy(clip.data(), clip.data() + clip.numel(), ctx->input(0));
+    p.exec->run(*ctx);
+    Tensor out(p.exec->graph().slots[p.exec->graph().outputs[0]].shape);
+    std::copy(ctx->output(0), ctx->output(0) + ctx->output_numel(0),
+              out.data());
+    p.exec->release(std::move(ctx));
+    return out;
+  });
+}
+
+InferenceEngine::Plan& InferenceEngine::plan_for(PlanKind kind, int64_t n,
+                                                 int64_t h, int64_t w) {
+  const PlanKey key{kind, n, h, w};
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) return *it->second;
+
+  auto plan = std::make_unique<Plan>();
+  if (opts_.use_graph_executor) {
+    auto fwd = [this, kind](const ag::Variable& v) {
+      return kind == kGpPlan ? model_->gp_features(v) : model_->forward(v);
+    };
+    Tensor probe({n, 1, h, w});
+    fill_probe(probe);
+    try {
+      ScopedPool scope(pool_.get());
+      ExecutorOptions eo;
+      eo.autotune = opts_.autotune;
+      auto exec =
+          std::make_unique<GraphExecutor>(capture_graph(probe, fwd), eo);
+
+      // Validate the plan bitwise against the op walk before trusting it: a
+      // forward containing an op the recorder doesn't know would have been
+      // frozen as a stale constant, and must fall back to the op walk.
+      Tensor ref;
+      {
+        ag::NoGradGuard no_grad;
+        ref = fwd(ag::Variable(probe.clone(), false)).value();
+      }
+      std::unique_ptr<ExecContext> ctx = exec->acquire();
+      std::copy(probe.data(), probe.data() + probe.numel(), ctx->input(0));
+      exec->run(*ctx);
+      const bool ok =
+          ctx->output_numel(0) == ref.numel() &&
+          std::memcmp(ctx->output(0), ref.data(),
+                      sizeof(float) * static_cast<size_t>(ref.numel())) == 0;
+      exec->release(std::move(ctx));
+      if (ok) {
+        arena_bytes_total_ += exec->arena_bytes();
+        MetricsRegistry::global()
+            .gauge("engine.arena_bytes")
+            .set(arena_bytes_total_);
+        plan->exec = std::move(exec);
+      }
+    } catch (const std::exception&) {
+      plan->exec.reset();
+    }
+    if (plan->exec == nullptr) {
+      ++plan_fallbacks_;
+      MetricsRegistry::global().counter("engine.plan_fallbacks").add(1);
+    }
+  }
+  return *plans_.emplace(key, std::move(plan)).first->second;
+}
+
+int64_t InferenceEngine::plan_count() const {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  return static_cast<int64_t>(plans_.size());
+}
+
+int64_t InferenceEngine::plan_fallbacks() const {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  return plan_fallbacks_;
 }
 
 std::vector<Tensor> InferenceEngine::predict_batch(
@@ -52,13 +200,49 @@ std::vector<Tensor> InferenceEngine::predict_batch(
   const int64_t n = static_cast<int64_t>(masks.size());
   DOINN_TRACE_SCOPE("engine.predict_batch", "engine", "batch_size", n, "h", h,
                     "w", w);
-  Tensor x({n, 1, h, w});
-  for (int64_t i = 0; i < n; ++i) {
-    const Tensor& m = masks[static_cast<size_t>(i)];
+  for (const Tensor& m : masks) {
     if (m.dim() != 2 || m.size(0) != h || m.size(1) != w) {
       throw std::invalid_argument(
           "predict_batch requires equally-shaped 2-D masks");
     }
+  }
+
+  if (opts_.use_graph_executor) {
+    Plan& p = plan_for(kForwardPlan, n, h, w);
+    if (p.exec != nullptr) {
+      std::unique_ptr<ExecContext> ctx = p.exec->acquire();
+      for (int64_t i = 0; i < n; ++i) {
+        const Tensor& m = masks[static_cast<size_t>(i)];
+        std::copy(m.data(), m.data() + h * w, ctx->input(0) + i * h * w);
+      }
+      {
+        DOINN_TRACE_SCOPE("engine.forward", "engine", "batch_size", n);
+        ScopedPool scope(pool_.get());
+        // Steady-state replays must not touch the heap; the gauge is the
+        // observable for that contract (nonzero only in binaries that link
+        // the counting operator new — bench_graph_exec, test_graph_exec).
+        static Gauge& allocs_gauge =
+            MetricsRegistry::global().gauge("engine.heap_allocs_per_batch");
+        const int64_t allocs_before = heap_alloc_count();
+        p.exec->run(*ctx);
+        allocs_gauge.set(heap_alloc_count() - allocs_before);
+      }
+      std::vector<Tensor> contours;
+      contours.reserve(masks.size());
+      const float* out = ctx->output(0);
+      for (int64_t i = 0; i < n; ++i) {
+        Tensor c({h, w});
+        std::copy(out + i * h * w, out + (i + 1) * h * w, c.data());
+        contours.push_back(binarize(std::move(c)));
+      }
+      p.exec->release(std::move(ctx));
+      return contours;
+    }
+  }
+
+  Tensor x({n, 1, h, w});
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor& m = masks[static_cast<size_t>(i)];
     std::copy(m.data(), m.data() + h * w, x.data() + i * h * w);
   }
 
@@ -82,6 +266,11 @@ std::vector<Tensor> InferenceEngine::predict_batch(
 Tensor InferenceEngine::predict_large(const Tensor& mask) {
   DOINN_TRACE_SCOPE("engine.predict_large", "engine", "h", mask.size(0), "w",
                     mask.size(1));
+  if (opts_.use_graph_executor) {
+    // Build (and validate) the GP clip plan on this thread before the clip
+    // fan-out so workers replay a ready plan instead of racing to build it.
+    plan_for(kGpPlan, 1, config().tile, config().tile);
+  }
   ag::NoGradGuard no_grad;
   ScopedPool scope(pool_.get());
   return binarize(large_->predict(mask, pool_.get()));

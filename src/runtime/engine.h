@@ -4,12 +4,16 @@
 // apps/doinn_serve.cpp and the serve-throughput benchmark.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/doinn.h"
 #include "core/large_tile.h"
+#include "runtime/graph_exec.h"
 #include "runtime/thread_pool.h"
 #include "tensor/prepack.h"
 
@@ -23,6 +27,21 @@ struct EngineOptions {
   /// bitwise identical to the per-call-packing path; kInt8/kBf16 trade
   /// accuracy for speed with their own per-mode determinism guarantees.
   litho::Precision precision = litho::Precision::kFp32;
+  /// Compile forwards into the static graph executor (per-shape capture,
+  /// arena-planned buffers, fused GEMM epilogues); every plan is validated
+  /// bitwise against the op walk once at build and the engine falls back to
+  /// the op walk per shape if validation fails. false = always op-walk.
+  bool use_graph_executor = true;
+  /// Benchmark per-shape kernel knobs (GEMM column-block width, packed-B
+  /// feed) when building plans; knobs are bitwise-neutral, so this trades
+  /// load time for steady-state speed only.
+  bool autotune = true;
+  /// How kInt8 engines pack conv weights. kAuto (with autotune on) times
+  /// fp32 vs int8 per conv GEMM shape and keeps the shapes where
+  /// quantization doesn't pay in fp32; kAlways packs every conv int8
+  /// (manual override, the pre-executor behavior).
+  enum class Int8Policy { kAuto, kAlways };
+  Int8Policy int8_policy = Int8Policy::kAuto;
 };
 
 /// Thread-safe, inference-only front end over a Doinn model. The model is
@@ -65,11 +84,32 @@ class InferenceEngine {
   /// training tile, large-tile scheme above it.
   Tensor predict(const Tensor& mask);
 
+  /// Plans built so far (one per distinct forward kind x input shape).
+  int64_t plan_count() const;
+  /// Shapes where executor validation failed and the op walk serves instead.
+  int64_t plan_fallbacks() const;
+
  private:
+  // One compiled plan per (forward kind, input shape). exec == nullptr means
+  // the shape runs the op walk (executor disabled, or validation failed).
+  struct Plan {
+    std::unique_ptr<GraphExecutor> exec;
+  };
+  enum PlanKind : int { kForwardPlan = 0, kGpPlan = 1 };
+  using PlanKey = std::tuple<int, int64_t, int64_t, int64_t>;
+
+  void init_graph_executor();
+  Plan& plan_for(PlanKind kind, int64_t n, int64_t h, int64_t w);
+
   std::unique_ptr<core::Doinn> model_;
   std::unique_ptr<core::LargeTilePredictor> large_;
   std::unique_ptr<ThreadPool> pool_;
   litho::Precision precision_ = litho::Precision::kFp32;
+  EngineOptions opts_;
+  mutable std::mutex plan_mutex_;
+  std::map<PlanKey, std::unique_ptr<Plan>> plans_;
+  int64_t arena_bytes_total_ = 0;
+  int64_t plan_fallbacks_ = 0;
 };
 
 }  // namespace litho::runtime

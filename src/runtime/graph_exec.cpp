@@ -1,0 +1,514 @@
+#include "runtime/graph_exec.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "autograd/grad_mode.h"
+#include "runtime/trace.h"
+#include "tensor/gemm.h"
+#include "tensor/prepack.h"
+
+namespace litho::runtime {
+
+namespace {
+
+// Arena offsets are 64-byte aligned (16 floats) so replayed kernels see the
+// same alignment class as freshly allocated tensors.
+constexpr int64_t kAlignFloats = 16;
+
+int64_t align_floats(int64_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+std::shared_ptr<ag::CapturedGraph> capture_graph(
+    const Tensor& example_input,
+    const std::function<ag::Variable(const ag::Variable&)>& forward) {
+  DOINN_TRACE_SCOPE("exec.capture", "exec", "input_numel",
+                    example_input.numel());
+  ag::NoGradGuard no_grad;
+  ag::GraphRecorder rec;
+  ag::Variable in(example_input.clone(), false);
+  rec.add_input(in);
+  ag::Variable out = forward(in);
+  rec.mark_output(out);
+  return rec.finish();
+}
+
+// -- ExecContext --------------------------------------------------------------
+
+ExecContext::ExecContext(const GraphExecutor& exec) : exec_(&exec) {
+  const ag::CapturedGraph& g = *exec.graph_;
+  arena_.resize(static_cast<size_t>(exec.arena_floats_));
+  float* arena = arena_.data();
+
+  auto read_ptr = [&](int slot) -> const float* {
+    const ag::CaptureSlot& s = g.slots[slot];
+    if (s.constant.numel() > 0) return exec.graph_->slots[slot].constant.data();
+    return arena + exec.slot_offset_[slot];
+  };
+
+  ins_.reserve(static_cast<size_t>(exec.ins_total_));
+  outs_.reserve(static_cast<size_t>(exec.outs_total_));
+  for (int node_idx : exec.schedule_) {
+    const ag::CaptureNode& node = g.nodes[node_idx];
+    for (int s : node.ins) ins_.push_back(read_ptr(s));
+    for (int s : node.outs) outs_.push_back(arena + exec.slot_offset_[s]);
+  }
+  inputs_.reserve(g.inputs.size());
+  for (int s : g.inputs) inputs_.push_back(arena + exec.slot_offset_[s]);
+  outputs_.reserve(g.outputs.size());
+  for (int s : g.outputs) outputs_.push_back(read_ptr(s));
+}
+
+float* ExecContext::input(int i) { return inputs_[static_cast<size_t>(i)]; }
+
+const float* ExecContext::output(int i) const {
+  return outputs_[static_cast<size_t>(i)];
+}
+
+int64_t ExecContext::output_numel(int i) const {
+  const ag::CapturedGraph& g = *exec_->graph_;
+  return g.slots[g.outputs[static_cast<size_t>(i)]].numel;
+}
+
+// -- GraphExecutor ------------------------------------------------------------
+
+GraphExecutor::GraphExecutor(std::shared_ptr<ag::CapturedGraph> graph,
+                             ExecutorOptions opts)
+    : graph_(std::move(graph)), opts_(opts) {
+  if (graph_ == nullptr || graph_->nodes.empty()) {
+    throw std::invalid_argument("GraphExecutor: empty capture");
+  }
+  {
+    DOINN_TRACE_SCOPE("exec.plan", "exec", "nodes",
+                      static_cast<int64_t>(graph_->nodes.size()));
+    if (opts_.fuse) fuse_epilogues();
+
+    schedule_.clear();
+    in_off_.clear();
+    out_off_.clear();
+    ins_total_ = outs_total_ = 0;
+    for (int i = 0; i < static_cast<int>(graph_->nodes.size()); ++i) {
+      const ag::CaptureNode& node = graph_->nodes[static_cast<size_t>(i)];
+      if (node.dead) continue;
+      schedule_.push_back(i);
+      in_off_.push_back(static_cast<int>(ins_total_));
+      out_off_.push_back(static_cast<int>(outs_total_));
+      ins_total_ += static_cast<int64_t>(node.ins.size());
+      outs_total_ += static_cast<int64_t>(node.outs.size());
+    }
+    live_nodes_ = static_cast<int64_t>(schedule_.size());
+
+    plan_arena(opts_.arena_seed);
+  }
+  if (opts_.autotune) autotune(opts_.autotune_budget_ms);
+}
+
+GraphExecutor::~GraphExecutor() = default;
+
+std::unique_ptr<ExecContext> GraphExecutor::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      std::unique_ptr<ExecContext> ctx = std::move(pool_.back());
+      pool_.pop_back();
+      return ctx;
+    }
+  }
+  return std::unique_ptr<ExecContext>(new ExecContext(*this));
+}
+
+void GraphExecutor::release(std::unique_ptr<ExecContext> ctx) {
+  if (ctx == nullptr) return;
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.push_back(std::move(ctx));
+}
+
+void GraphExecutor::run(ExecContext& ctx) const {
+  DOINN_TRACE_SCOPE("exec.replay", "exec", "nodes", live_nodes_);
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    const ag::CaptureNode& node =
+        graph_->nodes[static_cast<size_t>(schedule_[i])];
+    ag::ReplayIO io;
+    io.ins = ctx.ins_.data() + in_off_[i];
+    io.outs = ctx.outs_.data() + out_off_[i];
+    node.run(io);
+  }
+}
+
+// Folds single-consumer elementwise chains behind a non-transposed conv into
+// the conv's GEMM epilogue. Each folded stage is the standalone op's exact
+// per-element expression applied after the full K loop, so the fold changes
+// which loop walks the output but not a single bit of it.
+void GraphExecutor::fuse_epilogues() {
+  ag::CapturedGraph& g = *graph_;
+  auto is_graph_output = [&](int slot) {
+    return std::find(g.outputs.begin(), g.outputs.end(), slot) !=
+           g.outputs.end();
+  };
+
+  for (int ci = 0; ci < static_cast<int>(g.nodes.size()); ++ci) {
+    ag::CaptureNode& conv = g.nodes[static_cast<size_t>(ci)];
+    if (conv.dead || !conv.conv.valid || conv.conv.transposed ||
+        conv.tuning == nullptr || conv.outs.size() != 1) {
+      continue;
+    }
+    for (;;) {
+      const int slot = conv.outs[0];
+      // The chain value must die into exactly one elementwise consumer; a
+      // second reader (or the graph output) still needs the pre-activation
+      // value, which no longer exists once the stage folds into the GEMM.
+      if (is_graph_output(slot)) break;
+      int consumer = -1;
+      bool multi = false;
+      for (int ni = 0; ni < static_cast<int>(g.nodes.size()); ++ni) {
+        const ag::CaptureNode& n = g.nodes[static_cast<size_t>(ni)];
+        if (n.dead) continue;
+        for (int s : n.ins) {
+          if (s != slot) continue;
+          if (consumer != -1 && consumer != ni) multi = true;
+          consumer = ni;
+        }
+      }
+      if (consumer < 0 || multi) break;
+      ag::CaptureNode& next = g.nodes[static_cast<size_t>(consumer)];
+      if (next.ewise.kind == ag::EwiseInfo::Kind::kNone ||
+          next.ins.size() != 1 || next.outs.size() != 1 ||
+          g.slots[static_cast<size_t>(next.outs[0])].numel !=
+              g.slots[static_cast<size_t>(slot)].numel) {
+        break;
+      }
+
+      EpiloguePostStage stage;
+      switch (next.ewise.kind) {
+        case ag::EwiseInfo::Kind::kLeaky:
+          stage.kind = EpiloguePostStage::Kind::kLeaky;
+          stage.slope = next.ewise.slope;
+          break;
+        case ag::EwiseInfo::Kind::kTanh:
+          stage.kind = EpiloguePostStage::Kind::kTanh;
+          break;
+        case ag::EwiseInfo::Kind::kBnEval: {
+          // Per-row affine: row index inside one sample's GEMM block is the
+          // output channel, so the channel count must match the GEMM M.
+          if (next.ewise.channels != conv.conv.m) break;
+          stage.kind = EpiloguePostStage::Kind::kBnAffine;
+          auto& keep = conv.tuning->keepalive;
+          keep.push_back(next.ewise.mu);
+          keep.push_back(next.ewise.inv_std);
+          keep.push_back(next.ewise.gamma);
+          keep.push_back(next.ewise.beta);
+          stage.mu = keep[keep.size() - 4].data();
+          stage.inv_std = keep[keep.size() - 3].data();
+          stage.gamma = keep[keep.size() - 2].data();
+          stage.beta = keep[keep.size() - 1].data();
+          break;
+        }
+        case ag::EwiseInfo::Kind::kNone:
+          break;
+      }
+      if (next.ewise.kind == ag::EwiseInfo::Kind::kBnEval &&
+          next.ewise.channels != conv.conv.m) {
+        break;  // the switch above bailed before filling the stage
+      }
+
+      conv.tuning->post.push_back(stage);
+      next.dead = true;
+      ++fused_nodes_;
+      // The conv now writes the chain's output slot directly; its original
+      // output slot is orphaned and the planner will skip it.
+      conv.outs[0] = next.outs[0];
+      g.slots[static_cast<size_t>(next.outs[0])].producer = ci;
+    }
+  }
+}
+
+// Liveness analysis + greedy best-fit offset assignment. A slot is live from
+// the node that writes it (inputs: before node 0) through its last reader
+// (graph outputs: past the end); two slots may share arena bytes iff their
+// intervals are disjoint. Allocation order is by size descending — or
+// seed-shuffled, since correctness must not depend on the order.
+void GraphExecutor::plan_arena(uint64_t seed) {
+  const ag::CapturedGraph& g = *graph_;
+  const int nslots = static_cast<int>(g.slots.size());
+  const int kEnd = static_cast<int>(g.nodes.size()) + 1;
+
+  std::vector<int> start(static_cast<size_t>(nslots), -2);  // -2 = unused
+  std::vector<int> last(static_cast<size_t>(nslots), -2);
+  for (size_t si = 0; si < schedule_.size(); ++si) {
+    const int ni = schedule_[si];
+    const ag::CaptureNode& node = g.nodes[static_cast<size_t>(ni)];
+    for (int s : node.outs) {
+      start[static_cast<size_t>(s)] = ni;
+      last[static_cast<size_t>(s)] = std::max(last[static_cast<size_t>(s)], ni);
+    }
+    for (int s : node.ins) {
+      if (g.slots[static_cast<size_t>(s)].constant.numel() > 0) continue;
+      last[static_cast<size_t>(s)] = std::max(last[static_cast<size_t>(s)], ni);
+    }
+  }
+  for (int s : g.inputs) {
+    start[static_cast<size_t>(s)] = -1;
+    last[static_cast<size_t>(s)] =
+        std::max(last[static_cast<size_t>(s)], -1);
+  }
+  for (int s : g.outputs) {
+    if (g.slots[static_cast<size_t>(s)].constant.numel() > 0) continue;
+    last[static_cast<size_t>(s)] = kEnd;
+  }
+
+  std::vector<int> order;
+  for (int s = 0; s < nslots; ++s) {
+    if (g.slots[static_cast<size_t>(s)].constant.numel() > 0) continue;
+    if (start[static_cast<size_t>(s)] == -2) continue;  // orphaned by fusion
+    order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int64_t na = g.slots[static_cast<size_t>(a)].numel;
+    const int64_t nb = g.slots[static_cast<size_t>(b)].numel;
+    return na != nb ? na > nb : a < b;
+  });
+  if (seed != 0) {
+    std::mt19937_64 rng(seed);
+    std::shuffle(order.begin(), order.end(), rng);
+  }
+
+  struct Placed {
+    int64_t off, size;
+    int start, last;
+  };
+  std::vector<Placed> placed;
+  slot_offset_.assign(static_cast<size_t>(nslots), -1);
+  arena_floats_ = 0;
+
+  for (int s : order) {
+    const int64_t size =
+        align_floats(std::max<int64_t>(g.slots[static_cast<size_t>(s)].numel,
+                                       1));
+    const int s0 = start[static_cast<size_t>(s)];
+    const int s1 = std::max(last[static_cast<size_t>(s)], s0);
+
+    std::vector<std::pair<int64_t, int64_t>> busy;  // (off, size)
+    for (const Placed& p : placed) {
+      if (p.last < s0 || s1 < p.start) continue;  // disjoint lifetimes
+      busy.emplace_back(p.off, p.size);
+    }
+    std::sort(busy.begin(), busy.end());
+
+    // Best fit: smallest gap between obstacles that holds the slot; the
+    // open-ended tail is the fallback.
+    int64_t cursor = 0;
+    int64_t best_off = -1, best_gap = std::numeric_limits<int64_t>::max();
+    for (const auto& [off, bsize] : busy) {
+      if (off > cursor) {
+        const int64_t gap = off - cursor;
+        if (gap >= size && gap < best_gap) {
+          best_gap = gap;
+          best_off = cursor;
+        }
+      }
+      cursor = std::max(cursor, off + bsize);
+    }
+    if (best_off < 0) best_off = cursor;
+
+    slot_offset_[static_cast<size_t>(s)] = best_off;
+    placed.push_back(Placed{best_off, size, s0, s1});
+    arena_floats_ = std::max(arena_floats_, best_off + size);
+  }
+}
+
+// -- Autotuning ---------------------------------------------------------------
+
+namespace {
+
+struct TuneChoice {
+  int64_t nc = 0;
+  BFeed bfeed = BFeed::kAuto;
+};
+
+// Process-wide per-shape tuning decisions, keyed WITHOUT the thread count:
+// every knob is bitwise-neutral, so sharing one decision across engines with
+// different pool widths costs nothing and keeps every engine in a process on
+// the identical plan.
+using TuneKey = std::tuple<bool, int, int64_t, int64_t, int64_t, int64_t>;
+
+std::mutex tune_mutex;
+std::map<TuneKey, TuneChoice>& tune_cache() {
+  static std::map<TuneKey, TuneChoice> cache;
+  return cache;
+}
+
+const char* bfeed_name(BFeed f) {
+  switch (f) {
+    case BFeed::kStream:
+      return "stream";
+    case BFeed::kPack:
+      return "pack";
+    case BFeed::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+}  // namespace
+
+void GraphExecutor::autotune(int64_t budget_ms) {
+  DOINN_TRACE_SCOPE("exec.autotune", "exec");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+
+  std::unique_ptr<ExecContext> ctx = acquire();
+  // Benign fill: tuning replays run over whatever is in the arena, and
+  // uninitialized memory could hold denormals that skew kernel timings.
+  std::fill(ctx->arena_.begin(), ctx->arena_.end(), 0.25f);
+
+  for (size_t si = 0; si < schedule_.size(); ++si) {
+    ag::CaptureNode& node =
+        graph_->nodes[static_cast<size_t>(schedule_[si])];
+    if (!node.conv.valid || node.tuning == nullptr) continue;
+
+    const TuneKey key{node.conv.transposed, static_cast<int>(node.conv.prec),
+                      node.conv.m, node.conv.k, node.conv.l, node.conv.batch};
+    {
+      std::lock_guard<std::mutex> lock(tune_mutex);
+      auto it = tune_cache().find(key);
+      if (it != tune_cache().end()) {
+        node.tuning->nc = it->second.nc;
+        node.tuning->bfeed = it->second.bfeed;
+        continue;
+      }
+    }
+
+    ag::ReplayIO io;
+    io.ins = ctx->ins_.data() + in_off_[si];
+    io.outs = ctx->outs_.data() + out_off_[si];
+    auto time_with = [&](const TuneChoice& c) {
+      node.tuning->nc = c.nc;
+      node.tuning->bfeed = c.bfeed;
+      node.run(io);  // warm caches / pooled scratch
+      return best_of(2, [&] { node.run(io); });
+    };
+
+    const TuneChoice fallback{};  // nc 0, kAuto: the untuned default
+    TuneChoice best = fallback;
+    const double base = time_with(fallback);
+    double best_time = base;
+    for (int64_t nc : {int64_t{0}, int64_t{128}, int64_t{512}}) {
+      for (BFeed bf : {BFeed::kAuto, BFeed::kStream, BFeed::kPack}) {
+        if (nc == 0 && bf == BFeed::kAuto) continue;  // already timed
+        if (std::chrono::steady_clock::now() >= deadline) break;
+        const TuneChoice cand{nc, bf};
+        const double t = time_with(cand);
+        if (t < best_time) {
+          best_time = t;
+          best = cand;
+        }
+      }
+    }
+    // Hysteresis: keep the default unless the winner is a clear (>3%) win —
+    // sub-noise deltas should not flap plans between loads.
+    if (best_time > base * 0.97) best = fallback;
+    node.tuning->nc = best.nc;
+    node.tuning->bfeed = best.bfeed;
+    {
+      std::lock_guard<std::mutex> lock(tune_mutex);
+      tune_cache().emplace(key, best);
+    }
+    trace::emit_instant("exec.autotune.choice", "exec",
+                        {{"m", node.conv.m},
+                         {"l", node.conv.l},
+                         {"nc", best.nc}},
+                        "bfeed", bfeed_name(best.bfeed));
+    if (std::chrono::steady_clock::now() >= deadline) break;
+  }
+
+  release(std::move(ctx));
+}
+
+// -- Per-shape precision decision ---------------------------------------------
+
+namespace {
+std::mutex prec_mutex;
+std::map<std::tuple<bool, int64_t, int64_t, int64_t>, Precision>&
+prec_cache() {
+  static std::map<std::tuple<bool, int64_t, int64_t, int64_t>, Precision>
+      cache;
+  return cache;
+}
+}  // namespace
+
+Precision tuned_conv_precision(bool transposed, int64_t m, int64_t k,
+                               int64_t l) {
+  const auto key = std::make_tuple(transposed, m, k, l);
+  {
+    std::lock_guard<std::mutex> lock(prec_mutex);
+    auto it = prec_cache().find(key);
+    if (it != prec_cache().end()) return it->second;
+  }
+
+  // Synthetic GEMM of the node's exact shape; the packs are built outside
+  // the timed region (prepacking is load-time work either way).
+  std::vector<float> w(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * l));
+  std::vector<float> c(static_cast<size_t>(m * l));
+  uint32_t lcg = 0x5eed1234u;
+  auto next = [&lcg] {
+    lcg = lcg * 1664525u + 1013904223u;
+    return (static_cast<float>((lcg >> 9) & 0x3ff) - 512.f) / 256.f;
+  };
+  for (float& v : w) v = next();
+  for (float& v : b) v = next();
+
+  const PackedWeight wp32(GemmLayout::kNN, w.data(), m, k, Precision::kFp32);
+  const PackedWeight wp8(GemmLayout::kNN, w.data(), m, k, Precision::kInt8);
+  const StridedBPacker bp(b.data(), l, false);
+  const int64_t blocks = gemm_col_blocks(l);
+
+  const double t32 = best_of(3, [&] {
+    for (int64_t blk = 0; blk < blocks; ++blk) {
+      gemm_col_block(wp32.fp32_view(), bp, l, blk, c.data());
+    }
+  });
+
+  const float bmax = max_abs(b.data(), k * l);
+  const float inv_b = bmax > 0.f ? 127.f / bmax : 0.f;
+  std::vector<float> combined(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    combined[static_cast<size_t>(i)] = wp8.row_scales()[i] * (bmax / 127.f);
+  }
+  const double t8 = best_of(3, [&] {
+    for (int64_t blk = 0; blk < blocks; ++blk) {
+      gemm_col_block_i8(wp8, bp, inv_b, combined.data(), l, blk, c.data(),
+                        nullptr);
+    }
+  });
+
+  // Int8 must earn its quantization error: require a clear (>5%) speed win
+  // for this shape, otherwise the conv stays fp32.
+  const Precision pick =
+      t8 < t32 * 0.95 ? Precision::kInt8 : Precision::kFp32;
+  std::lock_guard<std::mutex> lock(prec_mutex);
+  return prec_cache().emplace(key, pick).first->second;  // first decision wins
+}
+
+}  // namespace litho::runtime

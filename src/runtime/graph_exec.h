@@ -1,0 +1,153 @@
+// Static-graph inference executor: replays a captured DOINN forward
+// (autograd/capture.h) as a flat list of kernel closures over one
+// arena-planned buffer, with optional epilogue fusion and load-time
+// per-shape autotuning.
+//
+// Pipeline per (input shape, precision):
+//   capture  — record the op walk once into a CapturedGraph (the engine
+//              drives this; see capture_graph below).
+//   fuse     — fold single-consumer elementwise chains (BN-eval affine,
+//              LeakyReLU, Tanh) that follow a non-transposed conv into the
+//              packed-GEMM epilogue (EpiloguePostStage). The fused stages
+//              run per column block after the full K loop, elementwise on
+//              finished accumulator values, so fusion is bitwise-neutral.
+//   plan     — liveness analysis over slots, then greedy best-fit offset
+//              assignment into a single arena so disjoint-lifetime
+//              intermediates share memory.
+//   autotune — time bitwise-neutral kernel knobs (GEMM column-block width,
+//              packed-B feed strategy) per conv node against real arena
+//              buffers and bake the winners into the node's NodeTuning.
+//   replay   — run(ctx): iterate live nodes calling their closures against
+//              prebuilt pointer tables. Steady-state replays perform zero
+//              heap allocations (contexts and kernel scratch are pooled).
+//
+// Determinism: every replay closure runs the same compute core as the op
+// walk, and every tuning knob is bitwise-neutral, so executor output is
+// bit-identical to the op-walk path for any DOINN_NUM_THREADS and batch
+// composition. The engine still validates each plan once on random data and
+// falls back to the op walk if an uninstrumented op slipped into a forward
+// (its output would have been frozen as a stale constant).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "autograd/capture.h"
+
+namespace litho::runtime {
+
+/// Records @p forward once over @p example_input and returns the captured
+/// graph. Runs under NoGradGuard with a thread-local GraphRecorder
+/// installed; the single graph input is the example tensor's slot, the
+/// single graph output is the forward result's slot.
+std::shared_ptr<ag::CapturedGraph> capture_graph(
+    const Tensor& example_input,
+    const std::function<ag::Variable(const ag::Variable&)>& forward);
+
+struct ExecutorOptions {
+  /// Fold elementwise epilogue chains into conv GEMMs.
+  bool fuse = true;
+  /// Benchmark per-shape kernel knobs at build time (otherwise defaults).
+  bool autotune = false;
+  /// Wall-clock budget for the autotune pass, per executor build.
+  int64_t autotune_budget_ms = 250;
+  /// Non-zero: shuffle the arena planner's allocation order with this seed
+  /// (aliasing-safety tests — any order must produce a correct plan).
+  uint64_t arena_seed = 0;
+};
+
+class GraphExecutor;
+
+/// One in-flight replay's buffers: the arena plus per-node pointer tables
+/// resolved against it at construction. Acquire from the executor, fill
+/// input(), run, read output(), release — contexts recycle through a free
+/// list, so steady-state replays allocate nothing.
+class ExecContext {
+ public:
+  /// Writable buffer of graph input @p i (arena-backed, sized to the slot).
+  float* input(int i);
+  /// Result buffer of graph output @p i after run().
+  const float* output(int i) const;
+  /// Element count of graph output @p i.
+  int64_t output_numel(int i) const;
+
+ private:
+  friend class GraphExecutor;
+  explicit ExecContext(const GraphExecutor& exec);
+
+  std::vector<float> arena_;
+  // Flat pointer tables; node i's operands are the slices
+  // ins_[in_off_[i] .. ) and outs_[out_off_[i] .. ).
+  std::vector<const float*> ins_;
+  std::vector<float*> outs_;
+  std::vector<float*> inputs_;
+  std::vector<const float*> outputs_;
+  const GraphExecutor* exec_ = nullptr;
+};
+
+/// Compiled form of one captured graph. Thread-safe: any number of contexts
+/// may replay concurrently (nodes only touch their context's arena plus
+/// immutable packs/constants).
+class GraphExecutor {
+ public:
+  explicit GraphExecutor(std::shared_ptr<ag::CapturedGraph> graph,
+                         ExecutorOptions opts = {});
+  ~GraphExecutor();
+  GraphExecutor(const GraphExecutor&) = delete;
+  GraphExecutor& operator=(const GraphExecutor&) = delete;
+
+  /// Borrows a pooled context (allocates only when the pool is empty).
+  std::unique_ptr<ExecContext> acquire();
+  /// Returns a context to the pool.
+  void release(std::unique_ptr<ExecContext> ctx);
+
+  /// Replays the graph over the context's buffers.
+  void run(ExecContext& ctx) const;
+
+  /// Planned arena size in bytes.
+  int64_t arena_bytes() const { return arena_floats_ * int64_t{4}; }
+  /// Nodes surviving fusion (dead nodes excluded).
+  int64_t live_nodes() const { return live_nodes_; }
+  /// Elementwise nodes folded into conv epilogues by the fusion pass.
+  int64_t fused_nodes() const { return fused_nodes_; }
+  const ag::CapturedGraph& graph() const { return *graph_; }
+
+ private:
+  friend class ExecContext;
+
+  void fuse_epilogues();
+  void plan_arena(uint64_t seed);
+  void autotune(int64_t budget_ms);
+
+  std::shared_ptr<ag::CapturedGraph> graph_;
+  ExecutorOptions opts_;
+  // Execution schedule: indices of live nodes, in capture order.
+  std::vector<int> schedule_;
+  // Per scheduled node: offsets of its operand slices in a context's flat
+  // ins_/outs_ pointer tables (identical across contexts).
+  std::vector<int> in_off_, out_off_;
+  int64_t ins_total_ = 0, outs_total_ = 0;
+  // Per-slot arena offset in floats; -1 = constant (points into its frozen
+  // tensor) or unused.
+  std::vector<int64_t> slot_offset_;
+  int64_t arena_floats_ = 0;
+  int64_t live_nodes_ = 0;
+  int64_t fused_nodes_ = 0;
+
+  std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<ExecContext>> pool_;
+};
+
+/// Process-wide per-shape precision decision for prepacked conv GEMMs
+/// (ROADMAP prepacking follow-up): times an fp32 vs an int8 synthetic GEMM
+/// of the given shape and returns the faster precision. Decisions are
+/// cached by (transposed, m, k, l) with no thread-count component, so every
+/// engine in a process — whatever its pool width — chooses identically and
+/// cross-thread-count bitwise determinism is preserved.
+litho::Precision tuned_conv_precision(bool transposed, int64_t m, int64_t k,
+                                      int64_t l);
+
+}  // namespace litho::runtime

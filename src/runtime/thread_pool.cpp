@@ -44,6 +44,26 @@ struct ChunkScope {
 
 }  // namespace
 
+// One in-flight parallel_for broadcast. Lives on the submitting thread's
+// stack for the duration of the (synchronous) call; workers reach it through
+// the pool's jobs_ list and claim chunks via the atomic cursor, so the
+// dispatch allocates nothing. `finished`, `refs` and `error` are guarded by
+// the pool mutex; the submitter may not return (and destroy the job) until
+// finished == nchunks and refs == 0.
+struct ThreadPool::ParallelJob {
+  ParallelBody body;
+  int64_t base = 0, extra = 0;  // even split: first `extra` chunks +1 long
+  int64_t nchunks = 0;
+  bool grad_mode = false;
+  std::atomic<int64_t> next{0};  // chunk claim cursor
+  int64_t finished = 0;          // chunks completed
+  int refs = 0;                  // workers currently inside run_job_chunks
+  std::exception_ptr error;
+  ParallelJob* next_job = nullptr;
+
+  explicit ParallelJob(ParallelBody b) : body(b) {}
+};
+
 ThreadPool::ThreadPool(int num_threads) {
   size_ = num_threads > 0 ? num_threads : default_num_threads();
   workers_.reserve(static_cast<size_t>(size_ - 1));
@@ -61,18 +81,65 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+ThreadPool::ParallelJob* ThreadPool::runnable_job_locked() {
+  for (ParallelJob* j = jobs_; j != nullptr; j = j->next_job) {
+    if (j->next.load(std::memory_order_relaxed) < j->nchunks) return j;
+  }
+  return nullptr;
+}
+
+void ThreadPool::run_job_chunks(ParallelJob& job) {
+  for (;;) {
+    const int64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.nchunks) return;
+    const int64_t begin = c * job.base + std::min(c, job.extra);
+    const int64_t end = (c + 1) * job.base + std::min(c + 1, job.extra);
+    const bool prev = ag::GradMode::is_enabled();
+    ag::GradMode::set_enabled(job.grad_mode);
+    try {
+      ChunkScope chunk_scope(this);
+      job.body(begin, end);
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    ag::GradMode::set_enabled(prev);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (++job.finished == job.nchunks) job_done_.notify_all();
+    }
+  }
+}
+
 void ThreadPool::worker_loop() {
   this_thread_is_worker = true;
   worker_owner = this;
   trace::set_thread_name("pool-worker");
   for (;;) {
     std::function<void()> task;
+    ParallelJob* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping and drained
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      task_ready_.wait(lock, [this] {
+        return stopping_ || !tasks_.empty() || runnable_job_locked() != nullptr;
+      });
+      job = runnable_job_locked();
+      if (job != nullptr) {
+        ++job->refs;
+      } else if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      } else {
+        return;  // stopping and drained
+      }
+    }
+    if (job != nullptr) {
+      run_job_chunks(*job);
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--job->refs == 0 && job->finished == job->nchunks) {
+        job_done_.notify_all();
+      }
+      continue;
     }
     try {
       ChunkScope chunk_scope(this);  // nested kernel loops target this pool
@@ -116,9 +183,7 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::parallel_for(
-    int64_t n, const std::function<void(int64_t, int64_t)>& body,
-    int64_t grain) {
+void ThreadPool::parallel_for(int64_t n, ParallelBody body, int64_t grain) {
   if (n <= 0) return;
   grain = std::max<int64_t>(1, grain);
   // Floor division keeps every chunk at >= grain iterations (the documented
@@ -130,60 +195,33 @@ void ThreadPool::parallel_for(
     return;
   }
 
-  struct Shared {
-    std::mutex mutex;
-    std::condition_variable done;
-    int64_t remaining;
-    std::exception_ptr error;
-  } shared;
-  shared.remaining = max_chunks - 1;
-  const bool grad_mode = ag::GradMode::is_enabled();
-
-  // Even split with the first (n % chunks) chunks one element longer.
-  const int64_t base = n / max_chunks;
-  const int64_t extra = n % max_chunks;
-  auto chunk_begin = [base, extra](int64_t c) {
-    return c * base + std::min(c, extra);
-  };
-
-  for (int64_t c = 1; c < max_chunks; ++c) {
-    const int64_t begin = chunk_begin(c), end = chunk_begin(c + 1);
-    std::function<void()> task = [this, &shared, &body, begin, end, grad_mode] {
-      const bool prev = ag::GradMode::is_enabled();
-      ag::GradMode::set_enabled(grad_mode);
-      try {
-        ChunkScope chunk_scope(this);
-        body(begin, end);
-      } catch (...) {
-        std::unique_lock<std::mutex> lock(shared.mutex);
-        if (!shared.error) shared.error = std::current_exception();
-      }
-      ag::GradMode::set_enabled(prev);
-      std::unique_lock<std::mutex> lock(shared.mutex);
-      if (--shared.remaining == 0) shared.done.notify_all();
-    };
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ++in_flight_;
-      tasks_.push(std::move(task));
-    }
-    task_ready_.notify_one();
-  }
-
-  // The submitting thread takes chunk 0 instead of blocking.
-  std::exception_ptr local_error;
-  try {
-    ChunkScope chunk_scope(this);
-    body(0, chunk_begin(1));
-  } catch (...) {
-    local_error = std::current_exception();
-  }
+  // Even split with the first (n % chunks) chunks one element longer — the
+  // exact boundaries the task-per-chunk dispatch used, so results (which
+  // depend only on boundaries, chunks write disjoint ranges) are unchanged.
+  ParallelJob job(body);
+  job.base = n / max_chunks;
+  job.extra = n % max_chunks;
+  job.nchunks = max_chunks;
+  job.grad_mode = ag::GradMode::is_enabled();
   {
-    std::unique_lock<std::mutex> lock(shared.mutex);
-    shared.done.wait(lock, [&shared] { return shared.remaining == 0; });
+    std::unique_lock<std::mutex> lock(mutex_);
+    job.next_job = jobs_;
+    jobs_ = &job;
   }
-  if (local_error) std::rethrow_exception(local_error);
-  if (shared.error) std::rethrow_exception(shared.error);
+  task_ready_.notify_all();
+
+  // The submitting thread claims chunks alongside the workers.
+  run_job_chunks(job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [&job] {
+      return job.finished == job.nchunks && job.refs == 0;
+    });
+    ParallelJob** p = &jobs_;
+    while (*p != &job) p = &(*p)->next_job;
+    *p = job.next_job;
+  }
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 int ThreadPool::default_num_threads() {
@@ -218,8 +256,7 @@ ScopedPool::ScopedPool(ThreadPool* pool) : prev_(current_pool_override) {
 
 ScopedPool::~ScopedPool() { current_pool_override = prev_; }
 
-void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& body,
-                  int64_t grain) {
+void parallel_for(int64_t n, ParallelBody body, int64_t grain) {
   if (n <= 0) return;
   if (n < 2 * std::max<int64_t>(1, grain)) {
     // Ranges below two grains can never split (floor-division chunking), so

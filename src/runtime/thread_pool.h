@@ -31,9 +31,34 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace litho::runtime {
+
+/// Non-owning type-erased reference to a parallel_for body (a lightweight
+/// function_ref). parallel_for is synchronous — the referenced callable
+/// always outlives the call — so no heap-allocating std::function is ever
+/// materialized on the dispatch path; the graph executor's zero-allocation
+/// replay contract depends on this.
+class ParallelBody {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, ParallelBody> &&
+                std::is_invocable_v<const F&, int64_t, int64_t>>>
+  ParallelBody(const F& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* o, int64_t b, int64_t e) {
+          (*static_cast<const F*>(o))(b, e);
+        }) {}
+
+  void operator()(int64_t begin, int64_t end) const { call_(obj_, begin, end); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, int64_t, int64_t);
+};
 
 class ThreadPool {
  public:
@@ -59,9 +84,11 @@ class ThreadPool {
   /// for at most min(size(), n / grain) contiguous chunks, each of at least
   /// @p grain iterations. Runs inline when that bound is one chunk,
   /// size() == 1, or this thread is already executing this pool's work (a
-  /// worker task or a parallel_for chunk).
-  void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& body,
-                    int64_t grain = 1);
+  /// worker task or a parallel_for chunk). Chunk *boundaries* depend only on
+  /// (n, size(), grain); which thread executes which chunk is dynamic (a
+  /// stack-allocated job broadcast — no per-chunk heap traffic), which is
+  /// invisible to results because chunks write disjoint ranges.
+  void parallel_for(int64_t n, ParallelBody body, int64_t grain = 1);
 
   /// Pool size implied by the environment: DOINN_NUM_THREADS if set to a
   /// positive integer, else std::thread::hardware_concurrency().
@@ -71,7 +98,13 @@ class ThreadPool {
   static bool in_worker_thread();
 
  private:
+  struct ParallelJob;
+
   void worker_loop();
+  /// Claims and runs chunks of @p job until none remain.
+  void run_job_chunks(ParallelJob& job);
+  /// First job with unclaimed chunks, or nullptr. Caller holds mutex_.
+  ParallelJob* runnable_job_locked();
 
   int size_;
   std::vector<std::thread> workers_;
@@ -79,6 +112,8 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;
+  std::condition_variable job_done_;
+  ParallelJob* jobs_ = nullptr;  // live parallel_for broadcasts (stack-owned)
   int64_t in_flight_ = 0;  // queued + running tasks
   bool stopping_ = false;
 };
@@ -108,7 +143,6 @@ class ScopedPool {
 };
 
 /// parallel_for on current_pool().
-void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& body,
-                  int64_t grain = 1);
+void parallel_for(int64_t n, ParallelBody body, int64_t grain = 1);
 
 }  // namespace litho::runtime

@@ -1,6 +1,7 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 
 #include "runtime/thread_pool.h"
@@ -63,8 +64,9 @@ void run_col_block(const PackedPanelsView* pa, GemmLayout layout,
                    const BPanelPacker& bp, int64_t n, int64_t block, float* c,
                    const GemmEpilogue& ep) {
   const detail::MicroKernelTable& kern = detail::micro_kernels();
-  const int64_t j0 = block * kGemmNC;
-  const int64_t j1 = std::min(j0 + kGemmNC, n);
+  const int64_t nc = ep.nc > 0 ? ep.nc : kGemmNC;
+  const int64_t j0 = block * nc;
+  const int64_t j1 = std::min(j0 + nc, n);
   if (m <= 0 || j0 >= j1) return;
   // Coarse pack+compute span per column block; runs on whichever pool
   // worker owns the block, so traces show the GEMM fan-out.
@@ -78,6 +80,7 @@ void run_col_block(const PackedPanelsView* pa, GemmLayout layout,
         const float v = ep.bias ? ep.bias[i] : 0.f;
         for (int64_t j = j0; j < j1; ++j) c[i * n + j] = v;
       }
+      apply_gemm_post(ep, c, n, m, j0, j1);
     }
     return;
   }
@@ -96,12 +99,30 @@ void run_col_block(const PackedPanelsView* pa, GemmLayout layout,
   const float* bbase = nullptr;
   int64_t brstride = 0;
   const bool viewable = bp.direct_view(&bbase, &brstride);
-  const bool direct = viewable && (k <= 64 || m <= MR);
-  const bool fused =
+  bool direct = viewable && (k <= 64 || m <= MR);
+  bool fused =
       !direct && viewable && !ep.subtract && kern.add_pair_pack != nullptr;
+  if (ep.bfeed == BFeed::kStream && viewable) {
+    direct = true;
+    fused = false;
+  } else if (ep.bfeed == BFeed::kPack) {
+    direct = false;
+    fused = false;
+  }
+  // Tile-wise packing: with kPack forced on a gathered (non-viewable) B and
+  // a single MC stripe, each panel is packed into one reused two-panel
+  // buffer immediately before the kernels that consume it, so packed B
+  // lives in L1 instead of round-tripping a whole NC block through L2.
+  // Same gathered values, same kernel order — bitwise identical output;
+  // only worth it for the skinny-M im2col GEMMs, so it is autotune-gated
+  // (the graph executor's per-shape tuner flips BFeed::kPack on when it
+  // measures a win) rather than a default.
+  const bool tile_pack = !direct && !fused && !viewable &&
+                         ep.bfeed == BFeed::kPack && m <= kGemmMC;
   std::optional<runtime::FloatWorkspace> bws;
   if (!direct) {
-    bws.emplace(static_cast<size_t>(kGemmKC * jt_count * NR));
+    bws.emplace(static_cast<size_t>(
+        tile_pack ? 2 * kGemmKC * NR : kGemmKC * jt_count * NR));
   }
   std::optional<runtime::FloatWorkspace> aws;
   if (!pa) {
@@ -118,7 +139,9 @@ void run_col_block(const PackedPanelsView* pa, GemmLayout layout,
     const bool init = (k0 == 0) && !ep.accumulate;
     const bool last = (k0 + klen == k);
     const float* bias = last ? ep.bias : nullptr;
-    if (!direct && !fused) bp.pack(k0, k0 + klen, j0, j1, bws->data());
+    if (!direct && !fused && !tile_pack) {
+      bp.pack(k0, k0 + klen, j0, j1, bws->data());
+    }
     bool bedge_filled = false;
     for (int64_t i0 = 0; i0 < m; i0 += kGemmMC) {
       const int64_t rows = std::min(kGemmMC, m - i0);
@@ -156,7 +179,7 @@ void run_col_block(const PackedPanelsView* pa, GemmLayout layout,
           bpan = bedge;
           bstride = NR;
         } else {
-          bpan = bws->data() + t * klen * NR;
+          bpan = bws->data() + (tile_pack ? 0 : t * klen * NR);
           bstride = NR;
         }
         // Fused mode packs lazily: paired full tiles are packed by the
@@ -164,6 +187,16 @@ void run_col_block(const PackedPanelsView* pa, GemmLayout layout,
         // the virtual pack() once per K step (i0 == 0 pass).
         const bool pair = kern.add_pair && nr == NR && t + 1 < jt_count &&
                           j1 - (c0 + NR) >= NR;
+        if (tile_pack) {
+          // Refill the reused two-panel buffer just before use; the single
+          // MC stripe (m <= kGemmMC) means no later row pass rereads it.
+          bp.pack(k0, k0 + klen, c0, std::min(c0 + NR, j1),
+                  const_cast<float*>(bpan));
+          if (pair) {
+            bp.pack(k0, k0 + klen, c0 + NR, c0 + 2 * NR,
+                    bws->data() + klen * NR);
+          }
+        }
         if (fused) {
           bpan = bws->data() + t * klen * NR;
           bstride = NR;
@@ -209,9 +242,46 @@ void run_col_block(const PackedPanelsView* pa, GemmLayout layout,
       }
     }
   }
+  apply_gemm_post(ep, c, n, m, j0, j1);
 }
 
 }  // namespace
+
+void apply_gemm_post(const GemmEpilogue& ep, float* c, int64_t n, int64_t m,
+                     int64_t j0, int64_t j1) {
+  for (int s = 0; s < ep.post_count; ++s) {
+    const EpiloguePostStage& st = ep.post[s];
+    switch (st.kind) {
+      case EpiloguePostStage::Kind::kBnAffine:
+        for (int64_t i = 0; i < m; ++i) {
+          const float mu = st.mu[i];
+          const float is = st.inv_std[i];
+          const float ga = st.gamma[i];
+          const float be = st.beta[i];
+          float* row = c + i * n;
+          for (int64_t j = j0; j < j1; ++j) {
+            const float xh = (row[j] - mu) * is;
+            row[j] = ga * xh + be;
+          }
+        }
+        break;
+      case EpiloguePostStage::Kind::kLeaky:
+        for (int64_t i = 0; i < m; ++i) {
+          float* row = c + i * n;
+          for (int64_t j = j0; j < j1; ++j) {
+            if (row[j] < 0.f) row[j] *= st.slope;
+          }
+        }
+        break;
+      case EpiloguePostStage::Kind::kTanh:
+        for (int64_t i = 0; i < m; ++i) {
+          float* row = c + i * n;
+          for (int64_t j = j0; j < j1; ++j) row[j] = std::tanh(row[j]);
+        }
+        break;
+    }
+  }
+}
 
 void StridedBPacker::pack(int64_t k0, int64_t k1, int64_t j0, int64_t j1,
                           float* dst) const {
@@ -265,6 +335,10 @@ PackedA::~PackedA() {
 
 int64_t gemm_col_blocks(int64_t n) { return n > 0 ? ceil_div(n, kGemmNC) : 0; }
 
+int64_t gemm_col_blocks(int64_t n, int64_t nc) {
+  return n > 0 ? ceil_div(n, nc > 0 ? nc : kGemmNC) : 0;
+}
+
 void gemm_col_block(const PackedA& a, const BPanelPacker& b, int64_t n,
                     int64_t block, float* c, const GemmEpilogue& ep) {
   const PackedPanelsView v = a.view();
@@ -289,7 +363,7 @@ void packed_gemm(GemmLayout layout, const float* a, const float* b, float* c,
   DOINN_TRACE_SCOPE("gemm.packed", "gemm", "m", m, "k", k, "n", n);
   const StridedBPacker bp(b, layout == GemmLayout::kNT ? k : n,
                           layout == GemmLayout::kNT);
-  const int64_t blocks = gemm_col_blocks(n);
+  const int64_t blocks = gemm_col_blocks(n, ep.nc);
   // Pre-pack A when the packed copy is modest (reused by every block);
   // otherwise each block packs panels per K step from raw storage.
   constexpr int64_t kPrepackLimit = 1 << 21;  // 2M floats = 8 MiB

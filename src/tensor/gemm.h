@@ -54,6 +54,33 @@ inline constexpr int64_t kGemmKC = 512;  // K step per packed panel
 inline constexpr int64_t kGemmMC = 64;   // A panel rows per pack
 inline constexpr int64_t kGemmNC = 256;  // columns per parallel block
 
+/// One fused elementwise stage applied to a finished column block, in
+/// order, after the final K step (and after bias). Each stage is the exact
+/// per-element expression of the standalone op it replaces — elementwise
+/// with no cross-element interaction, so fusing changes neither bits nor
+/// the determinism contract, only how many times the output is walked.
+struct EpiloguePostStage {
+  enum class Kind : int8_t {
+    kBnAffine,  // x -> gamma[i]*((x - mu[i]) * inv_std[i]) + beta[i]
+    kLeaky,     // x -> x < 0 ? x * slope : x   (slope 0 == relu)
+    kTanh,      // x -> std::tanh(x)
+  };
+  Kind kind = Kind::kLeaky;
+  float slope = 0.f;  // kLeaky only
+  // kBnAffine per-row arrays (length M); caller keeps them alive.
+  const float* mu = nullptr;
+  const float* inv_std = nullptr;
+  const float* gamma = nullptr;
+  const float* beta = nullptr;
+};
+
+/// How a column block feeds B to the micro-kernel when the operand is
+/// strided-viewable. kAuto applies the heuristic in run_col_block; the
+/// forced modes exist for the graph executor's per-shape autotuner. All
+/// three read the same values in the same per-element order, so the choice
+/// never changes bits.
+enum class BFeed : int8_t { kAuto = 0, kStream = 1, kPack = 2 };
+
 /// Epilogue applied by the micro-kernel on write-back.
 struct GemmEpilogue {
   /// false: C = A·B (beta = 0). true: C += A·B.
@@ -65,7 +92,23 @@ struct GemmEpilogue {
   /// Optional per-row bias (length M), added once after the final K step —
   /// the fused bias epilogue of the convolution forward pass.
   const float* bias = nullptr;
+  /// Optional fused elementwise chain (post[0..post_count)) applied to the
+  /// block after the contraction completes. Requires !accumulate.
+  const EpiloguePostStage* post = nullptr;
+  int post_count = 0;
+  /// Column-block width override (multiple of kGemmNR); 0 = kGemmNC.
+  /// Callers enumerating blocks must pass the same value to
+  /// gemm_col_blocks. Tiling width never changes per-element K order.
+  int64_t nc = 0;
+  /// B-feed strategy override (see BFeed).
+  BFeed bfeed = BFeed::kAuto;
 };
+
+/// Applies ep.post (and nothing else) to rows [0,m) x columns [j0,j1) of a
+/// finished C block with row stride n. Shared by the fp32 engine and the
+/// int8/bf16 write-backs in tensor/prepack.cpp.
+void apply_gemm_post(const GemmEpilogue& ep, float* c, int64_t n, int64_t m,
+                     int64_t j0, int64_t j1);
 
 /// Supplies packed B micro-panels to the engine. pack() must fill @p dst
 /// with ceil((j1-j0)/kGemmNR) consecutive micro-panels for logical B rows
@@ -173,6 +216,10 @@ class PackedA {
 /// own parallelism (conv2d fans out over samples x blocks) enumerate
 /// [0, gemm_col_blocks(n)) and call gemm_col_block per index.
 int64_t gemm_col_blocks(int64_t n);
+
+/// Same with an explicit column-block width (GemmEpilogue::nc); nc <= 0
+/// means kGemmNC.
+int64_t gemm_col_blocks(int64_t n, int64_t nc);
 
 /// Runs one column block of C = op(A)·op(B) with a pre-packed A. @p c is
 /// the full M x N output (row stride n); only columns of @p block are

@@ -134,12 +134,13 @@ PackedWeight::PackedWeight(GemmLayout layout, const float* a, int64_t m,
 
 void gemm_col_block_i8(const PackedWeight& a, const BPanelPacker& bp,
                        float inv_b_scale, const float* combined_scales,
-                       int64_t n, int64_t block, float* c,
-                       const float* bias) {
+                       int64_t n, int64_t block, float* c, const float* bias,
+                       const GemmEpilogue& ep) {
   const detail::QuantKernelTable& kern = detail::quant_kernels();
   const int64_t m = a.m(), k = a.k();
-  const int64_t j0 = block * kGemmNC;
-  const int64_t j1 = std::min(j0 + kGemmNC, n);
+  const int64_t nc = ep.nc > 0 ? ep.nc : kGemmNC;
+  const int64_t j0 = block * nc;
+  const int64_t j1 = std::min(j0 + nc, n);
   if (m <= 0 || j0 >= j1) return;
   DOINN_TRACE_SCOPE("gemm.col_block_i8", "gemm", "m", m, "k", k, "cols",
                     j1 - j0);
@@ -148,6 +149,7 @@ void gemm_col_block_i8(const PackedWeight& a, const BPanelPacker& bp,
       const float v = bias ? bias[i] : 0.f;
       for (int64_t j = j0; j < j1; ++j) c[i * n + j] = v;
     }
+    apply_gemm_post(ep, c, n, m, j0, j1);
     return;
   }
   const int64_t mtiles = ceil_div(m, MR);
@@ -214,6 +216,7 @@ void gemm_col_block_i8(const PackedWeight& a, const BPanelPacker& bp,
       }
     }
   }
+  apply_gemm_post(ep, c, n, m, j0, j1);
 }
 
 void gemm_col_block_bf16(const PackedWeight& a, const BPanelPacker& bp,
@@ -221,8 +224,9 @@ void gemm_col_block_bf16(const PackedWeight& a, const BPanelPacker& bp,
                          const GemmEpilogue& ep) {
   const detail::QuantKernelTable& kern = detail::quant_kernels();
   const int64_t m = a.m(), k = a.k();
-  const int64_t j0 = block * kGemmNC;
-  const int64_t j1 = std::min(j0 + kGemmNC, n);
+  const int64_t nc = ep.nc > 0 ? ep.nc : kGemmNC;
+  const int64_t j0 = block * nc;
+  const int64_t j1 = std::min(j0 + nc, n);
   if (m <= 0 || j0 >= j1) return;
   DOINN_TRACE_SCOPE("gemm.col_block_bf16", "gemm", "m", m, "k", k, "cols",
                     j1 - j0);
@@ -232,6 +236,7 @@ void gemm_col_block_bf16(const PackedWeight& a, const BPanelPacker& bp,
         const float v = ep.bias ? ep.bias[i] : 0.f;
         for (int64_t j = j0; j < j1; ++j) c[i * n + j] = v;
       }
+      apply_gemm_post(ep, c, n, m, j0, j1);
     }
     return;
   }
@@ -270,6 +275,7 @@ void gemm_col_block_bf16(const PackedWeight& a, const BPanelPacker& bp,
       }
     }
   }
+  apply_gemm_post(ep, c, n, m, j0, j1);
 }
 
 }  // namespace litho

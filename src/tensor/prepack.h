@@ -126,9 +126,14 @@ class PackedWeight {
 /// @p combined_scales (length m, row_scales[i] * b_scale) with optional
 /// @p bias in fp32. Thread-safe for distinct blocks; bitwise deterministic
 /// for any thread count (integer accumulation is exact).
+/// @p ep supplies only the fused post chain and tuning knobs (nc, bfeed is
+/// ignored here — the int8 path always gathers B); ep.bias is unused, bias
+/// comes in via @p bias because the int8 write-back needs it separate from
+/// the dequant scales.
 void gemm_col_block_i8(const PackedWeight& a, const BPanelPacker& bp,
                        float inv_b_scale, const float* combined_scales,
-                       int64_t n, int64_t block, float* c, const float* bias);
+                       int64_t n, int64_t block, float* c, const float* bias,
+                       const GemmEpilogue& ep = {});
 
 /// One column block of C = A(bf16) · bf16(B) with fp32 accumulation in
 /// strictly increasing k order (the fp32 engine's blocking, bf16 storage).

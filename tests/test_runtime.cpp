@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "autograd/grad_mode.h"
@@ -123,8 +125,18 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   runtime::ThreadPool pool(4);
   std::atomic<int> nested_calls{0};
   std::atomic<int> single_chunk_calls{0};
-  pool.parallel_for(4, [&pool, &nested_calls,
-                        &single_chunk_calls](int64_t, int64_t) {
+  std::atomic<int> entered{0};
+  pool.parallel_for(4, [&pool, &nested_calls, &single_chunk_calls,
+                        &entered](int64_t, int64_t) {
+    // Hold each chunk until a second thread joins: the submitting thread
+    // claims chunks alongside the workers and on a loaded single-core host
+    // could otherwise drain all four alone, leaving nothing to observe.
+    entered.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (entered.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
     if (!runtime::ThreadPool::in_worker_thread()) return;
     // A nested loop issued from a worker must collapse to one inline chunk
     // instead of re-entering the queue (deadlock safety).
