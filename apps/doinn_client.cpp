@@ -3,10 +3,17 @@
 // src/net/protocol.h.
 //
 //   doinn_client --connect <host:port> --mask mask.pgm --out contour.pgm
+//               [--model NAME]
 //   doinn_client --connect <host:port> --manifest requests.txt
-//               [--concurrency 4] [--repeat 1] [--busy-retry-ms 5]
-//               [--busy-retry-max-ms 250]
+//               [--model NAME] [--concurrency 4] [--repeat 1]
+//               [--busy-retry-ms 5] [--busy-retry-max-ms 250]
 //   doinn_client --connect <host:port> --shutdown
+//
+// --model routes requests to a named model of a multi-model server
+// (doinn_serve --models) via the protocol-v2 model field; manifest lines
+// may override it per request with a `model:<name>` first field. Without
+// either, requests go out as version-1 frames and the server's default
+// model serves them.
 //
 // Single-request mode sends one mask and writes the contour PGM — the
 // output is byte-identical to what manifest mode would have written for
@@ -28,6 +35,10 @@
 //
 // --shutdown sends a SHUTDOWN frame: the server drains in-flight work and
 // exits.
+//
+// Exit status: 0 only when every request succeeded — any failed request,
+// dead worker, or request that never completed (a worker died after
+// claiming it) makes the exit code 1.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -71,6 +82,7 @@ Endpoint parse_endpoint(const std::string& spec) {
 }
 
 struct Request {
+  std::string model;  // "" = the --model default / server default
   std::string mask_path;
   std::string out_path;
 };
@@ -89,10 +101,24 @@ std::vector<Request> load_manifest(const std::string& path) {
     if (line.empty() || line[0] == '#' || line == "__shutdown__") continue;
     std::istringstream fields(line);
     Request req;
-    if (!(fields >> req.mask_path >> req.out_path)) {
-      std::fprintf(stderr, "skipping malformed manifest line %zu: %s\n",
-                   lineno, line.c_str());
-      continue;
+    std::string first;
+    fields >> first;
+    // Same `model:<name>` routing prefix doinn_serve's manifest mode
+    // understands.
+    if (first.rfind("model:", 0) == 0) {
+      req.model = first.substr(6);
+      if (req.model.empty() || !(fields >> req.mask_path >> req.out_path)) {
+        std::fprintf(stderr, "skipping malformed manifest line %zu: %s\n",
+                     lineno, line.c_str());
+        continue;
+      }
+    } else {
+      req.mask_path = std::move(first);
+      if (req.mask_path.empty() || !(fields >> req.out_path)) {
+        std::fprintf(stderr, "skipping malformed manifest line %zu: %s\n",
+                     lineno, line.c_str());
+        continue;
+      }
     }
     requests.push_back(std::move(req));
   }
@@ -112,6 +138,7 @@ struct WorkerResult {
 
 WorkerResult run_worker(const Endpoint& endpoint,
                         const std::vector<Request>& requests,
+                        const std::string& default_model,
                         std::atomic<size_t>& next, size_t total,
                         long busy_retry_ms, long busy_retry_max_ms,
                         uint32_t seed) {
@@ -122,12 +149,20 @@ WorkerResult run_worker(const Endpoint& endpoint,
     const size_t i = next.fetch_add(1, std::memory_order_relaxed);
     if (i >= total) break;
     const Request& req = requests[i % requests.size()];
+    const std::string& model =
+        req.model.empty() ? default_model : req.model;
     try {
       const Tensor mask = io::read_pgm(req.mask_path);
       const auto t0 = Clock::now();
       long delay_ms = busy_retry_ms;  // backoff window, reset per request
       for (;;) {
-        client.send_predict(i + 1, mask);
+        // A named model needs the version-2 frame; without one the legacy
+        // version-1 frame keeps old servers usable.
+        if (model.empty()) {
+          client.send_predict(i + 1, mask);
+        } else {
+          client.send_predict(i + 1, mask, model);
+        }
         net::Reply reply = client.read_reply();
         if (reply.type == net::FrameType::kBusy) {
           ++result.busy_retries;
@@ -175,8 +210,9 @@ double percentile(std::vector<double>& sorted, double p) {
 void usage() {
   std::printf(
       "usage: doinn_client --connect <host:port> --mask m.pgm --out c.pgm\n"
+      "                    [--model NAME]\n"
       "       doinn_client --connect <host:port> --manifest requests.txt\n"
-      "                    [--concurrency 4] [--repeat 1]\n"
+      "                    [--model NAME] [--concurrency 4] [--repeat 1]\n"
       "                    [--busy-retry-ms 5] [--busy-retry-max-ms 250]\n"
       "       doinn_client --connect <host:port> --shutdown\n"
       "Drives doinn_serve --listen over the framed TCP protocol. Manifest\n"
@@ -184,7 +220,10 @@ void usage() {
       "--concurrency connections, retrying BUSY replies with jittered\n"
       "exponential backoff from --busy-retry-ms up to --busy-retry-max-ms\n"
       "(0 disables the wait); --shutdown asks the server to drain and\n"
-      "exit.\n");
+      "exit. --model routes to a named model of a multi-model server\n"
+      "(doinn_serve --models); manifest lines may override it per request\n"
+      "with a `model:<name>` first field. Exit status is nonzero when any\n"
+      "request failed or never completed.\n");
 }
 
 }  // namespace
@@ -214,8 +253,11 @@ int main(int argc, char** argv) {
       }
       net::Client client(endpoint.host, endpoint.port);
       const Tensor mask = io::read_pgm(args.get("mask"));
+      const std::string model = args.get("model", "");
       const auto t0 = Clock::now();
-      const Tensor contour = client.predict(1, mask);
+      const Tensor contour =
+          model.empty() ? client.predict(1, mask)
+                        : client.predict(1, mask, model);
       const double ms =
           std::chrono::duration<double, std::milli>(Clock::now() - t0)
               .count();
@@ -244,6 +286,7 @@ int main(int argc, char** argv) {
         busy_retry_ms, std::max<long>(0, args.get_int("busy-retry-max-ms",
                                                       250)));
     const size_t total = requests.size() * repeat;
+    const std::string default_model = args.get("model", "");
 
     std::atomic<size_t> next{0};
     std::vector<WorkerResult> results(concurrency);
@@ -254,8 +297,8 @@ int main(int argc, char** argv) {
       for (size_t w = 0; w < concurrency; ++w) {
         workers.emplace_back([&, w] {
           try {
-            results[w] = run_worker(endpoint, requests, next, total,
-                                    busy_retry_ms, busy_retry_max_ms,
+            results[w] = run_worker(endpoint, requests, default_model, next,
+                                    total, busy_retry_ms, busy_retry_max_ms,
                                     static_cast<uint32_t>(w) * 2654435761u +
                                         1u);
           } catch (const std::exception& e) {
@@ -289,6 +332,16 @@ int main(int argc, char** argv) {
           "latency p50 %.1f ms, p99 %.1f ms; throughput %.2f req/s\n",
           percentile(latencies, 0.50), percentile(latencies, 0.99),
           static_cast<double>(ok) / std::max(total_s, 1e-9));
+    }
+    // Any unrecovered failure is a nonzero exit: explicit errors, but also
+    // requests that never completed because a worker died after claiming
+    // them from the shared index (ok + errors < total).
+    if (errors == 0 && ok < static_cast<int64_t>(total)) {
+      std::fprintf(stderr,
+                   "error: %lld of %zu requests never completed\n",
+                   static_cast<long long>(static_cast<int64_t>(total) - ok),
+                   total);
+      return 1;
     }
     return errors == 0 ? 0 : 1;
   } catch (const std::exception& e) {

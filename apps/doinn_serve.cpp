@@ -8,6 +8,18 @@
 //               [--trace-out trace.json] [--metrics-out metrics.json]
 //   doinn_serve --weights weights.bin --listen <port> [--idle-timeout-s 60]
 //               [same tuning flags]
+//   doinn_serve --models registry.txt [--default-model NAME]
+//               (--manifest ... | --listen <port>) [same tuning flags]
+//
+// --models serves several models from one process through a
+// runtime::EnginePool: the registry file maps model names to checkpoints
+// (`<name> <checkpoint> [fp32|int8|bf16] [replicas]` per line; see
+// src/runtime/engine_pool.h). Replicas of a model share one set of
+// prepacked weights, so extra replicas cost arenas, not weight memory.
+// Socket clients route with the protocol-v2 model field; manifest lines
+// route with a `model:<name>` first field. Requests naming no model go to
+// --default-model (default: the registry's first entry). --replicas N
+// serves N replicas of a single --weights model without a registry file.
 //
 // --precision selects the inference storage precision (fp32 default; int8
 // and bf16 trade accuracy for speed — docs/ARCHITECTURE.md "Precision
@@ -76,6 +88,7 @@
 #include <fstream>
 #include <future>
 #include <csignal>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -87,6 +100,7 @@
 #include "manifest_tail.h"
 #include "net/server.h"
 #include "runtime/engine.h"
+#include "runtime/engine_pool.h"
 #include "runtime/metrics_registry.h"
 #include "runtime/scheduler.h"
 #include "runtime/trace.h"
@@ -279,6 +293,15 @@ void usage() {
       "       doinn_serve --weights weights.bin --listen <port>\n"
       "                   [--idle-timeout-s 60]\n"
       "                   [same tuning/observability flags]\n"
+      "       doinn_serve --models registry.txt [--default-model NAME]\n"
+      "                   (--manifest ... | --listen <port>)\n"
+      "                   [same tuning/observability flags]\n"
+      "--models serves several models (and replicas) from one registry file\n"
+      "(<name> <checkpoint> [fp32|int8|bf16] [replicas] per line); replicas\n"
+      "of a model share one set of prepacked weights. --replicas N serves N\n"
+      "replicas of a single --weights model. Manifest lines may start with\n"
+      "`model:<name>` to route to a named model; socket clients use the\n"
+      "protocol-v2 model field (doinn_client --model).\n"
       "manifest lines: <mask.pgm> <contour_out.pgm>; `__shutdown__` stops\n"
       "the server. --listen serves the framed TCP protocol instead (port 0\n"
       "binds an ephemeral port, printed on startup; drive it with\n"
@@ -300,18 +323,38 @@ void usage() {
       "apps/doinn_serve.cpp for details.\n");
 }
 
+/// Prints the per-model request/batch summary of a pool-backed server.
+void print_pool_summary(const runtime::EnginePool& pool) {
+  for (const runtime::ModelStats& m : pool.model_stats()) {
+    std::printf(
+        "model %s: %d replica%s, %lld requests (%lld errors, %lld "
+        "rejected), %lld dispatches\n",
+        m.name.c_str(), m.replicas, m.replicas == 1 ? "" : "s",
+        static_cast<long long>(m.submitted),
+        static_cast<long long>(m.failed), static_cast<long long>(m.rejected),
+        static_cast<long long>(m.batches));
+  }
+}
+
 /// Runs the epoll TCP front end until SIGINT/SIGTERM or a client SHUTDOWN
 /// frame, then drains and prints a summary. Returns the process exit code.
-int run_listen_mode(runtime::Scheduler& scheduler, uint16_t port,
-                    long idle_timeout_s, long poll_ms,
+/// Exactly one of @p scheduler / @p pool is non-null (single-model vs
+/// multi-model serving).
+int run_listen_mode(runtime::Scheduler* scheduler, runtime::EnginePool* pool,
+                    uint16_t port, long idle_timeout_s, long poll_ms,
                     const std::string& trace_out,
                     const std::string& metrics_out) {
   net::ServerOptions server_opts;
   server_opts.port = port;
   server_opts.idle_timeout_ms =
       idle_timeout_s > 0 ? static_cast<int>(idle_timeout_s * 1000) : 0;
-  net::Server server(scheduler, server_opts,
-                     &runtime::MetricsRegistry::global());
+  auto server_ptr =
+      pool != nullptr
+          ? std::make_unique<net::Server>(*pool, server_opts,
+                                          &runtime::MetricsRegistry::global())
+          : std::make_unique<net::Server>(*scheduler, server_opts,
+                                          &runtime::MetricsRegistry::global());
+  net::Server& server = *server_ptr;
   g_server = &server;
   std::signal(SIGINT, on_terminate);
   std::signal(SIGTERM, on_terminate);
@@ -327,7 +370,12 @@ int run_listen_mode(runtime::Scheduler& scheduler, uint16_t port,
 
   const auto t_start = Clock::now();
   server.run();
-  scheduler.shutdown();  // server.run() drained its own pending futures
+  // server.run() drained its own pending futures.
+  if (pool != nullptr) {
+    pool->shutdown();
+  } else {
+    scheduler->shutdown();
+  }
   const double total_s = ms_between(t_start, Clock::now()) / 1e3;
   dump_observability(trace_out, metrics_out);
 
@@ -350,18 +398,22 @@ int run_listen_mode(runtime::Scheduler& scheduler, uint16_t port,
                 static_cast<double>(stats.requests_ok) /
                     std::max(total_s, 1e-9));
   }
-  const runtime::SchedulerStats sched = scheduler.stats();
-  if (sched.batches + sched.large > 0) {
-    std::printf(
-        "scheduler: %lld batches (%.2f avg size), %lld large-tile "
-        "dispatches, %lld rejected, max queue depth %lld\n",
-        static_cast<long long>(sched.batches),
-        sched.batches > 0 ? static_cast<double>(sched.batched_requests) /
-                                static_cast<double>(sched.batches)
-                          : 0.0,
-        static_cast<long long>(sched.large),
-        static_cast<long long>(sched.rejected),
-        static_cast<long long>(sched.max_queue_depth));
+  if (pool != nullptr) {
+    print_pool_summary(*pool);
+  } else {
+    const runtime::SchedulerStats sched = scheduler->stats();
+    if (sched.batches + sched.large > 0) {
+      std::printf(
+          "scheduler: %lld batches (%.2f avg size), %lld large-tile "
+          "dispatches, %lld rejected, max queue depth %lld\n",
+          static_cast<long long>(sched.batches),
+          sched.batches > 0 ? static_cast<double>(sched.batched_requests) /
+                                  static_cast<double>(sched.batches)
+                            : 0.0,
+          static_cast<long long>(sched.large),
+          static_cast<long long>(sched.rejected),
+          static_cast<long long>(sched.max_queue_depth));
+    }
   }
   return stats.requests_error == 0 && stats.protocol_errors == 0 ? 0 : 1;
 }
@@ -372,7 +424,8 @@ int main(int argc, char** argv) {
   try {
     const apps::Args args(argc, argv, /*start=*/1);
     const bool listen_mode = args.has("listen");
-    if (args.get_bool("help") || !args.has("weights") ||
+    if (args.get_bool("help") ||
+        (!args.has("weights") && !args.has("models")) ||
         (!args.has("manifest") && !listen_mode)) {
       usage();
       return args.get_bool("help") ? 0 : 2;
@@ -380,6 +433,11 @@ int main(int argc, char** argv) {
     if (listen_mode && args.has("manifest")) {
       std::fprintf(stderr,
                    "error: --listen and --manifest are mutually exclusive\n");
+      return 2;
+    }
+    if (args.has("weights") && args.has("models")) {
+      std::fprintf(stderr,
+                   "error: --weights and --models are mutually exclusive\n");
       return 2;
     }
     const std::string manifest_path = args.get("manifest", "");
@@ -433,18 +491,68 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
     }
-    runtime::InferenceEngine engine(args.get("weights"), opts);
     sched_opts.metrics = &runtime::MetricsRegistry::global();
-    runtime::Scheduler scheduler(engine, sched_opts);
-    std::printf(
-        "doinn_serve: %d threads, %lld px tile model, %s inference, "
-        "batch<=%d within %lld us%s, queue cap %d, %s %s\n",
-        engine.pool().size(), static_cast<long long>(engine.config().tile),
-        precision_name(engine.precision()), sched_opts.max_batch,
-        static_cast<long long>(sched_opts.max_delay_us),
-        sched_opts.adaptive_delay ? " (adaptive)" : "", sched_opts.queue_cap,
-        listen_mode ? "serving TCP on port" : "watching",
-        listen_mode ? args.get("listen").c_str() : manifest_path.c_str());
+    const long replicas = args.get_positive_int("replicas", 1);
+
+    // Single-model single-replica --weights keeps the original
+    // engine+scheduler serving core (and its scheduler.* metric names);
+    // --models or --replicas > 1 serve through an EnginePool.
+    std::unique_ptr<runtime::InferenceEngine> engine;
+    std::unique_ptr<runtime::Scheduler> scheduler;
+    std::unique_ptr<runtime::EnginePool> pool;
+    if (args.has("models") || replicas > 1) {
+      std::vector<runtime::ModelSpec> specs;
+      if (args.has("models")) {
+        specs = runtime::parse_model_registry(args.get("models"));
+        if (specs.empty()) {
+          std::fprintf(stderr, "error: model registry %s lists no models\n",
+                       args.get("models").c_str());
+          return 2;
+        }
+      } else {
+        runtime::ModelSpec spec;
+        spec.name = "default";
+        spec.checkpoint = args.get("weights");
+        spec.precision = opts.precision;
+        spec.replicas = static_cast<int>(replicas);
+        specs.push_back(std::move(spec));
+      }
+      runtime::EnginePoolOptions pool_opts;
+      pool_opts.engine = opts;
+      pool_opts.scheduler = sched_opts;
+      pool_opts.default_model = args.get("default-model", "");
+      pool_opts.metrics = &runtime::MetricsRegistry::global();
+      pool = std::make_unique<runtime::EnginePool>(specs, pool_opts);
+      std::string models_desc;
+      for (const runtime::ModelSpec& spec : specs) {
+        if (!models_desc.empty()) models_desc += ", ";
+        models_desc += spec.name + " (" + precision_name(spec.precision) +
+                       " x" + std::to_string(spec.replicas) + ")";
+      }
+      std::printf(
+          "doinn_serve: %zu model%s [%s], default %s, batch<=%d within "
+          "%lld us%s, queue cap %d per replica, %s %s\n",
+          specs.size(), specs.size() == 1 ? "" : "s", models_desc.c_str(),
+          pool->default_model().c_str(), sched_opts.max_batch,
+          static_cast<long long>(sched_opts.max_delay_us),
+          sched_opts.adaptive_delay ? " (adaptive)" : "",
+          sched_opts.queue_cap,
+          listen_mode ? "serving TCP on port" : "watching",
+          listen_mode ? args.get("listen").c_str() : manifest_path.c_str());
+    } else {
+      engine =
+          std::make_unique<runtime::InferenceEngine>(args.get("weights"), opts);
+      scheduler = std::make_unique<runtime::Scheduler>(*engine, sched_opts);
+      std::printf(
+          "doinn_serve: %d threads, %lld px tile model, %s inference, "
+          "batch<=%d within %lld us%s, queue cap %d, %s %s\n",
+          engine->pool().size(), static_cast<long long>(engine->config().tile),
+          precision_name(engine->precision()), sched_opts.max_batch,
+          static_cast<long long>(sched_opts.max_delay_us),
+          sched_opts.adaptive_delay ? " (adaptive)" : "", sched_opts.queue_cap,
+          listen_mode ? "serving TCP on port" : "watching",
+          listen_mode ? args.get("listen").c_str() : manifest_path.c_str());
+    }
     std::fflush(stdout);
 
     if (listen_mode) {
@@ -454,8 +562,9 @@ int main(int argc, char** argv) {
         return 2;
       }
       const long idle_timeout_s = args.get_int("idle-timeout-s", 60);
-      return run_listen_mode(scheduler, static_cast<uint16_t>(port),
-                             idle_timeout_s, poll_ms, trace_out, metrics_out);
+      return run_listen_mode(scheduler.get(), pool.get(),
+                             static_cast<uint16_t>(port), idle_timeout_s,
+                             poll_ms, trace_out, metrics_out);
     }
 
     ServeStats stats;
@@ -482,7 +591,12 @@ int main(int argc, char** argv) {
       if (g_dump_requested.exchange(false, std::memory_order_relaxed)) {
         dump_observability(trace_out, metrics_out);
       }
-      std::vector<std::pair<std::string, std::string>> fresh;
+      struct FreshRequest {
+        std::string model;  // "" = default model
+        std::string mask_path;
+        std::string out_path;
+      };
+      std::vector<FreshRequest> fresh;
       {
         // In --once mode there is no next poll, so EOF terminates the final
         // line even without a newline.
@@ -508,13 +622,30 @@ int main(int argc, char** argv) {
             break;
           }
           std::istringstream fields(line);
-          std::string mask_path, out_path;
-          if (!(fields >> mask_path >> out_path)) {
-            std::fprintf(stderr, "skipping malformed manifest line %zu: %s\n",
-                         consumed_lines, line.c_str());
-            continue;
+          FreshRequest req;
+          std::string first;
+          fields >> first;
+          // An optional `model:<name>` first field routes to a named model
+          // of a --models registry; without it the default model serves.
+          if (first.rfind("model:", 0) == 0) {
+            req.model = first.substr(6);
+            if (req.model.empty() ||
+                !(fields >> req.mask_path >> req.out_path)) {
+              std::fprintf(stderr,
+                           "skipping malformed manifest line %zu: %s\n",
+                           consumed_lines, line.c_str());
+              continue;
+            }
+          } else {
+            req.mask_path = std::move(first);
+            if (req.mask_path.empty() || !(fields >> req.out_path)) {
+              std::fprintf(stderr,
+                           "skipping malformed manifest line %zu: %s\n",
+                           consumed_lines, line.c_str());
+              continue;
+            }
           }
-          fresh.emplace_back(std::move(mask_path), std::move(out_path));
+          fresh.push_back(std::move(req));
         }
       }
       for (auto& req : fresh) {
@@ -527,34 +658,54 @@ int main(int argc, char** argv) {
           DOINN_TRACE_SCOPE("serve.ingest", "serve", "req",
                             static_cast<int64_t>(rid));
           PendingRequest pending;
-          pending.contour = scheduler.submit(io::read_pgm(req.first), rid);
-          pending.mask_path = req.first;
-          pending.out_path = req.second;
+          if (pool != nullptr) {
+            // Unknown model names throw here and land in the results file
+            // as request errors, like an unreadable mask.
+            pending.contour =
+                pool->submit(req.model, io::read_pgm(req.mask_path), rid);
+          } else if (!req.model.empty()) {
+            throw std::invalid_argument(
+                "manifest names model \"" + req.model +
+                "\" but the server runs a single --weights model");
+          } else {
+            pending.contour = scheduler->submit(io::read_pgm(req.mask_path),
+                                                rid);
+          }
+          pending.mask_path = req.mask_path;
+          pending.out_path = req.out_path;
           pending.t0 = t0;
           pending.id = rid;
           completions.push(std::move(pending));
         } catch (const std::exception& e) {
-          record_error(stats, results_path, req.first, req.second, e.what(),
-                       ms_between(t0, Clock::now()));
+          record_error(stats, results_path, req.mask_path, req.out_path,
+                       e.what(), ms_between(t0, Clock::now()));
         }
       }
       if (shutdown || once) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
     }
     } catch (...) {
-      scheduler.shutdown();
+      if (pool != nullptr) {
+        pool->shutdown();
+      } else {
+        scheduler->shutdown();
+      }
       completions.close();
       writer.join();
       throw;
     }
-    scheduler.shutdown();  // drain: every pending future resolves
+    // Drain: every pending future resolves.
+    if (pool != nullptr) {
+      pool->shutdown();
+    } else {
+      scheduler->shutdown();
+    }
     completions.close();
     writer.join();
     const double total_s = ms_between(t_start, Clock::now()) / 1e3;
     // Quiescent now (dispatcher joined, writer joined): this dump is exact.
     dump_observability(trace_out, metrics_out);
 
-    const runtime::SchedulerStats sched = scheduler.stats();
     const int64_t n = stats.ok.value();
     const int64_t errors = stats.errors.value();
     std::printf("served %lld requests (%lld errors) in %.2f s\n",
@@ -566,16 +717,21 @@ int main(int argc, char** argv) {
                   lat.p50, lat.p99,
                   static_cast<double>(n) / std::max(total_s, 1e-9));
     }
-    if (sched.batches + sched.large > 0) {
-      std::printf(
-          "scheduler: %lld batches (%.2f avg size), %lld large-tile "
-          "dispatches, max queue depth %lld\n",
-          static_cast<long long>(sched.batches),
-          sched.batches > 0 ? static_cast<double>(sched.batched_requests) /
-                                  static_cast<double>(sched.batches)
-                            : 0.0,
-          static_cast<long long>(sched.large),
-          static_cast<long long>(sched.max_queue_depth));
+    if (pool != nullptr) {
+      print_pool_summary(*pool);
+    } else {
+      const runtime::SchedulerStats sched = scheduler->stats();
+      if (sched.batches + sched.large > 0) {
+        std::printf(
+            "scheduler: %lld batches (%.2f avg size), %lld large-tile "
+            "dispatches, max queue depth %lld\n",
+            static_cast<long long>(sched.batches),
+            sched.batches > 0 ? static_cast<double>(sched.batched_requests) /
+                                    static_cast<double>(sched.batches)
+                              : 0.0,
+            static_cast<long long>(sched.large),
+            static_cast<long long>(sched.max_queue_depth));
+      }
     }
     return errors == 0 ? 0 : 1;
   } catch (const std::exception& e) {

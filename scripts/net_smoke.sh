@@ -11,9 +11,14 @@
 #     output for the same mask (the transport-independence contract);
 #   - the Chrome trace written on shutdown validates and contains the
 #     full serving-path span taxonomy (serve.ingest, sched.queue_wait,
-#     sched.dispatch, serve.wait, serve.write).
+#     sched.dispatch, serve.wait, serve.write);
+#   - a two-model, two-replica `--models` registry server routes socket
+#     (protocol-v2 model field) and manifest (`model:` prefix) traffic to
+#     the right model, byte-identical to per-model single-engine runs.
 #
 # Usage: scripts/net_smoke.sh [build-dir]   (defaults to ./build)
+# Set DOINN_SMOKE_ARTIFACTS=<dir> to copy trace/metrics JSON and server
+# logs there when the smoke fails (CI uploads that directory).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,9 +33,14 @@ done
 WORK=$(mktemp -d)
 SERVER_PID=""
 cleanup() {
+  status=$?
   if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
     kill "$SERVER_PID" 2>/dev/null || true
     wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  if [ "$status" -ne 0 ] && [ -n "${DOINN_SMOKE_ARTIFACTS:-}" ]; then
+    mkdir -p "$DOINN_SMOKE_ARTIFACTS"
+    cp "$WORK"/*.json "$WORK"/*.log "$DOINN_SMOKE_ARTIFACTS"/ 2>/dev/null || true
   fi
   rm -rf "$WORK"
 }
@@ -103,5 +113,94 @@ echo "all contours byte-identical"
 echo "== validating the trace =="
 python3 scripts/trace_summary.py "$WORK/trace.json" --require \
   serve.ingest sched.queue_wait sched.dispatch serve.wait serve.write
+
+echo "== two-model registry end to end =="
+# A second model with different weights, then a pool server with two
+# replicas of each. Socket traffic routes by the protocol-v2 model field,
+# manifest traffic by the `model:` line prefix; both must match the
+# per-model single-engine references byte for byte.
+"$BUILD/doinn_cli" train --kind via --tile 64 --count 2 --epochs 2 \
+  --out "$WORK/weights_b.bin"
+
+for i in 1 2 3 4; do
+  echo "$WORK/mask$i.pgm $WORK/ref_b$i.pgm"
+done > "$WORK/ref_b_manifest.txt"
+"$BUILD/doinn_serve" --weights "$WORK/weights_b.bin" \
+  --manifest "$WORK/ref_b_manifest.txt" --once
+
+cat > "$WORK/registry.txt" <<EOF
+# name  checkpoint          precision  replicas
+alpha   $WORK/weights.bin   fp32       2
+beta    $WORK/weights_b.bin fp32       2
+EOF
+
+"$BUILD/doinn_serve" --models "$WORK/registry.txt" --listen 0 \
+  --metrics-out "$WORK/pool_metrics.json" \
+  > "$WORK/pool_server.log" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on port \([0-9][0-9]*\).*/\1/p' \
+    "$WORK/pool_server.log" | head -n 1)
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "net_smoke: pool server exited before listening" >&2
+    cat "$WORK/pool_server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "net_smoke: pool server never reported its port" >&2
+  cat "$WORK/pool_server.log" >&2
+  exit 1
+fi
+echo "pool server is listening on port $PORT"
+
+# Interleaved per-model routing in one manifest (model: prefix), plus
+# unprefixed lines that must land on the default model (alpha).
+for i in 1 2 3 4; do
+  echo "model:alpha $WORK/mask$i.pgm $WORK/pool_a$i.pgm"
+  echo "model:beta $WORK/mask$i.pgm $WORK/pool_b$i.pgm"
+  echo "$WORK/mask$i.pgm $WORK/pool_d$i.pgm"
+done > "$WORK/pool_manifest.txt"
+"$BUILD/doinn_client" --connect "127.0.0.1:$PORT" \
+  --manifest "$WORK/pool_manifest.txt" --concurrency 3
+
+# --model flag routing of a whole run to one model.
+for i in 1 2; do
+  echo "$WORK/mask$i.pgm $WORK/flag_b$i.pgm"
+done > "$WORK/flag_manifest.txt"
+"$BUILD/doinn_client" --connect "127.0.0.1:$PORT" --model beta \
+  --manifest "$WORK/flag_manifest.txt"
+
+"$BUILD/doinn_client" --connect "127.0.0.1:$PORT" --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+cat "$WORK/pool_server.log"
+
+echo "== checking two-model routing byte identity =="
+for i in 1 2 3 4; do
+  cmp "$WORK/ref$i.pgm" "$WORK/pool_a$i.pgm" || {
+    echo "net_smoke: pool model alpha contour $i differs" >&2
+    exit 1
+  }
+  cmp "$WORK/ref_b$i.pgm" "$WORK/pool_b$i.pgm" || {
+    echo "net_smoke: pool model beta contour $i differs" >&2
+    exit 1
+  }
+  cmp "$WORK/ref$i.pgm" "$WORK/pool_d$i.pgm" || {
+    echo "net_smoke: pool default-model contour $i differs" >&2
+    exit 1
+  }
+done
+for i in 1 2; do
+  cmp "$WORK/ref_b$i.pgm" "$WORK/flag_b$i.pgm" || {
+    echo "net_smoke: --model beta contour $i differs" >&2
+    exit 1
+  }
+done
+echo "two-model routing byte-identical"
 
 echo "net_smoke: PASS"

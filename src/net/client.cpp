@@ -69,6 +69,13 @@ void Client::send_predict(uint64_t request_id, const Tensor& mask) {
   send_raw(frame.data(), frame.size());
 }
 
+void Client::send_predict(uint64_t request_id, const Tensor& mask,
+                          const std::string& model) {
+  const std::vector<uint8_t> frame =
+      make_predict_frame(request_id, mask, model);
+  send_raw(frame.data(), frame.size());
+}
+
 void Client::send_shutdown() {
   const std::vector<uint8_t> frame = make_shutdown_frame();
   send_raw(frame.data(), frame.size());
@@ -116,6 +123,16 @@ Reply Client::read_reply() {
 
 Tensor Client::predict(uint64_t request_id, const Tensor& mask) {
   send_predict(request_id, mask);
+  return finish_predict(request_id);
+}
+
+Tensor Client::predict(uint64_t request_id, const Tensor& mask,
+                       const std::string& model) {
+  send_predict(request_id, mask, model);
+  return finish_predict(request_id);
+}
+
+Tensor Client::finish_predict(uint64_t request_id) {
   Reply reply = read_reply();
   if (reply.type == FrameType::kBusy) {
     throw std::runtime_error("Client: server busy");
@@ -138,10 +155,15 @@ Client::Client(const std::string&, uint16_t) {
 Client::~Client() = default;
 void Client::send_raw(const void*, size_t) {}
 void Client::send_predict(uint64_t, const Tensor&) {}
+void Client::send_predict(uint64_t, const Tensor&, const std::string&) {}
 void Client::send_shutdown() {}
 void Client::shutdown_write() {}
 Reply Client::read_reply() { return {}; }
 Tensor Client::predict(uint64_t, const Tensor&) { return {}; }
+Tensor Client::predict(uint64_t, const Tensor&, const std::string&) {
+  return {};
+}
+Tensor Client::finish_predict(uint64_t) { return {}; }
 
 #endif  // __linux__
 

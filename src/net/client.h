@@ -35,8 +35,12 @@ class Client {
 
   /// Sends a PREDICT frame carrying @p mask (quantized exactly like
   /// io::write_pgm, so the server decodes the same tensor manifest mode
-  /// would read from a PGM file).
+  /// would read from a PGM file). The two-argument form sends a version-1
+  /// frame (default-model routing); the @p model form sends a version-2
+  /// frame naming the model to serve ("" = default model).
   void send_predict(uint64_t request_id, const Tensor& mask);
+  void send_predict(uint64_t request_id, const Tensor& mask,
+                    const std::string& model);
 
   /// Asks the server to stop and drain.
   void send_shutdown();
@@ -51,14 +55,19 @@ class Client {
   Reply read_reply();
 
   /// send_predict + read_reply; throws on BUSY/ERROR replies. Convenience
-  /// for sequential callers that don't pipeline.
+  /// for sequential callers that don't pipeline. The @p model form routes
+  /// to a named model on a multi-model server.
   Tensor predict(uint64_t request_id, const Tensor& mask);
+  Tensor predict(uint64_t request_id, const Tensor& mask,
+                 const std::string& model);
 
   /// Half-closes the write side so the server sees EOF while replies can
   /// still be read.
   void shutdown_write();
 
  private:
+  Tensor finish_predict(uint64_t request_id);
+
   int fd_ = -1;
   std::vector<uint8_t> in_;  ///< bytes received but not yet parsed
 };

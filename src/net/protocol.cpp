@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 namespace litho::net {
 
@@ -61,7 +62,7 @@ bool decode_header(const uint8_t* data, FrameHeader& out) {
   if (get_u32(data) != kMagic) return false;
   const uint8_t version = data[4];
   const uint8_t type = data[5];
-  if (version != kVersion) return false;
+  if (version != kVersion && version != kVersionLegacy) return false;
   if (type < static_cast<uint8_t>(FrameType::kPredict) ||
       type > static_cast<uint8_t>(FrameType::kShutdown)) {
     return false;
@@ -104,6 +105,22 @@ bool decode_image(const uint8_t* data, size_t size, Tensor& out) {
   return true;
 }
 
+bool decode_predict_payload(uint8_t version, const uint8_t* data, size_t size,
+                            std::string& model_out, Tensor& mask_out) {
+  if (version == kVersionLegacy) {
+    model_out.clear();
+    return decode_image(data, size, mask_out);
+  }
+  if (version != kVersion) return false;
+  if (size < 4) return false;
+  const uint16_t model_len = get_u16(data);
+  if (model_len > kMaxModelNameBytes) return false;
+  if (get_u16(data + 2) != 0) return false;  // reserved
+  if (size < 4u + model_len) return false;
+  model_out.assign(reinterpret_cast<const char*>(data + 4), model_len);
+  return decode_image(data + 4 + model_len, size - 4 - model_len, mask_out);
+}
+
 namespace {
 
 std::vector<uint8_t> make_image_frame(FrameType type, uint64_t request_id,
@@ -125,7 +142,34 @@ std::vector<uint8_t> make_image_frame(FrameType type, uint64_t request_id,
 
 std::vector<uint8_t> make_predict_frame(uint64_t request_id,
                                         const Tensor& mask) {
-  return make_image_frame(FrameType::kPredict, request_id, mask);
+  // Version-1 wire format, kept byte-identical for compatibility tests
+  // and old clients; the server routes it to its default model.
+  std::vector<uint8_t> frame =
+      make_image_frame(FrameType::kPredict, request_id, mask);
+  frame[4] = kVersionLegacy;
+  return frame;
+}
+
+std::vector<uint8_t> make_predict_frame(uint64_t request_id,
+                                        const Tensor& mask,
+                                        const std::string& model) {
+  if (model.size() > kMaxModelNameBytes) {
+    throw std::invalid_argument("make_predict_frame: model name too long");
+  }
+  std::vector<uint8_t> payload;
+  put_u16(static_cast<uint16_t>(model.size()), payload);
+  put_u16(0, payload);  // reserved
+  payload.insert(payload.end(), model.begin(), model.end());
+  encode_image(mask, payload);
+  FrameHeader header;
+  header.type = FrameType::kPredict;
+  header.request_id = request_id;
+  header.payload_bytes = static_cast<uint32_t>(payload.size());
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  encode_header(header, frame);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
 }
 
 std::vector<uint8_t> make_contour_frame(uint64_t request_id,

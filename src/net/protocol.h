@@ -7,7 +7,7 @@
 //
 //   offset  size  field
 //   0       4     magic  0x4E494F44 ("DOIN")
-//   4       1     version (kVersion = 1)
+//   4       1     version (kVersion = 2; kVersionLegacy = 1 still decoded)
 //   5       1     type (FrameType)
 //   6       2     reserved, must be 0
 //   8       8     request_id — chosen by the client, echoed verbatim in
@@ -15,11 +15,17 @@
 //   16      4     payload_bytes (<= kMaxPayloadBytes)
 //
 // Frame types and payloads:
-//   kPredict (client -> server): u32 height | u32 width | u16 maxval |
-//     u16 reserved | height*width bytes of 8-bit mask levels. The server
-//     scales levels by 1/maxval exactly like io::read_pgm, so a mask sent
-//     from a PGM file produces the same float tensor — and therefore a
-//     bitwise-identical contour — as manifest-mode ingest of that file.
+//   kPredict (client -> server): the image payload
+//       u32 height | u32 width | u16 maxval | u16 reserved |
+//       height*width bytes of 8-bit mask levels
+//     — version 2 prefixes it with a routing key:
+//       u16 model_len (<= kMaxModelNameBytes) | u16 reserved |
+//       model_len bytes of model name (no NUL)
+//     An empty name, like every version-1 frame, routes to the server's
+//     default model. The server scales levels by 1/maxval exactly like
+//     io::read_pgm, so a mask sent from a PGM file produces the same float
+//     tensor — and therefore a bitwise-identical contour — as
+//     manifest-mode ingest of that file.
 //   kContour (server -> client): same layout (maxval 255); levels are the
 //     io::write_pgm quantization of the binarized contour, so writing the
 //     payload back out as a PGM reproduces manifest-mode output files
@@ -46,11 +52,18 @@
 namespace litho::net {
 
 constexpr uint32_t kMagic = 0x4E494F44;  // "DOIN" little-endian
-constexpr uint8_t kVersion = 1;
+/// Current protocol version (adds the kPredict model-name prefix).
+constexpr uint8_t kVersion = 2;
+/// First protocol version; still decoded, routes to the default model.
+constexpr uint8_t kVersionLegacy = 1;
 constexpr size_t kHeaderBytes = 20;
-/// Payload ceiling: an 8192 x 8192 mask plus the image sub-header. Frames
-/// declaring more are a protocol error (rejected before any allocation).
-constexpr uint32_t kMaxPayloadBytes = 8192u * 8192u + 8u;
+/// Longest model name a v2 kPredict frame may carry.
+constexpr uint16_t kMaxModelNameBytes = 256;
+/// Payload ceiling: an 8192 x 8192 mask plus the image sub-header and the
+/// v2 model-name prefix. Frames declaring more are a protocol error
+/// (rejected before any allocation).
+constexpr uint32_t kMaxPayloadBytes =
+    8192u * 8192u + 8u + 4u + kMaxModelNameBytes;
 
 enum class FrameType : uint8_t {
   kPredict = 1,
@@ -73,6 +86,8 @@ void encode_header(const FrameHeader& header, std::vector<uint8_t>& out);
 /// Parses a header from @p data (at least kHeaderBytes long). Returns
 /// false — leaving @p out untouched — on bad magic, unknown version or
 /// type, nonzero reserved bits, or a payload_bytes above kMaxPayloadBytes.
+/// Both kVersion and kVersionLegacy are accepted; out.version tells the
+/// caller which payload layout to expect.
 bool decode_header(const uint8_t* data, FrameHeader& out);
 
 /// Encodes a [0,1] 2-D tensor as a kPredict/kContour image payload using
@@ -85,9 +100,24 @@ void encode_image(const Tensor& image, std::vector<uint8_t>& out);
 /// equal to height*width).
 bool decode_image(const uint8_t* data, size_t size, Tensor& out);
 
+/// Decodes a kPredict payload for either protocol version. For
+/// kVersionLegacy the payload is the bare image and @p model_out is
+/// cleared; for kVersion the model-name prefix is parsed first. Returns
+/// false on any malformed layout (unknown version, truncated prefix,
+/// model_len > kMaxModelNameBytes, nonzero reserved bits, bad image).
+bool decode_predict_payload(uint8_t version, const uint8_t* data, size_t size,
+                            std::string& model_out, Tensor& mask_out);
+
 /// Builds one complete frame (header + payload) ready to write.
+/// The two-argument predict form emits a version-1 frame (bare image,
+/// default-model routing — byte-identical to the pre-v2 wire format); the
+/// three-argument form emits a version-2 frame carrying @p model (empty =
+/// default model; throws std::invalid_argument above kMaxModelNameBytes).
 std::vector<uint8_t> make_predict_frame(uint64_t request_id,
                                         const Tensor& mask);
+std::vector<uint8_t> make_predict_frame(uint64_t request_id,
+                                        const Tensor& mask,
+                                        const std::string& model);
 std::vector<uint8_t> make_contour_frame(uint64_t request_id,
                                         const Tensor& contour);
 std::vector<uint8_t> make_busy_frame(uint64_t request_id);

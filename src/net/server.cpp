@@ -25,6 +25,7 @@
 
 #include "net/event_loop.h"
 #include "net/protocol.h"
+#include "runtime/engine_pool.h"
 #include "runtime/trace.h"
 
 namespace litho::net {
@@ -48,9 +49,11 @@ void set_blocking(int fd) {
 }  // namespace
 
 struct Server::Impl {
-  Impl(runtime::Scheduler& sched, const ServerOptions& options,
-       runtime::MetricsRegistry* registry, Server& owner)
+  Impl(runtime::Scheduler* sched, runtime::EnginePool* engine_pool,
+       const ServerOptions& options, runtime::MetricsRegistry* registry,
+       Server& owner)
       : scheduler(sched),
+        pool(engine_pool),
         opts(options),
         server(owner),
         owned_metrics(registry != nullptr ? nullptr
@@ -108,7 +111,10 @@ struct Server::Impl {
     Clock::time_point t0;
   };
 
-  runtime::Scheduler& scheduler;
+  // Exactly one of these backs the predict path: a single scheduler
+  // (single-model server) or an engine pool routing by model name.
+  runtime::Scheduler* scheduler = nullptr;
+  runtime::EnginePool* pool = nullptr;
   const ServerOptions opts;
   Server& server;
   std::unique_ptr<runtime::MetricsRegistry> owned_metrics;
@@ -270,12 +276,30 @@ struct Server::Impl {
         const uint64_t trace_id = ++next_trace_id;
         DOINN_TRACE_SCOPE("serve.ingest", "serve", "req",
                           static_cast<int64_t>(trace_id));
+        std::string model;
         Tensor mask;
-        if (!decode_image(payload, header.payload_bytes, mask)) {
-          protocol_error(conn, header.request_id, "malformed image payload");
+        if (!decode_predict_payload(header.version, payload,
+                                    header.payload_bytes, model, mask)) {
+          protocol_error(conn, header.request_id, "malformed predict payload");
           return;
         }
-        auto future = scheduler.try_submit(std::move(mask), trace_id);
+        // Unknown model is a request-level error: this request fails but
+        // the connection (and any pipelined requests on it) stays open.
+        const bool known =
+            pool != nullptr ? pool->has_model(model) : model.empty();
+        if (!known) {
+          m_errors.add();
+          m_error_latency_ms.record(
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count());
+          send_frame(conn, make_error_frame(header.request_id,
+                                            "unknown model: " + model));
+          return;
+        }
+        auto future =
+            pool != nullptr
+                ? pool->try_submit(model, std::move(mask), trace_id)
+                : scheduler->try_submit(std::move(mask), trace_id);
         if (!future.has_value()) {
           // Queue full (or the scheduler is draining): typed BUSY reject,
           // never a blocked event loop or a silently dropped request.
@@ -540,7 +564,14 @@ struct Server::Impl {
 
 Server::Server(runtime::Scheduler& scheduler, const ServerOptions& opts,
                runtime::MetricsRegistry* metrics)
-    : impl_(new Impl(scheduler, opts, metrics, *this)) {
+    : impl_(new Impl(&scheduler, nullptr, opts, metrics, *this)) {
+  impl_->listen();
+  metrics_ = impl_->metrics;
+}
+
+Server::Server(runtime::EnginePool& pool, const ServerOptions& opts,
+               runtime::MetricsRegistry* metrics)
+    : impl_(new Impl(nullptr, &pool, opts, metrics, *this)) {
   impl_->listen();
   metrics_ = impl_->metrics;
 }
@@ -587,6 +618,10 @@ ServerStats Server::stats() const {
 struct Server::Impl {};
 
 Server::Server(runtime::Scheduler&, const ServerOptions&,
+               runtime::MetricsRegistry*) {
+  throw std::runtime_error("Server: the socket front end requires Linux");
+}
+Server::Server(runtime::EnginePool&, const ServerOptions&,
                runtime::MetricsRegistry*) {
   throw std::runtime_error("Server: the socket front end requires Linux");
 }

@@ -43,6 +43,10 @@
 #include "runtime/metrics_registry.h"
 #include "runtime/scheduler.h"
 
+namespace litho::runtime {
+class EnginePool;
+}  // namespace litho::runtime
+
 namespace litho::net {
 
 struct ServerOptions {
@@ -80,6 +84,14 @@ class Server {
   /// @param metrics Registry for the serve.* metrics; nullptr gives the
   ///   server a private registry.
   Server(runtime::Scheduler& scheduler, const ServerOptions& opts,
+         runtime::MetricsRegistry* metrics = nullptr);
+
+  /// Multi-model form: PREDICT frames are routed through @p pool by the
+  /// version-2 model-name field (version-1 frames and empty names go to
+  /// the pool's default model). A name the pool doesn't serve gets a
+  /// request-level ERROR reply — the connection stays open. The pool must
+  /// outlive the server; the caller shuts it down after run() returns.
+  Server(runtime::EnginePool& pool, const ServerOptions& opts,
          runtime::MetricsRegistry* metrics = nullptr);
   ~Server();
 

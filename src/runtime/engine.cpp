@@ -48,25 +48,40 @@ InferenceEngine::InferenceEngine(const std::string& checkpoint_path,
   // GEMM panel layout (at the requested precision) so the serving hot path
   // never rebuilds panels per call.
   model_->prepack_forward(precision_);
-  init_graph_executor();
+  init_graph_executor(/*owns_model_prepack=*/true);
 }
 
 InferenceEngine::InferenceEngine(core::DoinnConfig cfg, uint32_t seed,
                                  EngineOptions opts)
     : pool_(make_pool(opts)), precision_(opts.precision), opts_(opts) {
   std::mt19937 rng(seed);
-  model_ = std::make_unique<core::Doinn>(cfg, rng);
+  model_ = std::make_shared<core::Doinn>(cfg, rng);
   large_ = std::make_unique<core::LargeTilePredictor>(*model_);
   model_->set_training(false);
   model_->prepack_forward(precision_);
-  init_graph_executor();
+  init_graph_executor(/*owns_model_prepack=*/true);
 }
 
-void InferenceEngine::init_graph_executor() {
+InferenceEngine::InferenceEngine(std::shared_ptr<core::Doinn> model,
+                                 EngineOptions opts)
+    : model_(std::move(model)),
+      large_(std::make_unique<core::LargeTilePredictor>(*model_)),
+      pool_(make_pool(opts)),
+      precision_(opts.precision),
+      opts_(opts) {
+  // Replica path: the primary engine already switched the shared model to
+  // eval and prepacked its weights at this precision — re-packing here
+  // would both waste the load time and break the N-replicas-1x-weights
+  // contract, so this constructor only builds per-replica state (pool,
+  // plan cache, arenas).
+  init_graph_executor(/*owns_model_prepack=*/false);
+}
+
+void InferenceEngine::init_graph_executor(bool owns_model_prepack) {
   if (!opts_.use_graph_executor) return;
   const int64_t tile = config().tile;
 
-  if (precision_ == litho::Precision::kInt8 &&
+  if (owns_model_prepack && precision_ == litho::Precision::kInt8 &&
       opts_.int8_policy == EngineOptions::Int8Policy::kAuto &&
       opts_.autotune) {
     // Capture once over the all-int8 packs to enumerate the conv GEMM shapes

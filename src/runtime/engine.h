@@ -58,6 +58,21 @@ class InferenceEngine {
   InferenceEngine(core::DoinnConfig cfg, uint32_t seed,
                   EngineOptions opts = {});
 
+  /// Replica constructor: an engine over a model another engine already
+  /// owns. @p model must be in eval mode with weights prepacked at
+  /// opts.precision (the primary replica's checkpoint constructor does
+  /// both, including the int8 per-shape repack); this constructor never
+  /// touches the model, so every replica reads the same immutable weight
+  /// tensors and PackedWeight panels — N replicas cost ~1x weight memory.
+  /// Each replica still owns its thread pool, plan cache, and arenas;
+  /// concurrent predictions across replicas are safe because the shared
+  /// state is read-only after construction (runtime::EnginePool drives one
+  /// dispatcher thread per replica on top of this).
+  InferenceEngine(std::shared_ptr<core::Doinn> model, EngineOptions opts = {});
+
+  /// The model this engine runs, shareable with replica engines.
+  const std::shared_ptr<core::Doinn>& shared_model() const { return model_; }
+
   /// Configuration embedded in the loaded checkpoint (tile size, modes,
   /// channel widths); requests are routed on config().tile.
   const core::DoinnConfig& config() const { return model_->config(); }
@@ -98,10 +113,10 @@ class InferenceEngine {
   enum PlanKind : int { kForwardPlan = 0, kGpPlan = 1 };
   using PlanKey = std::tuple<int, int64_t, int64_t, int64_t>;
 
-  void init_graph_executor();
+  void init_graph_executor(bool owns_model_prepack);
   Plan& plan_for(PlanKind kind, int64_t n, int64_t h, int64_t w);
 
-  std::unique_ptr<core::Doinn> model_;
+  std::shared_ptr<core::Doinn> model_;
   std::unique_ptr<core::LargeTilePredictor> large_;
   std::unique_ptr<ThreadPool> pool_;
   litho::Precision precision_ = litho::Precision::kFp32;

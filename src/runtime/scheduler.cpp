@@ -28,16 +28,24 @@ Scheduler::Scheduler(InferenceEngine& engine, SchedulerOptions opts)
       owned_metrics_(opts.metrics != nullptr ? nullptr
                                              : new MetricsRegistry),
       metrics_(opts.metrics != nullptr ? opts.metrics : owned_metrics_.get()),
-      m_submitted_(metrics_->counter("scheduler.requests_submitted")),
-      m_completed_(metrics_->counter("scheduler.requests_completed")),
-      m_failed_(metrics_->counter("scheduler.requests_failed")),
-      m_batches_(metrics_->counter("scheduler.batches_dispatched")),
-      m_batched_requests_(metrics_->counter("scheduler.batched_requests")),
-      m_large_(metrics_->counter("scheduler.large_dispatches")),
-      m_rejected_(metrics_->counter("scheduler.requests_rejected")),
-      m_max_queue_depth_(metrics_->gauge("scheduler.queue_depth_max")),
-      m_effective_delay_us_(metrics_->gauge("scheduler.effective_delay_us")),
-      m_latency_ms_(metrics_->histogram("scheduler.request_latency_ms")) {
+      m_submitted_(metrics_->counter(opts_.metric_prefix +
+                                     "requests_submitted")),
+      m_completed_(metrics_->counter(opts_.metric_prefix +
+                                     "requests_completed")),
+      m_failed_(metrics_->counter(opts_.metric_prefix + "requests_failed")),
+      m_batches_(metrics_->counter(opts_.metric_prefix +
+                                   "batches_dispatched")),
+      m_batched_requests_(metrics_->counter(opts_.metric_prefix +
+                                            "batched_requests")),
+      m_large_(metrics_->counter(opts_.metric_prefix + "large_dispatches")),
+      m_rejected_(metrics_->counter(opts_.metric_prefix +
+                                    "requests_rejected")),
+      m_max_queue_depth_(metrics_->gauge(opts_.metric_prefix +
+                                         "queue_depth_max")),
+      m_effective_delay_us_(metrics_->gauge(opts_.metric_prefix +
+                                            "effective_delay_us")),
+      m_latency_ms_(metrics_->histogram(opts_.metric_prefix +
+                                        "request_latency_ms")) {
   if (opts_.max_batch < 1) {
     throw std::invalid_argument("Scheduler: max_batch must be >= 1");
   }
@@ -306,6 +314,9 @@ void Scheduler::dispatch_loop() {
                              static_cast<int64_t>(batch_id), "batch_size",
                              static_cast<int64_t>(batch.size()));
       span.sarg("flush", flush_reason);
+      if (!opts_.trace_model.empty()) {
+        span.sarg("model", opts_.trace_model.c_str());
+      }
       fulfill(batch, large);
     }
   }

@@ -72,6 +72,15 @@ struct SchedulerOptions {
   /// live schedulers never mix counts; doinn_serve passes
   /// &MetricsRegistry::global() so one dump covers the whole process.
   MetricsRegistry* metrics = nullptr;
+  /// Name prefix for this scheduler's metrics. The default keeps the
+  /// historical "scheduler." names; the engine pool gives each replica
+  /// scheduler its own "pool.<model>.r<k>." prefix so several schedulers
+  /// can share one registry without their counters colliding.
+  std::string metric_prefix = "scheduler.";
+  /// Model name attached to this scheduler's trace spans (sched.dispatch
+  /// "model" arg) so multi-model traces correlate batches to models.
+  /// Empty = omit the arg (single-model servers, tests).
+  std::string trace_model;
 };
 
 /// Counters and latency summary exposed by Scheduler::stats(), snapshotted
@@ -156,6 +165,13 @@ class Scheduler {
 
   /// Snapshot of the counters and the latency distribution.
   SchedulerStats stats() const;
+
+  /// Requests queued right now (cheap: one lock, no metric snapshots).
+  /// The engine pool polls this per submit for least-queue-depth routing.
+  int64_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(queue_.size());
+  }
 
   /// Registry holding the scheduler.* metrics (the options-provided one,
   /// else the scheduler's private registry).

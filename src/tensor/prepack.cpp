@@ -1,6 +1,7 @@
 #include "tensor/prepack.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -67,9 +68,33 @@ float max_abs(const float* v, int64_t n) {
   return m;
 }
 
+namespace {
+// Running total for PackedWeight::total_allocated_bytes(): monotone so a
+// reader never sees a transient dip while an engine rebuilds a pack.
+std::atomic<int64_t> g_packed_weight_bytes{0};
+}  // namespace
+
+int64_t PackedWeight::total_allocated_bytes() {
+  return g_packed_weight_bytes.load(std::memory_order_relaxed);
+}
+
 PackedWeight::PackedWeight(GemmLayout layout, const float* a, int64_t m,
                            int64_t k, Precision precision)
     : precision_(precision), m_(std::max<int64_t>(m, 0)), k_(std::max<int64_t>(k, 0)) {
+  // Every exit path (fp32 / bf16 / int8) lands the final buffer sizes in
+  // the process-wide byte counter via this scope guard.
+  struct BytesGuard {
+    const PackedWeight& w;
+    ~BytesGuard() {
+      g_packed_weight_bytes.fetch_add(
+          static_cast<int64_t>(w.f32_.capacity() * sizeof(float) +
+                               w.bf16_.capacity() * sizeof(uint16_t) +
+                               w.i8_.capacity() * sizeof(int8_t) +
+                               w.rowsum_.capacity() * sizeof(int32_t) +
+                               w.scales_.capacity() * sizeof(float)),
+          std::memory_order_relaxed);
+    }
+  } bytes_guard{*this};
   const int64_t tiles = ceil_div(std::max<int64_t>(m_, 1), MR);
   const int64_t panel_floats = tiles * MR * std::max<int64_t>(k_, 1);
   if (precision_ == Precision::kFp32) {

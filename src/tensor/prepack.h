@@ -77,6 +77,13 @@ class PackedWeight {
   PackedWeight(GemmLayout layout, const float* a, int64_t m, int64_t k,
                Precision precision);
 
+  /// Process-wide running total of bytes held by every PackedWeight built
+  /// so far (panels + int8 scale/rowsum sidecars; monotone — destruction
+  /// does not subtract). The engine-pool tests use the delta of this
+  /// counter to assert that N replicas of a model share one set of packed
+  /// weights instead of rebuilding them per replica.
+  static int64_t total_allocated_bytes();
+
   Precision precision() const { return precision_; }
   int64_t m() const { return m_; }
   int64_t k() const { return k_; }
